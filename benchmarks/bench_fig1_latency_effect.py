@@ -1,0 +1,38 @@
+"""Figure 1 -- effect of the L1 I-cache access latency on performance.
+
+Sweeps the L1 size for the four no-prefetching configurations (ideal,
+pipelined, base+L0, base) at 0.045 um.  The reproduction target is the
+*shape*: the ideal curve grows with cache size, the blocking 'base' curve is
+far below it and nearly flat, pipelining recovers most of the gap, and the
+L0 filter cache helps the blocking cache at small-to-medium sizes.
+"""
+
+from repro.analysis.figures import figure1_series
+from repro.analysis.report import format_ipc_sweep
+
+from conftest import run_once
+
+
+def test_figure1_l1_latency_effect(benchmark, report, bench_params):
+    series = run_once(
+        benchmark, figure1_series,
+        technology="0.045um",
+        l1_sizes=bench_params["sizes"],
+        benchmarks=bench_params["benchmarks"],
+        max_instructions=bench_params["instructions"],
+    )
+    text = format_ipc_sweep(
+        series,
+        "Figure 1: IPC vs L1 size, no prefetching (0.045um) -- "
+        f"benchmarks={','.join(bench_params['benchmarks'])}",
+    )
+    report("fig1_latency_effect", text)
+
+    sizes = sorted(bench_params["sizes"])
+    small, large = sizes[0], sizes[-1]
+    # Shape checks: the ideal cache benefits from capacity, and at the
+    # largest size it beats the blocking base configuration clearly.
+    assert series["ideal"][large] > series["ideal"][small]
+    assert series["ideal"][large] >= series["base"][large] * 1.2
+    # Pipelining recovers most of the latency loss at large sizes.
+    assert series["base-pipelined"][large] > series["base"][large]

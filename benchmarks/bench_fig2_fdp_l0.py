@@ -1,0 +1,32 @@
+"""Figure 2(b) -- FDP with and without an L0 cache (0.045 um).
+
+The paper's observation: plain FDP stays flat as the L1 grows (its
+filtering forces ever more fetches into the slow L1), while adding a
+one-cycle L0 lets it tolerate the L1 latency.
+"""
+
+from repro.analysis.figures import figure2_series
+from repro.analysis.report import format_ipc_sweep
+
+from conftest import run_once
+
+
+def test_figure2_fdp_with_and_without_l0(benchmark, report, bench_params):
+    series = run_once(
+        benchmark, figure2_series,
+        technology="0.045um",
+        l1_sizes=bench_params["sizes"],
+        benchmarks=bench_params["benchmarks"],
+        max_instructions=bench_params["instructions"],
+    )
+    text = format_ipc_sweep(series, "Figure 2(b): FDP vs FDP+L0 (0.045um)")
+    report("fig2_fdp_l0", text)
+
+    sizes = sorted(bench_params["sizes"])
+    mid_and_large = [s for s in sizes if s >= 4096]
+    # The L0 helps FDP at every medium/large size (it never hurts by more
+    # than noise).
+    for size in mid_and_large:
+        assert series["FDP+L0"][size] >= series["FDP"][size] * 0.97
+    # And at the largest size the benefit is pronounced.
+    assert series["FDP+L0"][sizes[-1]] >= series["FDP"][sizes[-1]]

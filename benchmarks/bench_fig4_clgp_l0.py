@@ -1,0 +1,32 @@
+"""Figure 4(b) -- CLGP with and without an L0 cache (0.045 um).
+
+Adding the L0 'emergency cache' improves CLGP (mispredicted-path lines are
+one cycle away, and prefetches are served by the L1), but CLGP is already
+close to insensitive to the L1 because most fetches come from the prestage
+buffer.
+"""
+
+from repro.analysis.figures import figure4_series
+from repro.analysis.report import format_ipc_sweep
+
+from conftest import run_once
+
+
+def test_figure4_clgp_with_and_without_l0(benchmark, report, bench_params):
+    series = run_once(
+        benchmark, figure4_series,
+        technology="0.045um",
+        l1_sizes=bench_params["sizes"],
+        benchmarks=bench_params["benchmarks"],
+        max_instructions=bench_params["instructions"],
+    )
+    text = format_ipc_sweep(series, "Figure 4(b): CLGP vs CLGP+L0 (0.045um)")
+    report("fig4_clgp_l0", text)
+
+    sizes = sorted(bench_params["sizes"])
+    for size in sizes:
+        # The L0 never hurts CLGP beyond noise.
+        assert series["CLGP+L0"][size] >= series["CLGP"][size] * 0.95
+    # CLGP saturates early: going from the smallest to the largest L1 gains
+    # far less than a factor of two.
+    assert series["CLGP+L0"][sizes[-1]] < series["CLGP+L0"][sizes[0]] * 2.0

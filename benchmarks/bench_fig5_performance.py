@@ -1,0 +1,45 @@
+"""Figure 5 -- main performance comparison at both technology nodes.
+
+Six configurations (CLGP+L0+PB16, CLGP+L0, FDP+L0+PB16, FDP+L0,
+base-pipelined, base+L0) swept over the L1 size, at 0.09 um (Figure 5a,
+8-entry one-cycle pre-buffers) and 0.045 um (Figure 5b, 4-entry one-cycle
+pre-buffers).  Reproduction targets: CLGP at or above FDP, both prefetchers
+well above the baselines, and CLGP nearly insensitive to the L1 size.
+"""
+
+import pytest
+
+from repro.analysis.figures import figure5_series
+from repro.analysis.report import format_ipc_sweep
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("technology,figure", [("0.09um", "5a"), ("0.045um", "5b")])
+def test_figure5_main_comparison(benchmark, report, bench_params, technology, figure):
+    series = run_once(
+        benchmark, figure5_series,
+        technology=technology,
+        l1_sizes=bench_params["sizes"],
+        benchmarks=bench_params["benchmarks"],
+        max_instructions=bench_params["instructions"],
+    )
+    text = format_ipc_sweep(
+        series,
+        f"Figure {figure}: IPC vs L1 size ({technology}) -- "
+        f"benchmarks={','.join(bench_params['benchmarks'])}",
+    )
+    report(f"fig{figure}_performance_{technology.replace('.', '_')}", text)
+
+    sizes = sorted(bench_params["sizes"])
+    mid = sizes[len(sizes) // 2]
+    # Prefetching beats the pipelined baseline at the mid-size point.
+    assert series["CLGP+L0+PB16"][mid] > series["base-pipelined"][mid]
+    assert series["FDP+L0+PB16"][mid] > series["base-pipelined"][mid]
+    # CLGP is not slower than FDP (allowing a small noise margin).
+    assert series["CLGP+L0"][mid] >= series["FDP+L0"][mid] * 0.95
+    # CLGP saturates at small sizes: its smallest-size IPC is already within
+    # 45% of its largest-size IPC, unlike the baseline.
+    clgp_ratio = series["CLGP+L0+PB16"][sizes[0]] / series["CLGP+L0+PB16"][sizes[-1]]
+    base_ratio = series["base-pipelined"][sizes[0]] / series["base-pipelined"][sizes[-1]]
+    assert clgp_ratio > base_ratio

@@ -1,0 +1,44 @@
+"""Figure 7 -- distribution of fetch sources (FDP vs CLGP).
+
+Figure 7(a): 4-entry pre-buffers without an L0; Figure 7(b): with an L0.
+Reproduction targets: CLGP serves the large majority of fetches from the
+prestage buffer at every L1 size, whereas FDP's pre-buffer share shrinks as
+the I-cache grows (filtering sends ever more fetches to the slow L1); with
+an L0, most FDP fetches still need the one-cycle L0+PB pair to stay fast.
+"""
+
+import pytest
+
+from repro.analysis.figures import figure7_series
+from repro.analysis.report import format_source_distribution
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("with_l0,figure", [(False, "7a"), (True, "7b")])
+def test_figure7_fetch_source_distribution(benchmark, report, bench_params,
+                                           with_l0, figure):
+    series = run_once(
+        benchmark, figure7_series,
+        with_l0=with_l0,
+        technology="0.045um",
+        l1_sizes=bench_params["sizes"],
+        benchmarks=bench_params["benchmarks"],
+        max_instructions=bench_params["instructions"],
+    )
+    label = "with L0" if with_l0 else "without L0"
+    text = format_source_distribution(
+        series, f"Figure {figure}: fetch source distribution ({label}, 0.045um)")
+    report(f"fig{figure}_fetch_source", text)
+
+    fdp_scheme, clgp_scheme = ("FDP+L0", "CLGP+L0") if with_l0 else ("FDP", "CLGP")
+    sizes = sorted(bench_params["sizes"])
+    for size in sizes:
+        clgp_pb = series[clgp_scheme][size]["PB"]
+        fdp_pb = series[fdp_scheme][size]["PB"]
+        # CLGP's prestage buffer is the dominant instruction supplier.
+        assert clgp_pb > fdp_pb
+        assert clgp_pb > 0.5
+    # FDP leans on the I-cache more and more as it grows.
+    assert (series[fdp_scheme][sizes[-1]]["il1"]
+            >= series[fdp_scheme][sizes[0]]["il1"] * 0.8)

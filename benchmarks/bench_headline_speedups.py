@@ -1,0 +1,70 @@
+"""Headline speedups (Section 5.1) and the hardware-budget comparison.
+
+The paper's headline numbers with a 4 KB L1 and pipelined pre-buffers:
+
+* CLGP over FDP:                +3.5% at 0.09 um, +12.5% at 0.045 um,
+* CLGP over the pipelined baseline: +39% at 0.09 um, +48% at 0.045 um,
+* CLGP with ~2.5 KB of fast-storage budget matches a pipelined I-cache of
+  6.4x that budget.
+
+The reproduction target is the sign and rough magnitude of these ratios,
+not the exact percentages.
+"""
+
+from repro.analysis.figures import headline_speedups
+from repro.analysis.report import format_speedups
+from repro.simulator.presets import paper_config
+from repro.simulator.runner import run_benchmarks
+from repro.simulator.stats import harmonic_mean_ipc
+
+from conftest import run_once
+
+
+def test_headline_speedups(benchmark, report, bench_params):
+    data = run_once(
+        benchmark, headline_speedups,
+        l1_size_bytes=4096,
+        benchmarks=bench_params["benchmarks"],
+        max_instructions=bench_params["instructions"],
+    )
+    text = format_speedups(data)
+    report("headline_speedups", text)
+
+    for tech, row in data.items():
+        # CLGP clearly beats the pipelined baseline at both nodes.
+        assert row["clgp_over_base_pipelined"] > 0.15, tech
+        # CLGP is at worst on par with FDP (small negative noise tolerated).
+        assert row["clgp_over_fdp"] > -0.05, tech
+    # The latency problem is worse at 0.045um, so the gain over the
+    # baseline should not shrink when moving to the finer node.
+    assert (data["0.045um"]["clgp_over_base_pipelined"]
+            >= data["0.09um"]["clgp_over_base_pipelined"] * 0.8)
+
+
+def test_budget_equivalence(benchmark, report, bench_params):
+    """CLGP with a small L1 versus pipelined caches several times larger."""
+    instructions = bench_params["instructions"]
+    names = bench_params["benchmarks"]
+
+    def measure():
+        clgp_small = paper_config(
+            "CLGP+L0+PB16", l1_size_bytes=1024, technology="0.09um",
+            max_instructions=instructions)
+        out = {"CLGP 1KB (2.5KB budget)": harmonic_mean_ipc(
+            run_benchmarks(clgp_small, names, instructions))}
+        for size in (4096, 16384, 65536):
+            config = paper_config("base-pipelined", l1_size_bytes=size,
+                                  technology="0.09um",
+                                  max_instructions=instructions)
+            out[f"pipelined {size // 1024}KB"] = harmonic_mean_ipc(
+                run_benchmarks(config, names, instructions))
+        return out
+
+    ipc = run_once(benchmark, measure)
+    lines = ["Hardware-budget comparison (0.09um)", "=" * 40]
+    lines += [f"  {label:>24s} : {value:.3f} IPC" for label, value in ipc.items()]
+    report("headline_budget_equivalence", "\n".join(lines))
+
+    # The 2.5KB CLGP configuration reaches (or exceeds) a pipelined cache
+    # with >= 6.4x the fast-storage budget.
+    assert ipc["CLGP 1KB (2.5KB budget)"] >= ipc["pipelined 16KB"] * 0.95

@@ -1,0 +1,30 @@
+"""Micro-benchmarks of simulator throughput (simulated instructions/second).
+
+Not a paper experiment -- these keep an eye on the cost of the pure-Python
+cycle loop for the three main engines so performance regressions in the
+simulator itself are visible.  pytest-benchmark runs these with its normal
+statistics (multiple rounds) because a single run is fast.
+"""
+
+import pytest
+
+from repro.simulator.presets import paper_config
+from repro.simulator.runner import get_workload
+from repro.simulator.simulator import Simulator
+
+INSTRUCTIONS = 2000
+
+
+@pytest.mark.parametrize("scheme", ["base-pipelined", "FDP+L0", "CLGP+L0"])
+def test_simulation_throughput(benchmark, scheme):
+    workload = get_workload("gcc")
+    config = paper_config(scheme, l1_size_bytes=4096, technology="0.045um",
+                          max_instructions=INSTRUCTIONS,
+                          warmup_instructions=20_000)
+
+    def run_once_():
+        return Simulator(config, workload).run(INSTRUCTIONS)
+
+    result = benchmark.pedantic(run_once_, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    assert result.committed_instructions >= INSTRUCTIONS

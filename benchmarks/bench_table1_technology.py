@@ -1,0 +1,28 @@
+"""Table 1 -- SIA technology roadmap parameters.
+
+Regenerates the year / feature size / clock / cycle-time table the paper
+takes from the 2001 SIA roadmap.  (The "benchmark" aspect is trivial; the
+point is that the constants used by every other experiment are printed and
+archived alongside the measured figures.)
+"""
+
+from repro.analysis.report import format_key_value_table
+from repro.analysis.tables import table1
+
+from conftest import run_once
+
+
+def test_table1_technology_roadmap(benchmark, report):
+    rows = run_once(benchmark, table1)
+    formatted = {
+        str(int(row["year"])): (
+            f"{row['technology_um']:g} um, {row['clock_ghz']:g} GHz, "
+            f"{row['cycle_time_ns']:g} ns"
+        )
+        for row in rows
+    }
+    text = format_key_value_table(
+        formatted, "Table 1: technological parameters predicted by the SIA")
+    report("table1_technology", text)
+    assert len(rows) == 5
+    assert any(row["technology_um"] == 0.045 for row in rows)

@@ -1,0 +1,19 @@
+"""Table 2 -- baseline simulation parameters.
+
+Regenerated from the default :class:`SimulationConfig`, so the archived
+table always matches what the simulator actually uses.
+"""
+
+from repro.analysis.report import format_key_value_table
+from repro.analysis.tables import table2
+
+from conftest import run_once
+
+
+def test_table2_simulation_parameters(benchmark, report):
+    rows = run_once(benchmark, table2)
+    text = format_key_value_table(rows, "Table 2: simulation parameters")
+    report("table2_parameters", text)
+    assert rows["Fetch/Issue/Commit"] == "4 instructions"
+    assert rows["RUU Size"] == "64 instructions"
+    assert rows["Mem. lat."] == "200 cycles"

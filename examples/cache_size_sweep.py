@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Cache-size sweep: reproduce the shape of the paper's Figure 5.
+
+Sweeps the L1 instruction-cache size for the six main configurations at a
+chosen technology node, over a benchmark mix, and prints the harmonic-mean
+IPC table plus two derived observations:
+
+* the size at which the pipelined baseline finally catches the smallest
+  CLGP configuration ("equivalent performance at N x the hardware budget"),
+* how flat each configuration's curve is (CLGP's insensitivity to L1 size).
+
+Run:
+    python examples/cache_size_sweep.py [0.09um|0.045um] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.figures import figure5_series
+from repro.analysis.metrics import budget_equivalent_size
+from repro.analysis.report import format_ipc_sweep
+from repro.workloads.spec2000 import DEFAULT_MIX
+
+SIZES = (256, 1024, 4096, 16384, 65536)
+
+
+def main() -> int:
+    technology = sys.argv[1] if len(sys.argv) > 1 else "0.045um"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 6000
+
+    print(f"Sweeping L1 sizes {SIZES} at {technology} over {DEFAULT_MIX} "
+          f"({instructions} instructions per run) ...\n")
+    series = figure5_series(
+        technology=technology,
+        l1_sizes=SIZES,
+        benchmarks=DEFAULT_MIX,
+        max_instructions=instructions,
+    )
+    print(format_ipc_sweep(series, f"Figure 5 reproduction ({technology})"))
+
+    # Hardware-budget observation: which pipelined-baseline size matches the
+    # smallest CLGP+L0+PB16 configuration?
+    clgp_small_ipc = series["CLGP+L0+PB16"][min(SIZES)]
+    equivalent = budget_equivalent_size(clgp_small_ipc, series["base-pipelined"])
+    print()
+    if equivalent is None:
+        print(f"No pipelined baseline size up to {max(SIZES) // 1024}KB reaches "
+              f"CLGP+L0+PB16 with a {min(SIZES)}B L1 (IPC {clgp_small_ipc:.3f}).")
+    else:
+        print(f"CLGP+L0+PB16 with a {min(SIZES)}B L1 (IPC {clgp_small_ipc:.3f}) is "
+              f"matched by the pipelined baseline only at {equivalent // 1024}KB.")
+
+    print("\nSensitivity to L1 size (largest / smallest IPC):")
+    for scheme, per_size in series.items():
+        ratio = per_size[max(SIZES)] / per_size[min(SIZES)]
+        print(f"  {scheme:>16s} : {ratio:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Per-benchmark comparison across the SPECint2000 suite (Figure 6 style).
+
+Runs the pipelined baseline, FDP+L0+PB:16 and CLGP+L0+PB:16 on every
+synthetic SPECint2000 benchmark (8 KB L1, 0.045 um), prints the per-
+benchmark IPC table with the harmonic mean, and highlights where CLGP wins
+and loses -- in the paper, CLGP is best everywhere except gzip, with the
+biggest gains on eon, vortex and gap.
+
+Run:
+    python examples/per_benchmark_report.py [instructions] [benchmarks...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.figures import figure6_series
+from repro.analysis.report import format_per_benchmark
+from repro.workloads.spec2000 import SPECINT2000_NAMES
+
+
+def main() -> int:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    names = sys.argv[2:] or list(SPECINT2000_NAMES)
+
+    print(f"Running {len(names)} benchmarks x 3 configurations "
+          f"({instructions} instructions each) ...\n")
+    series = figure6_series(
+        technology="0.045um", l1_size_bytes=8192,
+        benchmarks=names, max_instructions=instructions,
+    )
+    print(format_per_benchmark(
+        series, "Figure 6 reproduction: per-benchmark IPC (8KB L1, 0.045um)"))
+
+    print("\nCLGP+L0+PB16 speedup over FDP+L0+PB16:")
+    for name in names:
+        scores = series[name]
+        delta = scores["CLGP+L0+PB16"] / scores["FDP+L0+PB16"] - 1.0
+        marker = "  <-- FDP wins" if delta < -0.01 else ""
+        print(f"  {name:>8s} : {delta:+6.1%}{marker}")
+    hmean = series["HMEAN"]
+    print(f"\n  HMEAN   : CLGP {hmean['CLGP+L0+PB16']:.3f}  "
+          f"FDP {hmean['FDP+L0+PB16']:.3f}  "
+          f"base-pipelined {hmean['base-pipelined']:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

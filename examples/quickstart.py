@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate CLGP and its competitors on one benchmark.
+
+Builds the paper's main configurations at a single design point (4 KB L1
+I-cache, 0.045 um technology), runs each on the synthetic 'gcc' workload
+and prints IPC, the stream-misprediction rate and the fraction of fetches
+served by one-cycle storage -- the quantities the paper's argument rests
+on.
+
+Run:
+    python examples/quickstart.py [benchmark] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import paper_config, run_single
+
+SCHEMES = (
+    "base",            # blocking multi-cycle L1, no prefetching
+    "base-pipelined",  # pipelined L1, no prefetching
+    "base+L0",         # one-cycle filter cache in front of the L1
+    "ideal",           # 1-cycle L1 regardless of size (upper bound)
+    "FDP+L0",          # fetch directed prefetching
+    "CLGP+L0",         # cache line guided prestaging (the paper's proposal)
+    "CLGP+L0+PB16",    # ... with a 16-entry pipelined prestage buffer
+)
+
+
+def main() -> int:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+
+    print(f"benchmark={benchmark}  instructions={instructions}  "
+          f"L1=4KB  technology=0.045um\n")
+    print(f"{'configuration':>16s} | {'IPC':>6s} | {'mispredict':>10s} | "
+          f"{'1-cycle fetches':>15s}")
+    print("-" * 60)
+
+    baseline_ipc = None
+    for scheme in SCHEMES:
+        config = paper_config(scheme, l1_size_bytes=4096,
+                              technology="0.045um",
+                              max_instructions=instructions)
+        result = run_single(config, benchmark, instructions)
+        if scheme == "base-pipelined":
+            baseline_ipc = result.ipc
+        speedup = (f"  ({result.ipc / baseline_ipc - 1.0:+.1%} vs pipelined)"
+                   if baseline_ipc and scheme.startswith("CLGP") else "")
+        print(f"{scheme:>16s} | {result.ipc:6.3f} | "
+              f"{result.misprediction_rate:10.1%} | "
+              f"{result.one_cycle_fetch_fraction():15.1%}{speedup}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

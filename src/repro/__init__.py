@@ -1,0 +1,63 @@
+"""repro: reproduction of "Effective Instruction Prefetching via Fetch
+Prestaging" (Falcon, Ramirez, Valero; IPDPS 2005).
+
+The package implements Cache Line Guided Prestaging (CLGP), Fetch Directed
+Prefetching (FDP) and non-prefetching baselines on top of a trace-driven
+decoupled-front-end simulator with synthetic SPECint2000-like workloads.
+
+Quickstart
+----------
+>>> from repro import paper_config, run_single
+>>> config = paper_config("CLGP+L0", l1_size_bytes=4096, technology="0.045um")
+>>> result = run_single(config, "gcc", max_instructions=5000)
+>>> result.ipc > 0
+True
+"""
+
+from .simulator import (
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    configs_for_schemes,
+    harmonic_mean_ipc,
+    paper_config,
+    run_benchmarks,
+    run_mix,
+    run_single,
+    simulate,
+    speedup,
+)
+from .technology import TECH_045, TECH_090, TECHNOLOGY_ROADMAP, resolve_technology
+from .workloads import (
+    DEFAULT_MIX,
+    SPECINT2000_NAMES,
+    WorkloadProfile,
+    build_workload,
+    profile_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_MIX",
+    "SPECINT2000_NAMES",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "TECH_045",
+    "TECH_090",
+    "TECHNOLOGY_ROADMAP",
+    "WorkloadProfile",
+    "__version__",
+    "build_workload",
+    "configs_for_schemes",
+    "harmonic_mean_ipc",
+    "paper_config",
+    "profile_for",
+    "resolve_technology",
+    "run_benchmarks",
+    "run_mix",
+    "run_single",
+    "simulate",
+    "speedup",
+]

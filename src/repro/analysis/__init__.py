@@ -1,0 +1,57 @@
+"""Analysis layer: figure/table data builders, metrics, text reports."""
+
+from .figures import (
+    DEFAULT_SWEEP_SIZES,
+    ablation_series,
+    figure1_series,
+    figure2_series,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+    headline_speedups,
+)
+from .metrics import (
+    budget_equivalent_size,
+    crossover_size,
+    harmonic_mean,
+    speedup,
+    speedup_table,
+)
+from .report import (
+    format_ipc_sweep,
+    format_key_value_table,
+    format_latency_table,
+    format_per_benchmark,
+    format_source_distribution,
+    format_speedups,
+)
+from .tables import table1, table2, table3
+
+__all__ = [
+    "DEFAULT_SWEEP_SIZES",
+    "ablation_series",
+    "budget_equivalent_size",
+    "crossover_size",
+    "figure1_series",
+    "figure2_series",
+    "figure4_series",
+    "figure5_series",
+    "figure6_series",
+    "figure7_series",
+    "figure8_series",
+    "format_ipc_sweep",
+    "format_key_value_table",
+    "format_latency_table",
+    "format_per_benchmark",
+    "format_source_distribution",
+    "format_speedups",
+    "harmonic_mean",
+    "headline_speedups",
+    "speedup",
+    "speedup_table",
+    "table1",
+    "table2",
+    "table3",
+]

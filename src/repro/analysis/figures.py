@@ -1,0 +1,282 @@
+"""Data-series builders for every figure in the paper's evaluation.
+
+Each ``figureN_series`` function runs the required simulations and returns
+plain dictionaries (no plotting dependencies) shaped like the corresponding
+figure:
+
+* Figures 1, 2(b), 4(b), 5(a), 5(b): ``{scheme: {l1_size: hmean_ipc}}``
+* Figure 6: ``{benchmark: {scheme: ipc}}``
+* Figures 7(a), 7(b): ``{scheme: {l1_size: {source: fraction}}}``
+* Figure 8: ``{scheme: {l1_size: {source: fraction}}}``
+
+The benchmark harness prints these series (see ``benchmarks/``), the
+examples reuse them, and EXPERIMENTS.md records representative outputs.
+All functions accept ``benchmarks`` / ``l1_sizes`` / ``max_instructions``
+overrides so the pure-Python simulation cost can be tuned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..memory.latency import L1_SIZES_BYTES
+from ..simulator.presets import (
+    FIGURE1_SCHEMES,
+    FIGURE5_SCHEMES,
+    FIGURE6_SCHEMES,
+    paper_config,
+)
+from ..simulator.runner import run_benchmarks, run_single
+from ..simulator.stats import (
+    aggregate_fetch_sources,
+    aggregate_prefetch_sources,
+    harmonic_mean_ipc,
+)
+from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES
+
+#: Default (reduced) L1 size sweep used when the caller does not override
+#: it; the paper sweeps nine sizes from 256 B to 64 KB.
+DEFAULT_SWEEP_SIZES: Sequence[int] = (256, 1024, 4096, 16384, 65536)
+
+
+def _scheme_sweep(
+    schemes: Sequence[str],
+    technology: object,
+    l1_sizes: Sequence[int],
+    benchmarks: Sequence[str],
+    max_instructions: int,
+    **config_overrides,
+) -> Dict[str, Dict[int, float]]:
+    """Harmonic-mean IPC for each scheme at each L1 size."""
+    series: Dict[str, Dict[int, float]] = {scheme: {} for scheme in schemes}
+    for scheme in schemes:
+        for size in l1_sizes:
+            config = paper_config(
+                scheme,
+                l1_size_bytes=size,
+                technology=technology,
+                max_instructions=max_instructions,
+                **config_overrides,
+            )
+            results = run_benchmarks(config, benchmarks, max_instructions)
+            series[scheme][size] = harmonic_mean_ipc(results)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 1: effect of the L1 I-cache latency (no prefetching)
+# ----------------------------------------------------------------------
+def figure1_series(
+    technology: object = "0.045um",
+    l1_sizes: Optional[Sequence[int]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 20_000,
+) -> Dict[str, Dict[int, float]]:
+    return _scheme_sweep(
+        FIGURE1_SCHEMES,
+        technology,
+        list(l1_sizes or DEFAULT_SWEEP_SIZES),
+        list(benchmarks or DEFAULT_MIX),
+        max_instructions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2(b): FDP with and without an L0 cache
+# ----------------------------------------------------------------------
+def figure2_series(
+    technology: object = "0.045um",
+    l1_sizes: Optional[Sequence[int]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 20_000,
+) -> Dict[str, Dict[int, float]]:
+    return _scheme_sweep(
+        ("FDP", "FDP+L0"),
+        technology,
+        list(l1_sizes or DEFAULT_SWEEP_SIZES),
+        list(benchmarks or DEFAULT_MIX),
+        max_instructions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4(b): CLGP with and without an L0 cache
+# ----------------------------------------------------------------------
+def figure4_series(
+    technology: object = "0.045um",
+    l1_sizes: Optional[Sequence[int]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 20_000,
+) -> Dict[str, Dict[int, float]]:
+    return _scheme_sweep(
+        ("CLGP", "CLGP+L0"),
+        technology,
+        list(l1_sizes or DEFAULT_SWEEP_SIZES),
+        list(benchmarks or DEFAULT_MIX),
+        max_instructions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: the six main configurations at both technology nodes
+# ----------------------------------------------------------------------
+def figure5_series(
+    technology: object = "0.045um",
+    l1_sizes: Optional[Sequence[int]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 20_000,
+) -> Dict[str, Dict[int, float]]:
+    return _scheme_sweep(
+        FIGURE5_SCHEMES,
+        technology,
+        list(l1_sizes or DEFAULT_SWEEP_SIZES),
+        list(benchmarks or DEFAULT_MIX),
+        max_instructions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: per-benchmark IPC for the best configurations (8KB, 0.045um)
+# ----------------------------------------------------------------------
+def figure6_series(
+    technology: object = "0.045um",
+    l1_size_bytes: int = 8192,
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 20_000,
+) -> Dict[str, Dict[str, float]]:
+    names = list(benchmarks or SPECINT2000_NAMES)
+    out: Dict[str, Dict[str, float]] = {name: {} for name in names}
+    hmean: Dict[str, float] = {}
+    for scheme in FIGURE6_SCHEMES:
+        config = paper_config(
+            scheme,
+            l1_size_bytes=l1_size_bytes,
+            technology=technology,
+            max_instructions=max_instructions,
+        )
+        results = run_benchmarks(config, names, max_instructions)
+        for result in results:
+            out[result.workload][scheme] = result.ipc
+        hmean[scheme] = harmonic_mean_ipc(results)
+    out["HMEAN"] = hmean
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 7: fetch-source distribution (FDP vs CLGP, with/without L0)
+# ----------------------------------------------------------------------
+def figure7_series(
+    with_l0: bool,
+    technology: object = "0.045um",
+    l1_sizes: Optional[Sequence[int]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 20_000,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    schemes = ("FDP+L0", "CLGP+L0") if with_l0 else ("FDP", "CLGP")
+    sizes = list(l1_sizes or DEFAULT_SWEEP_SIZES)
+    names = list(benchmarks or DEFAULT_MIX)
+    out: Dict[str, Dict[int, Dict[str, float]]] = {s: {} for s in schemes}
+    for scheme in schemes:
+        for size in sizes:
+            config = paper_config(
+                scheme, l1_size_bytes=size, technology=technology,
+                max_instructions=max_instructions,
+            )
+            results = run_benchmarks(config, names, max_instructions)
+            out[scheme][size] = aggregate_fetch_sources(results)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 8: prefetch-source distribution (FDP vs CLGP)
+# ----------------------------------------------------------------------
+def figure8_series(
+    technology: object = "0.045um",
+    l1_sizes: Optional[Sequence[int]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 20_000,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    schemes = ("FDP", "CLGP")
+    sizes = list(l1_sizes or DEFAULT_SWEEP_SIZES)
+    names = list(benchmarks or DEFAULT_MIX)
+    out: Dict[str, Dict[int, Dict[str, float]]] = {s: {} for s in schemes}
+    for scheme in schemes:
+        for size in sizes:
+            config = paper_config(
+                scheme, l1_size_bytes=size, technology=technology,
+                max_instructions=max_instructions,
+            )
+            results = run_benchmarks(config, names, max_instructions)
+            out[scheme][size] = aggregate_prefetch_sources(results)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Headline speedups (Section 5.1)
+# ----------------------------------------------------------------------
+def headline_speedups(
+    l1_size_bytes: int = 4096,
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 20_000,
+) -> Dict[str, Dict[str, float]]:
+    """CLGP-vs-FDP and CLGP-vs-pipelined-baseline speedups at both nodes.
+
+    Returns ``{tech_name: {"clgp_over_fdp": x, "clgp_over_base_pipelined": y,
+    "ipc": {scheme: ipc}}}``.
+    """
+    names = list(benchmarks or DEFAULT_MIX)
+    out: Dict[str, Dict[str, float]] = {}
+    for technology in ("0.09um", "0.045um"):
+        ipc: Dict[str, float] = {}
+        for scheme in ("CLGP+L0+PB16", "FDP+L0+PB16", "base-pipelined"):
+            config = paper_config(
+                scheme, l1_size_bytes=l1_size_bytes, technology=technology,
+                max_instructions=max_instructions,
+            )
+            ipc[scheme] = harmonic_mean_ipc(
+                run_benchmarks(config, names, max_instructions)
+            )
+        out[technology] = {
+            "clgp_over_fdp": ipc["CLGP+L0+PB16"] / ipc["FDP+L0+PB16"] - 1.0
+            if ipc["FDP+L0+PB16"] else 0.0,
+            "clgp_over_base_pipelined": ipc["CLGP+L0+PB16"] / ipc["base-pipelined"] - 1.0
+            if ipc["base-pipelined"] else 0.0,
+            "ipc": ipc,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# CLGP design-choice ablations (DESIGN.md section 5)
+# ----------------------------------------------------------------------
+def ablation_series(
+    technology: object = "0.045um",
+    l1_size_bytes: int = 4096,
+    benchmarks: Optional[Sequence[str]] = None,
+    max_instructions: int = 20_000,
+) -> Dict[str, float]:
+    """Harmonic-mean IPC of CLGP+L0 with individual design choices reverted."""
+    names = list(benchmarks or DEFAULT_MIX)
+    variants = {
+        "CLGP+L0 (full)": {},
+        "CLGP+L0 free-on-use": {"clgp_free_on_use": True},
+        "CLGP+L0 copy-to-cache": {"clgp_copy_to_cache": True},
+        "CLGP+L0 with filtering": {"clgp_use_filtering": True},
+        "FDP+L0 (reference)": None,
+    }
+    out: Dict[str, float] = {}
+    for label, overrides in variants.items():
+        if overrides is None:
+            config = paper_config(
+                "FDP+L0", l1_size_bytes=l1_size_bytes, technology=technology,
+                max_instructions=max_instructions,
+            )
+        else:
+            config = paper_config(
+                "CLGP+L0", l1_size_bytes=l1_size_bytes, technology=technology,
+                max_instructions=max_instructions, **overrides,
+            )
+        out[label] = harmonic_mean_ipc(
+            run_benchmarks(config, names, max_instructions)
+        )
+    return out

@@ -1,0 +1,54 @@
+"""Metrics helpers: speedups, harmonic means, budget comparisons."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..simulator.stats import SimulationResult, harmonic_mean, speedup
+
+__all__ = [
+    "harmonic_mean",
+    "speedup",
+    "speedup_table",
+    "crossover_size",
+    "budget_equivalent_size",
+]
+
+
+def speedup_table(
+    ipc_by_label: Mapping[str, float], baseline_label: str
+) -> Dict[str, float]:
+    """Speedup of every configuration over ``baseline_label``."""
+    if baseline_label not in ipc_by_label:
+        raise KeyError(f"baseline {baseline_label!r} missing from results")
+    base = ipc_by_label[baseline_label]
+    return {label: speedup(ipc, base) for label, ipc in ipc_by_label.items()}
+
+
+def crossover_size(
+    series_a: Mapping[int, float], series_b: Mapping[int, float]
+) -> Optional[int]:
+    """Smallest size at which series A reaches (or exceeds) series B.
+
+    Both series map cache size -> IPC.  Returns ``None`` when A never
+    reaches B on the common sizes.
+    """
+    common = sorted(set(series_a) & set(series_b))
+    for size in common:
+        if series_a[size] >= series_b[size]:
+            return size
+    return None
+
+
+def budget_equivalent_size(
+    target_ipc: float, series: Mapping[int, float]
+) -> Optional[int]:
+    """Smallest cache size in ``series`` whose IPC reaches ``target_ipc``.
+
+    Used for the paper's "2.5 KB of CLGP budget matches a 16 KB pipelined
+    cache" style statements.  Returns ``None`` if no size reaches it.
+    """
+    for size in sorted(series):
+        if series[size] >= target_ipc:
+            return size
+    return None

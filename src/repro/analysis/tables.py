@@ -1,0 +1,50 @@
+"""Data for the paper's tables (1, 2 and 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..memory.latency import L1_SIZES_BYTES, L2_SIZE_BYTES, table3_rows
+from ..simulator.config import SimulationConfig
+from ..technology import table1_rows
+
+__all__ = ["table1", "table2", "table3", "L1_SIZES_BYTES", "L2_SIZE_BYTES"]
+
+
+def table1() -> List[Dict[str, float]]:
+    """Paper Table 1: SIA technology roadmap."""
+    return table1_rows()
+
+
+def table2(config: Optional[SimulationConfig] = None) -> Dict[str, str]:
+    """Paper Table 2: baseline simulation parameters, derived from the
+    default :class:`SimulationConfig` so documentation cannot drift from
+    the implementation."""
+    cfg = config or SimulationConfig()
+    return {
+        "Fetch/Issue/Commit": f"{cfg.fetch_width} instructions",
+        "RUU Size": f"{cfg.ruu_size} instructions",
+        "Branch Predictor": (
+            f"{cfg.stream_predictor_base_entries // 1024}K+"
+            f"{cfg.stream_predictor_history_entries // 1024}K-entry stream pred., "
+            "1 cycle lat."
+        ),
+        "RAS": f"{cfg.ras_entries}-entry",
+        "Pipeline depth": f"{cfg.pipeline_depth} stages",
+        "L1 I-Cache": (
+            f"{cfg.l1_associativity}-way asc., 1 port, {cfg.line_size}B/line"
+        ),
+        "L1 D-Cache": "32KB, 2-way, 1-cyc lat, 2 ports, 64B/line (probabilistic model)",
+        "L2 Cache": (
+            f"{cfg.l2_size_bytes // (1 << 20)}MB, {cfg.l2_associativity}-way asc., "
+            f"1 port, {cfg.l2_line_size}B/line"
+        ),
+        "Mem. lat.": f"{cfg.memory_latency} cycles",
+        "L2 bus BW": "64B/cycle",
+        "Pre. Buffer / L0 cache": f"{cfg.line_size}B/line",
+    }
+
+
+def table3() -> Dict[str, Dict[int, int]]:
+    """Paper Table 3: cache latencies per size and technology."""
+    return table3_rows()

@@ -1,0 +1,11 @@
+"""Simplified out-of-order back-end model (RUU, commit, data-side traffic)."""
+
+from .dcache import DataCacheModel, DataCacheStats
+from .pipeline import BackendPipeline, BackendStats
+
+__all__ = [
+    "BackendPipeline",
+    "BackendStats",
+    "DataCacheModel",
+    "DataCacheStats",
+]

@@ -1,0 +1,176 @@
+"""Simplified out-of-order back-end (dispatch / RUU / commit) model.
+
+The paper's processor is a 4-wide, 15-stage out-of-order core with a
+64-entry register update unit (RUU).  A full data-flow OoO model is not
+needed for an instruction-fetch study; what must be captured is
+
+* instructions can only commit after they have been fetched (so the
+  back-end starves when the front-end is slow -- the effect under study),
+* commit is in-order and bounded by the commit width,
+* a finite RUU back-pressures the front-end,
+* long-latency loads delay commit (moderated by a memory-level-parallelism
+  factor) and compete for the L2 bus with top priority,
+* a mispredicted branch redirects the front-end only when it *resolves*,
+  a configurable number of cycles after dispatch (deep pipelines make this
+  worse -- the pipelined-cache trade-off in the paper),
+* wrong-path instructions occupy RUU entries until the flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .dcache import DataCacheModel
+from ..frontend.fetch_block import FetchedInstruction
+from ..workloads.bbdict import BasicBlockDictionary
+from ..workloads.isa import InstrClass
+
+
+@dataclass
+class BackendStats:
+    committed_instructions: int = 0
+    dispatched_instructions: int = 0
+    wrong_path_dispatched: int = 0
+    squashed_instructions: int = 0
+    redirects: int = 0
+    commit_stall_cycles: int = 0   #: cycles with nothing eligible to commit
+    ruu_full_stalls: int = 0       #: dispatch attempts rejected for space
+
+
+@dataclass
+class _RuuEntry:
+    seq: int
+    cls: InstrClass
+    wrong_path: bool
+    completion_cycle: Optional[int]   #: None until the latency is known
+    triggers_redirect: bool = False
+
+
+class BackendPipeline:
+    """In-order-commit window model fed by the fetch stage."""
+
+    def __init__(
+        self,
+        dcache: DataCacheModel,
+        bbdict: BasicBlockDictionary,
+        commit_width: int = 4,
+        ruu_size: int = 64,
+        branch_resolution_latency: int = 8,
+        on_redirect: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.dcache = dcache
+        self.bbdict = bbdict
+        self.commit_width = commit_width
+        self.ruu_size = ruu_size
+        self.branch_resolution_latency = branch_resolution_latency
+        self.on_redirect = on_redirect
+        self.stats = BackendStats()
+
+        self._ruu: List[_RuuEntry] = []
+        self._seq = 0
+        self._pending_redirect_cycle: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # dispatch (called by the fetch stage when instructions are delivered)
+    # ------------------------------------------------------------------
+    def free_slots(self) -> int:
+        return self.ruu_size - len(self._ruu)
+
+    def has_space(self, n: int = 1) -> bool:
+        return self.free_slots() >= n
+
+    def dispatch(self, instr: FetchedInstruction, cycle: int) -> bool:
+        """Insert one fetched instruction into the RUU.
+
+        Returns False (and dispatches nothing) when the RUU is full.
+        """
+        if not self.has_space():
+            self.stats.ruu_full_stalls += 1
+            return False
+        self._seq += 1
+        entry = _RuuEntry(
+            seq=self._seq,
+            cls=instr.cls,
+            wrong_path=instr.wrong_path,
+            completion_cycle=None,
+            triggers_redirect=instr.triggers_redirect,
+        )
+        self.stats.dispatched_instructions += 1
+        if instr.wrong_path:
+            self.stats.wrong_path_dispatched += 1
+
+        if instr.cls is InstrClass.LOAD and not instr.wrong_path:
+            block = self.bbdict.cfg.block_containing(instr.addr)
+            miss_prob = (
+                block.load_miss_probability if block is not None else 0.0
+            )
+            l2_miss_prob = self._l2_data_miss_rate
+
+            def _complete(done_cycle: int, entry=entry) -> None:
+                entry.completion_cycle = done_cycle
+
+            self.dcache.access(cycle, miss_prob, l2_miss_prob, _complete)
+        else:
+            entry.completion_cycle = cycle + 1
+
+        if instr.triggers_redirect:
+            # The redirect fires when the branch resolves in the back-end.
+            self._pending_redirect_cycle = cycle + self.branch_resolution_latency
+
+        self._ruu.append(entry)
+        return True
+
+    #: Probability that an L1-D miss also misses in L2 (workload-specific;
+    #: the simulator overwrites it from the workload profile).
+    _l2_data_miss_rate = 0.10
+
+    def set_l2_data_miss_rate(self, rate: float) -> None:
+        """Set the probability that an L1-D miss also misses in L2."""
+        self._l2_data_miss_rate = rate
+
+    # ------------------------------------------------------------------
+    # per-cycle operation
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> int:
+        """Resolve redirects and commit instructions.  Returns the number of
+        instructions committed this cycle."""
+        self._maybe_redirect(cycle)
+        committed = 0
+        while committed < self.commit_width and self._ruu:
+            head = self._ruu[0]
+            if head.wrong_path:
+                break  # wait for the flush triggered by the resolving branch
+            if head.completion_cycle is None or head.completion_cycle > cycle:
+                break
+            self._ruu.pop(0)
+            committed += 1
+        if committed == 0:
+            self.stats.commit_stall_cycles += 1
+        self.stats.committed_instructions += committed
+        return committed
+
+    def _maybe_redirect(self, cycle: int) -> None:
+        if (
+            self._pending_redirect_cycle is None
+            or cycle < self._pending_redirect_cycle
+        ):
+            return
+        self._pending_redirect_cycle = None
+        # Squash everything younger than the mispredicted branch.  By
+        # construction every younger instruction is wrong-path.
+        before = len(self._ruu)
+        self._ruu = [e for e in self._ruu if not e.wrong_path]
+        self.stats.squashed_instructions += before - len(self._ruu)
+        self.stats.redirects += 1
+        if self.on_redirect is not None:
+            self.on_redirect(cycle)
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._ruu)
+
+    @property
+    def redirect_pending(self) -> bool:
+        return self._pending_redirect_cycle is not None

@@ -1,0 +1,166 @@
+"""Command-line interface (``repro-clgp``).
+
+Subcommands:
+
+* ``run``      -- simulate one configuration on one or more benchmarks,
+* ``figure``   -- regenerate the data of a paper figure (1, 2, 4, 5, 6, 7, 8),
+* ``tables``   -- print Tables 1, 2 and 3,
+* ``speedups`` -- print the headline CLGP-vs-FDP / CLGP-vs-baseline speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    figure1_series,
+    figure2_series,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+    format_ipc_sweep,
+    format_key_value_table,
+    format_latency_table,
+    format_per_benchmark,
+    format_source_distribution,
+    format_speedups,
+    headline_speedups,
+    table1,
+    table2,
+    table3,
+)
+from .simulator import paper_config, run_benchmarks, harmonic_mean_ipc
+from .simulator.presets import SCHEMES
+from .workloads import DEFAULT_MIX, SPECINT2000_NAMES
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--technology", default="0.045um",
+                        help="technology node (0.09um or 0.045um)")
+    parser.add_argument("--l1-size", type=int, default=4096,
+                        help="L1 I-cache size in bytes")
+    parser.add_argument("--instructions", type=int, default=20000,
+                        help="correct-path instructions to simulate per run")
+    parser.add_argument("--benchmarks", default=",".join(DEFAULT_MIX),
+                        help="comma-separated benchmark names, or 'all'")
+
+
+def _benchmarks(arg: str) -> List[str]:
+    if arg.strip().lower() == "all":
+        return list(SPECINT2000_NAMES)
+    return [b.strip() for b in arg.split(",") if b.strip()]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = paper_config(
+        args.scheme, l1_size_bytes=args.l1_size, technology=args.technology,
+        max_instructions=args.instructions,
+    )
+    names = _benchmarks(args.benchmarks)
+    results = run_benchmarks(config, names, args.instructions)
+    for result in results:
+        print(result.summary())
+    print(f"{'HMEAN IPC':>18s} : {harmonic_mean_ipc(results):.3f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    names = _benchmarks(args.benchmarks)
+    kwargs = dict(
+        technology=args.technology,
+        benchmarks=names,
+        max_instructions=args.instructions,
+    )
+    fig = args.number
+    if fig == "1":
+        print(format_ipc_sweep(figure1_series(**kwargs), "Figure 1: IPC vs L1 size"))
+    elif fig == "2":
+        print(format_ipc_sweep(figure2_series(**kwargs), "Figure 2(b): FDP vs FDP+L0"))
+    elif fig == "4":
+        print(format_ipc_sweep(figure4_series(**kwargs), "Figure 4(b): CLGP vs CLGP+L0"))
+    elif fig == "5":
+        print(format_ipc_sweep(figure5_series(**kwargs), "Figure 5: main comparison"))
+    elif fig == "6":
+        series = figure6_series(
+            technology=args.technology, l1_size_bytes=args.l1_size,
+            benchmarks=names if args.benchmarks != ",".join(DEFAULT_MIX) else None,
+            max_instructions=args.instructions,
+        )
+        print(format_per_benchmark(series, "Figure 6: per-benchmark IPC"))
+    elif fig == "7":
+        for with_l0 in (False, True):
+            series = figure7_series(with_l0=with_l0, **kwargs)
+            label = "with L0" if with_l0 else "without L0"
+            print(format_source_distribution(
+                series, f"Figure 7: fetch source distribution ({label})"
+            ))
+    elif fig == "8":
+        print(format_source_distribution(
+            figure8_series(**kwargs), "Figure 8: prefetch source distribution"
+        ))
+    else:
+        print(f"unknown figure {fig!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    rows1 = {f"{r['year']}": f"{r['technology_um']}um, {r['clock_ghz']}GHz, "
+             f"{r['cycle_time_ns']}ns" for r in table1()}
+    print(format_key_value_table(rows1, "Table 1: SIA technology roadmap"))
+    print()
+    print(format_key_value_table(table2(), "Table 2: simulation parameters"))
+    print()
+    print(format_latency_table(table3(), "Table 3: cache access latencies (cycles)"))
+    return 0
+
+
+def _cmd_speedups(args: argparse.Namespace) -> int:
+    names = _benchmarks(args.benchmarks)
+    data = headline_speedups(
+        l1_size_bytes=args.l1_size, benchmarks=names,
+        max_instructions=args.instructions,
+    )
+    print(format_speedups(data))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-clgp",
+        description="Cache Line Guided Prestaging reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one configuration")
+    p_run.add_argument("scheme", choices=SCHEMES)
+    _add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure's data")
+    p_fig.add_argument("number", choices=["1", "2", "4", "5", "6", "7", "8"])
+    _add_common(p_fig)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_tab = sub.add_parser("tables", help="print Tables 1-3")
+    p_tab.set_defaults(func=_cmd_tables)
+
+    p_speed = sub.add_parser("speedups", help="print the headline speedups")
+    _add_common(p_speed)
+    p_speed.set_defaults(func=_cmd_speedups)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

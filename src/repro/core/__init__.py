@@ -1,0 +1,31 @@
+"""Core contribution: fetch engines (baseline, FDP, CLGP) and their parts."""
+
+from .baseline import BaselineEngine
+from .classic_prefetchers import NextNLineEngine, TargetLineEngine
+from .clgp import CLGPEngine
+from .cltq import CacheLineTargetQueue
+from .engine import FetchEngine, FetchEngineConfig, FetchStats
+from .fdp import FDPEngine
+from .filtering import EnqueueCacheProbeFilter, NullFilter, make_filter
+from .ftq import FetchTargetQueue
+from .prefetch_buffer import PreBufferEntry, PrefetchBuffer
+from .prestage_buffer import PrestageBuffer
+
+__all__ = [
+    "BaselineEngine",
+    "CacheLineTargetQueue",
+    "CLGPEngine",
+    "EnqueueCacheProbeFilter",
+    "FDPEngine",
+    "FetchEngine",
+    "FetchEngineConfig",
+    "FetchStats",
+    "FetchTargetQueue",
+    "NextNLineEngine",
+    "NullFilter",
+    "PreBufferEntry",
+    "PrefetchBuffer",
+    "PrestageBuffer",
+    "TargetLineEngine",
+    "make_filter",
+]

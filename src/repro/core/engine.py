@@ -1,0 +1,410 @@
+"""Fetch-engine base class: the fetch stage shared by every configuration.
+
+A fetch engine owns
+
+* the decoupling queue (FTQ at fetch-block granularity, or CLTQ at
+  cache-line granularity),
+* the pre-buffer (prefetch buffer for FDP, prestage buffer for CLGP,
+  nothing for the baselines),
+* the fetch stage proper: for each queued cache line it probes, *in
+  parallel*, the pre-buffer, the L0 cache (when present) and the L1
+  I-cache, picks whichever source can return the line first, and delivers
+  up to ``fetch_width`` instructions per cycle to the back-end.  Lines
+  absent everywhere become demand requests to L2/memory over the shared
+  bus.
+
+Subclasses plug in the queue type, the prefetch algorithm
+(:meth:`prefetch_tick`), what happens when a line is consumed
+(:meth:`_on_line_consumed` -- e.g. FDP promotes pre-buffer lines into the
+cache, CLGP decrements the consumers counter), where demand misses fill
+(:meth:`_on_demand_fill`), and what a branch-misprediction flush does
+(:meth:`flush`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..frontend.fetch_block import (
+    FetchBlock,
+    FetchLineRequest,
+    FetchedInstruction,
+)
+from ..memory.hierarchy import (
+    SOURCE_L0,
+    SOURCE_L1,
+    SOURCE_MEMORY,
+    SOURCE_PREBUFFER,
+    SOURCE_L2,
+    FETCH_SOURCES,
+    MemoryHierarchy,
+)
+from ..workloads.bbdict import BasicBlockDictionary
+from .prefetch_buffer import PreBufferEntry
+
+#: Tie-break order when several sources could return the line in the same
+#: cycle: prefer the cheapest/closest structure.
+_SOURCE_ORDER = {
+    SOURCE_PREBUFFER: 0,
+    SOURCE_L0: 1,
+    SOURCE_L1: 2,
+    SOURCE_L2: 3,
+    SOURCE_MEMORY: 4,
+}
+
+
+@dataclass
+class FetchEngineConfig:
+    """Structural knobs of the front-end (engine-agnostic subset).
+
+    Attributes largely mirror the paper's Table 2 plus the per-technology
+    pre-buffer sizing of Section 5.
+    """
+
+    fetch_width: int = 4                 #: instructions delivered per cycle
+    queue_capacity_blocks: int = 8       #: FTQ/CLTQ capacity in fetch blocks
+    fetch_lookahead: int = 2             #: outstanding line accesses
+    prebuffer_entries: int = 4           #: pre-buffer entries (lines)
+    prebuffer_latency: int = 1           #: pre-buffer access latency (cycles)
+    prebuffer_pipelined: bool = False    #: pipelined pre-buffer (PB:16 configs)
+    prefetches_per_cycle: int = 1        #: new prefetches issued per cycle
+    prefetch_probe_l1: bool = True       #: prefetches may be served by L1
+    #: FDP: prefetch filtering policy ('enqueue-cache-probe' or 'none')
+    prefetch_filter: str = "enqueue-cache-probe"
+    piq_entries: int = 16                #: FDP prefetch-instruction-queue size
+    #: CLGP: CLTQ entries examined per cycle by the prestaging algorithm
+    clgp_scan_per_cycle: int = 4
+    # --- ablation switches (CLGP design choices, see DESIGN.md section 5) ---
+    clgp_free_on_use: bool = False       #: replace prestage entries on first use
+    clgp_copy_to_cache: bool = False     #: copy consumed lines into the cache
+    clgp_use_filtering: bool = False     #: apply enqueue filtering to CLGP
+
+
+@dataclass
+class FetchStats:
+    """Counters kept by the fetch engine."""
+
+    lines_fetched: int = 0
+    instructions_delivered: int = 0
+    wrong_path_instructions: int = 0
+    fetch_source_lines: Dict[str, int] = field(
+        default_factory=lambda: {s: 0 for s in FETCH_SOURCES}
+    )
+    fetch_source_instructions: Dict[str, int] = field(
+        default_factory=lambda: {s: 0 for s in FETCH_SOURCES}
+    )
+    prefetch_source: Dict[str, int] = field(
+        default_factory=lambda: {s: 0 for s in FETCH_SOURCES}
+    )
+    prefetches_issued: int = 0
+    prefetches_completed: int = 0
+    prefetch_buffer_stalls: int = 0      #: prefetches delayed: no free entry
+    flushes: int = 0
+    #: Cycles in which the fetch stage delivered nothing, keyed by cause:
+    #: 'empty' (no pending line request), 'PB-wait' (waiting for an
+    #: in-flight prefetch), 'backend-full' (RUU back-pressure) or the
+    #: source whose access latency the stage was waiting out.
+    stall_cycles: Dict[str, int] = field(default_factory=dict)
+
+    def record_stall(self, cause: str) -> None:
+        self.stall_cycles[cause] = self.stall_cycles.get(cause, 0) + 1
+
+    def fetch_source_fractions(self, per_instruction: bool = True) -> Dict[str, float]:
+        counts = (
+            self.fetch_source_instructions if per_instruction
+            else self.fetch_source_lines
+        )
+        total = sum(counts.values())
+        if not total:
+            return {s: 0.0 for s in counts}
+        return {s: c / total for s, c in counts.items()}
+
+    def prefetch_source_fractions(self) -> Dict[str, float]:
+        total = sum(self.prefetch_source.values())
+        if not total:
+            return {s: 0.0 for s in self.prefetch_source}
+        return {s: c / total for s, c in self.prefetch_source.items()}
+
+
+@dataclass
+class _InflightLine:
+    """A line access in progress in the fetch stage."""
+
+    request: FetchLineRequest
+    ready_cycle: Optional[int] = None
+    source: Optional[str] = None
+    pb_entry: Optional[PreBufferEntry] = None
+    waiting_on_prebuffer: bool = False
+    delivered: int = 0
+
+
+class FetchEngine:
+    """Base class for all fetch engines (baseline, FDP, CLGP)."""
+
+    #: Human-readable configuration name, set by subclasses.
+    name = "base"
+    #: Whether the engine owns a pre-buffer (used by reports).
+    has_prebuffer = False
+
+    def __init__(
+        self,
+        config: FetchEngineConfig,
+        hierarchy: MemoryHierarchy,
+        bbdict: BasicBlockDictionary,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.bbdict = bbdict
+        self.stats = FetchStats()
+        self._inflight: List[_InflightLine] = []
+
+    # ==================================================================
+    # interface towards the prediction unit (queue management)
+    # ==================================================================
+    def can_accept_block(self) -> bool:
+        raise NotImplementedError
+
+    def enqueue_block(self, block: FetchBlock, cycle: int) -> None:
+        raise NotImplementedError
+
+    def _pop_next_line(self) -> Optional[FetchLineRequest]:
+        """Next cache-line request from the decoupling queue."""
+        raise NotImplementedError
+
+    def _peek_next_line(self) -> Optional[FetchLineRequest]:
+        """Next cache-line request without consuming it."""
+        raise NotImplementedError
+
+    # ==================================================================
+    # engine-specific hooks
+    # ==================================================================
+    def _prebuffer_entry(self, line_addr: int) -> Optional[PreBufferEntry]:
+        """Entry of the pre-buffer holding ``line_addr`` (None: no buffer)."""
+        return None
+
+    def _on_line_consumed(
+        self, request: FetchLineRequest, source: str,
+        entry: Optional[PreBufferEntry], cycle: int,
+    ) -> None:
+        """Called when the last instruction of a line has been delivered."""
+
+    def _on_demand_fill(self, line_addr: int, source: str, cycle: int) -> None:
+        """Called when a demand miss returns from L2/memory.  The default
+        fills the L1 I-cache (conventional behaviour)."""
+        self.hierarchy.fill_l1(line_addr)
+
+    def prefetch_tick(self, cycle: int) -> None:
+        """Issue prefetches for this cycle (no-op for the baselines)."""
+
+    def flush(self, cycle: int) -> None:
+        """Branch misprediction: discard queued fetch requests.
+
+        Subclasses extend this (e.g. CLGP resets consumers counters).  The
+        in-flight line accesses of the fetch stage are abandoned because
+        they belong to the wrong path.
+        """
+        self.stats.flushes += 1
+        self._inflight.clear()
+
+    # ==================================================================
+    # the fetch stage
+    # ==================================================================
+    def fetch_tick(self, cycle: int, backend) -> int:
+        """Run the fetch stage for one cycle.
+
+        Returns the number of instructions delivered to the back-end.
+        """
+        # 1. keep the line-access pipeline full (models fetch run-ahead /
+        #    pipelined cache accesses).  A line that is nowhere on the fast
+        #    path (a demand miss that must go to L2/memory) is only started
+        #    once it reaches the head: the fetch unit has a single
+        #    outstanding demand miss, so only the prefetcher can overlap
+        #    long-latency instruction fetches.
+        while len(self._inflight) < self.config.fetch_lookahead:
+            upcoming = self._peek_next_line()
+            if upcoming is None:
+                break
+            if self._inflight and not self._line_on_fast_path(upcoming.line_addr):
+                break
+            request = self._pop_next_line()
+            self._inflight.append(self._start_line_access(request, cycle))
+
+        if not self._inflight:
+            self.stats.record_stall("empty")
+            return 0
+
+        # 2. resolve "waiting on an in-flight prefetch" heads.
+        head = self._inflight[0]
+        if head.ready_cycle is None and head.waiting_on_prebuffer:
+            self._poll_prebuffer_wait(head, cycle)
+
+        # 3. deliver instructions from the head line.
+        if head.ready_cycle is None or cycle < head.ready_cycle:
+            if head.waiting_on_prebuffer or (
+                head.ready_cycle is None and head.pb_entry is not None
+            ):
+                self.stats.record_stall("PB-wait")
+            else:
+                self.stats.record_stall(head.source or "demand")
+            return 0
+        delivered = self._deliver(head, cycle, backend)
+        if delivered == 0:
+            self.stats.record_stall("backend-full")
+        return delivered
+
+    def _line_on_fast_path(self, line_addr: int) -> bool:
+        """True when the line can be obtained without a demand request to
+        L2/memory: present (or in flight) in the pre-buffer, in the L0, or
+        in the L1."""
+        if self._prebuffer_entry(line_addr) is not None:
+            return True
+        hierarchy = self.hierarchy
+        if hierarchy.l0 is not None and hierarchy.l0.contains(line_addr):
+            return True
+        return hierarchy.l1.contains(line_addr)
+
+    # ------------------------------------------------------------------
+    def _start_line_access(self, request: FetchLineRequest, cycle: int) -> _InflightLine:
+        line = request.line_addr
+        infl = _InflightLine(request=request)
+        hierarchy = self.hierarchy
+
+        candidates = []
+        pb_entry = self._prebuffer_entry(line)
+        if pb_entry is not None and pb_entry.valid:
+            start = max(cycle, pb_entry.ready_cycle or cycle)
+            completion = self._prebuffer_port_completion(start)
+            candidates.append((completion, SOURCE_PREBUFFER))
+        if hierarchy.l0 is not None and hierarchy.l0.contains(line):
+            candidates.append(
+                (hierarchy.l0_port.completion_if_issued(cycle), SOURCE_L0)
+            )
+        if hierarchy.l1.contains(line):
+            candidates.append(
+                (hierarchy.l1_port.completion_if_issued(cycle), SOURCE_L1)
+            )
+
+        if candidates:
+            candidates.sort(key=lambda c: (c[0], _SOURCE_ORDER[c[1]]))
+            ready, source = candidates[0]
+            infl.ready_cycle = ready
+            infl.source = source
+            if source == SOURCE_PREBUFFER:
+                infl.pb_entry = pb_entry
+                self._issue_prebuffer_port(max(cycle, pb_entry.ready_cycle or cycle))
+            elif source == SOURCE_L0:
+                hierarchy.l0.lookup(line)
+                hierarchy.l0_port.issue(cycle)
+            else:
+                hierarchy.l1.lookup(line)
+                hierarchy.l1_port.issue(cycle)
+            return infl
+
+        if pb_entry is not None:
+            # The line is being prefetched: wait for it rather than issuing
+            # a duplicate request (this is how prefetching hides partial
+            # latency even when it is not fully timely).
+            infl.pb_entry = pb_entry
+            infl.waiting_on_prebuffer = True
+            return infl
+
+        # Demand miss: nothing on the fast path has the line.
+        hierarchy.l1.lookup(line)  # counts the miss in the L1 statistics
+
+        def _arrived(arrival_cycle: int, source: str,
+                     infl=infl, line=line) -> None:
+            infl.ready_cycle = arrival_cycle
+            infl.source = source
+            self._on_demand_fill(line, source, arrival_cycle)
+
+        hierarchy.demand_instruction_access(line, cycle, _arrived)
+        return infl
+
+    # -- pre-buffer port helpers (subclasses with a buffer override) -------
+    def _prebuffer_port_completion(self, start_cycle: int) -> int:
+        raise NotImplementedError
+
+    def _issue_prebuffer_port(self, start_cycle: int) -> None:
+        raise NotImplementedError
+
+    def _poll_prebuffer_wait(self, infl: _InflightLine, cycle: int) -> None:
+        entry = infl.pb_entry
+        if entry is None:
+            infl.waiting_on_prebuffer = False
+            return
+        if entry.valid:
+            start = max(cycle, entry.ready_cycle or cycle)
+            infl.ready_cycle = self._prebuffer_port_completion(start)
+            self._issue_prebuffer_port(start)
+            infl.source = SOURCE_PREBUFFER
+            infl.waiting_on_prebuffer = False
+            return
+        # The entry may have been replaced while we were waiting (e.g. the
+        # consumers counters were reset by a misprediction and the entry was
+        # reallocated).  Escalate to a demand request so fetch cannot hang.
+        current = self._prebuffer_entry(infl.request.line_addr)
+        if current is not entry:
+            infl.waiting_on_prebuffer = False
+            infl.pb_entry = None
+            line = infl.request.line_addr
+            self.hierarchy.l1.lookup(line)
+
+            def _arrived(arrival_cycle: int, source: str,
+                         infl=infl, line=line) -> None:
+                infl.ready_cycle = arrival_cycle
+                infl.source = source
+                self._on_demand_fill(line, source, arrival_cycle)
+
+            self.hierarchy.demand_instruction_access(line, cycle, _arrived)
+
+    # ------------------------------------------------------------------
+    def _deliver(self, infl: _InflightLine, cycle: int, backend) -> int:
+        request = infl.request
+        block = request.block
+        classes = block.instr_classes(self.bbdict)
+        delivered = 0
+        if infl.delivered == 0:
+            # First delivery cycle of this line: account the line fetch.
+            self.stats.lines_fetched += 1
+            self.stats.fetch_source_lines[infl.source] += 1
+
+        while (
+            delivered < self.config.fetch_width
+            and infl.delivered < request.num_instructions
+        ):
+            if not backend.has_space():
+                break
+            index = request.first_instr_index + infl.delivered
+            wrong_path = block.wrong_path or index >= block.correct_prefix
+            triggers_redirect = (
+                block.mispredicted and index == block.correct_prefix - 1
+            )
+            instr = FetchedInstruction(
+                addr=block.instruction_addr(index),
+                cls=classes[index],
+                wrong_path=wrong_path,
+                triggers_redirect=triggers_redirect,
+                redirect_target=block.redirect_target if triggers_redirect else None,
+                fetch_source=infl.source,
+            )
+            if not backend.dispatch(instr, cycle):
+                break
+            infl.delivered += 1
+            delivered += 1
+            self.stats.instructions_delivered += 1
+            self.stats.fetch_source_instructions[infl.source] += 1
+            if wrong_path:
+                self.stats.wrong_path_instructions += 1
+
+        if infl.delivered >= request.num_instructions:
+            self._on_line_consumed(request, infl.source, infl.pb_entry, cycle)
+            self._inflight.pop(0)
+        return delivered
+
+    # ==================================================================
+    # reporting helpers
+    # ==================================================================
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return self.name

@@ -1,0 +1,153 @@
+"""Fetch entities exchanged between prediction, fetch queues and fetch.
+
+* :class:`FetchBlock` -- what the stream predictor produces: a run of
+  sequential instructions plus bookkeeping about whether (and where) the
+  run diverges from the correct path.  FTQ entries (FDP) are fetch blocks;
+  CLTQ entries (CLGP) are the cache lines of fetch blocks.
+* :class:`FetchLineRequest` -- one cache line's worth of a fetch block, the
+  granularity at which the fetch stage and the prefetchers operate.
+* :class:`FetchedInstruction` -- what the fetch stage delivers to the
+  back-end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..workloads.bbdict import BasicBlockDictionary
+from ..workloads.isa import INSTRUCTION_BYTES, InstrClass, span_lines
+
+_block_ids = itertools.count()
+
+
+@dataclass
+class FetchBlock:
+    """A predicted fetch stream (sequential run of instructions).
+
+    Attributes
+    ----------
+    start:
+        Address of the first instruction.
+    length:
+        Number of sequential instructions predicted.
+    wrong_path:
+        True if the whole block was generated while the front-end was
+        already known to be on a mispredicted path.
+    correct_prefix:
+        Number of leading instructions that lie on the correct path.  For a
+        correctly-predicted block this equals ``length``; for the block
+        containing a misprediction it is the distance to (and including)
+        the mispredicted branch; for wholly wrong-path blocks it is 0.
+    mispredicted:
+        True if this block contains the branch whose resolution will
+        trigger a front-end redirect.
+    redirect_target:
+        Correct-path continuation address after that branch (None when not
+        mispredicted).  Used for assertions and statistics only -- the
+        oracle already sits at this address.
+    """
+
+    start: int
+    length: int
+    wrong_path: bool = False
+    correct_prefix: int = 0
+    mispredicted: bool = False
+    redirect_target: Optional[int] = None
+    block_id: int = field(default_factory=lambda: next(_block_ids))
+    _instr_classes: Optional[Tuple[InstrClass, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("fetch block must contain at least one instruction")
+        if self.wrong_path:
+            self.correct_prefix = 0
+        elif not self.mispredicted and self.correct_prefix == 0:
+            self.correct_prefix = self.length
+        if self.correct_prefix > self.length:
+            raise ValueError("correct_prefix cannot exceed length")
+
+    @property
+    def end_addr(self) -> int:
+        return self.start + self.length * INSTRUCTION_BYTES
+
+    def instruction_addr(self, index: int) -> int:
+        return self.start + index * INSTRUCTION_BYTES
+
+    def lines(self, line_size: int) -> List[int]:
+        """Cache-line addresses covered by this block, in fetch order."""
+        return span_lines(self.start, self.length, line_size)
+
+    def line_requests(self, line_size: int) -> List["FetchLineRequest"]:
+        """Split the block into per-line fetch requests (CLTQ granularity)."""
+        requests: List[FetchLineRequest] = []
+        for line in self.lines(line_size):
+            seg_start = max(self.start, line)
+            seg_end = min(self.end_addr, line + line_size)
+            n = (seg_end - seg_start) // INSTRUCTION_BYTES
+            first_index = (seg_start - self.start) // INSTRUCTION_BYTES
+            requests.append(
+                FetchLineRequest(
+                    line_addr=line,
+                    block=self,
+                    first_instr_index=first_index,
+                    num_instructions=n,
+                )
+            )
+        return requests
+
+    def instr_classes(self, bbdict: BasicBlockDictionary) -> Tuple[InstrClass, ...]:
+        """Instruction classes for the whole block (resolved lazily via the
+        basic-block dictionary and cached on the block)."""
+        if self._instr_classes is None:
+            classes: List[InstrClass] = []
+            addr = self.start
+            while len(classes) < self.length:
+                view = bbdict.view_at(addr)
+                take = min(view.size, self.length - len(classes))
+                classes.extend(view.instr_classes[:take])
+                addr = view.start + take * INSTRUCTION_BYTES
+            self._instr_classes = tuple(classes[: self.length])
+        return self._instr_classes
+
+
+@dataclass
+class FetchLineRequest:
+    """One cache line of a fetch block, as queued in the CLTQ or processed
+    by the fetch stage."""
+
+    line_addr: int
+    block: FetchBlock
+    first_instr_index: int      #: index within the parent block
+    num_instructions: int
+    prefetched: bool = False    #: CLTQ 'prefetched bit'
+    occupied: bool = True       #: CLTQ 'occupied bit'
+
+    @property
+    def start_addr(self) -> int:
+        return self.block.instruction_addr(self.first_instr_index)
+
+    @property
+    def wrong_path(self) -> bool:
+        return self.block.wrong_path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FetchLineRequest(line={self.line_addr:#x}, n={self.num_instructions}, "
+            f"block={self.block.block_id})"
+        )
+
+
+@dataclass(frozen=True)
+class FetchedInstruction:
+    """A single instruction delivered by the fetch stage to the back-end."""
+
+    addr: int
+    cls: InstrClass
+    wrong_path: bool
+    triggers_redirect: bool = False
+    redirect_target: Optional[int] = None
+    fetch_source: str = "il1"   #: which storage supplied the line

@@ -1,0 +1,64 @@
+"""Return address stack (RAS).
+
+The paper's front-end uses an 8-entry RAS (Table 2).  The prediction unit
+pushes the return address when a predicted stream ends in a call and pops
+it to predict the target of a stream ending in a return.  Because the
+decoupled front-end speculates past unresolved branches, the RAS contents
+can be corrupted by wrong-path calls/returns; the prediction unit snapshots
+and restores the RAS around mispredictions (a common checkpoint-repair
+implementation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class ReturnAddressStack:
+    """Fixed-capacity circular return address stack."""
+
+    def __init__(self, entries: int = 8):
+        if entries < 1:
+            raise ValueError("RAS must have at least one entry")
+        self.capacity = entries
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_addr: int) -> None:
+        """Push a return address; the oldest entry is lost on overflow."""
+        self.pushes += 1
+        if len(self._stack) >= self.capacity:
+            self.overflows += 1
+            del self._stack[0]
+        self._stack.append(return_addr)
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted return target; ``None`` when empty."""
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Checkpoint the stack contents (used for misprediction repair)."""
+        return tuple(self._stack)
+
+    def restore(self, snap: Tuple[int, ...]) -> None:
+        """Restore a previously-taken checkpoint."""
+        self._stack = list(snap[-self.capacity:])
+
+    def clear(self) -> None:
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RAS({[hex(a) for a in self._stack]})"

@@ -1,0 +1,217 @@
+"""Stream predictor (Ramirez et al., "Fetching Instruction Streams").
+
+The paper's front-end uses a *stream predictor* with a 1K-entry first-level
+table plus a 6K-entry path-correlated second-level table (Table 2:
+"1K+6K-entry stream pred., 1 cycle lat.").  A stream is a run of sequential
+instructions that ends at a taken control transfer; the predictor maps the
+current fetch address (optionally combined with path history) to the
+stream's length and its successor address.
+
+This implementation keeps the same structure:
+
+* a direct-mapped, tagged first-level table indexed by the stream start
+  address (1024 entries by default),
+* a direct-mapped, tagged second-level table indexed by a hash of the start
+  address and a folded path history (6144 entries by default); when it
+  hits, it overrides the first level (it captures context-dependent
+  streams),
+* 2-bit hysteresis on replacement,
+* streams ending in RETURN record that fact so the prediction unit can take
+  the target from the return address stack instead of the table.
+
+The predictor is trained with the *actual* stream (available to the
+trace-driven front-end when the prediction is made) which models an ideal,
+immediate update -- the standard simplification in trace-driven fetch
+studies.  Mispredictions still occur whenever the tables lack the entry,
+the stream's behaviour changed, or the branch is not strongly biased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..workloads.isa import BranchKind
+from ..workloads.trace import ActualStream
+
+
+@dataclass
+class StreamPrediction:
+    """Outcome of a predictor lookup."""
+
+    length: int                 #: predicted stream length (instructions)
+    next_addr: int              #: predicted successor fetch address
+    terminator_kind: BranchKind #: predicted kind of the ending transfer
+    hit: bool                   #: True if any table supplied the prediction
+    source: str = "none"        #: 'l2' (history table), 'l1' (base) or 'none'
+    uses_ras: bool = False      #: True when next_addr should come from RAS
+
+
+@dataclass
+class _Entry:
+    tag: int
+    length: int
+    next_addr: int
+    terminator_kind: BranchKind
+    confidence: int = 1         #: 2-bit hysteresis counter (0..3)
+
+
+class _StreamTable:
+    """A set-associative, tagged table of stream entries (LRU within set).
+
+    The original next-stream predictor is a set-associative structure; the
+    associativity mainly avoids conflict misses between unrelated streams
+    that happen to share an index.
+    """
+
+    def __init__(self, entries: int, associativity: int = 4):
+        if entries < associativity:
+            associativity = max(1, entries)
+        self.entries = entries
+        self.associativity = associativity
+        self.num_sets = max(1, entries // associativity)
+        self._sets: List[List[_Entry]] = [[] for _ in range(self.num_sets)]
+
+    def _set_for(self, key: int) -> List[_Entry]:
+        return self._sets[key % self.num_sets]
+
+    def lookup(self, key: int) -> Optional[_Entry]:
+        bucket = self._set_for(key)
+        for i, entry in enumerate(bucket):
+            if entry.tag == key:
+                if i:  # move to MRU position
+                    bucket.insert(0, bucket.pop(i))
+                return entry
+        return None
+
+    def update(self, key: int, length: int, next_addr: int,
+               kind: BranchKind) -> None:
+        bucket = self._set_for(key)
+        for i, entry in enumerate(bucket):
+            if entry.tag == key:
+                if (entry.length == length and entry.next_addr == next_addr
+                        and entry.terminator_kind == kind):
+                    entry.confidence = min(3, entry.confidence + 1)
+                else:
+                    if entry.confidence > 0:
+                        entry.confidence -= 1
+                    else:
+                        entry.length = length
+                        entry.next_addr = next_addr
+                        entry.terminator_kind = kind
+                        entry.confidence = 1
+                if i:
+                    bucket.insert(0, bucket.pop(i))
+                return
+        new_entry = _Entry(key, length, next_addr, kind)
+        if len(bucket) >= self.associativity:
+            # Replace the LRU entry, honouring hysteresis: a confident LRU
+            # victim loses one confidence level instead of being evicted.
+            victim = bucket[-1]
+            if victim.confidence > 0:
+                victim.confidence -= 1
+                return
+            bucket.pop()
+        bucket.insert(0, new_entry)
+
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)
+
+
+#: Backwards-compatible alias (earlier revisions used a direct-mapped table).
+_DirectMappedTable = _StreamTable
+
+
+class StreamPredictor:
+    """Two-level stream predictor with path-history correlation."""
+
+    def __init__(
+        self,
+        base_entries: int = 1024,
+        history_entries: int = 6144,
+        default_length: int = 64,
+        history_bits: int = 16,
+        associativity: int = 4,
+    ):
+        self.base_table = _StreamTable(base_entries, associativity)
+        self.history_table = _StreamTable(history_entries, associativity)
+        self.default_length = default_length
+        self.history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        # statistics
+        self.lookups = 0
+        self.base_hits = 0
+        self.history_hits = 0
+        self.table_misses = 0
+
+    # ------------------------------------------------------------------
+    def _history_key(self, addr: int, history: int) -> int:
+        return (addr >> 2) ^ ((history & self._history_mask) << 7)
+
+    def predict(self, addr: int, history: int) -> StreamPrediction:
+        """Predict the stream starting at ``addr`` given ``history``."""
+        self.lookups += 1
+        hist_entry = self.history_table.lookup(self._history_key(addr, history))
+        if hist_entry is not None and hist_entry.confidence >= 2:
+            self.history_hits += 1
+            return StreamPrediction(
+                length=hist_entry.length,
+                next_addr=hist_entry.next_addr,
+                terminator_kind=hist_entry.terminator_kind,
+                hit=True,
+                source="l2",
+                uses_ras=hist_entry.terminator_kind is BranchKind.RETURN,
+            )
+        base_entry = self.base_table.lookup(addr >> 2)
+        if base_entry is not None:
+            self.base_hits += 1
+            return StreamPrediction(
+                length=base_entry.length,
+                next_addr=base_entry.next_addr,
+                terminator_kind=base_entry.terminator_kind,
+                hit=True,
+                source="l1",
+                uses_ras=base_entry.terminator_kind is BranchKind.RETURN,
+            )
+        if hist_entry is not None:
+            self.history_hits += 1
+            return StreamPrediction(
+                length=hist_entry.length,
+                next_addr=hist_entry.next_addr,
+                terminator_kind=hist_entry.terminator_kind,
+                hit=True,
+                source="l2",
+                uses_ras=hist_entry.terminator_kind is BranchKind.RETURN,
+            )
+        self.table_misses += 1
+        # No information: predict a maximal sequential stream.
+        return StreamPrediction(
+            length=self.default_length,
+            next_addr=addr + 4 * self.default_length,
+            terminator_kind=BranchKind.NONE,
+            hit=False,
+            source="none",
+        )
+
+    def train(self, addr: int, history: int, actual: ActualStream) -> None:
+        """Train both tables with the actual stream outcome."""
+        kind = actual.terminator_kind if actual.ends_taken else BranchKind.NONE
+        self.base_table.update(addr >> 2, actual.length, actual.next_addr, kind)
+        self.history_table.update(
+            self._history_key(addr, history), actual.length, actual.next_addr, kind
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fold_history(history: int, next_addr: int, taken: bool,
+                     bits: int = 16) -> int:
+        """Update a folded path-history register with one stream outcome."""
+        mask = (1 << bits) - 1
+        return (((history << 3) & mask) ^ ((next_addr >> 4) & mask)
+                ^ (1 if taken else 0))
+
+    @property
+    def table_hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return (self.base_hits + self.history_hits) / self.lookups

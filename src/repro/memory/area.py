@@ -1,0 +1,207 @@
+"""Area and access-energy estimates for the fast fetch structures.
+
+The paper repeatedly argues that the *obvious* fix for slow instruction
+caches -- pipelining a large L1 -- "involves extra energy (extra latches,
+multiplexers, clock and decoders) and area overhead (extra precharge
+circuitry, latches, decoders, sense amplifiers, and multiplexer)", whereas
+CLGP reaches the same performance with a tiny conventional cache plus small
+buffers.  The paper quantifies this only through the *capacity* budget
+(Section 5.1); this module adds a simple analytical area/energy model so
+the budget argument can also be made in mm^2 and nJ.
+
+The model is deliberately lightweight (this is an extension, not part of
+the paper's evaluation):
+
+* SRAM area = bits * bit-cell area at the technology node, times an
+  overhead factor for decoders/sense-amps/tags that grows with
+  associativity and shrinks with capacity (peripheral overhead amortises),
+* fully-associative structures (pre-buffers, L0) pay a per-entry CAM tag
+  overhead,
+* pipelining a structure multiplies its area and per-access energy by a
+  constant overhead factor (latches, extra decoders), following the
+  qualitative statement in the paper and the Agarwal et al. DATE'03 data it
+  cites,
+* per-access energy scales with the square root of the capacity (bitline /
+  wordline lengths) at a per-node reference point.
+
+All constants are documented and configurable; absolute values are rough,
+but ratios between configurations are meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..technology import TechnologyNode, resolve_technology
+
+#: SRAM bit-cell area in um^2 at each feature size (roughly 100-150 F^2).
+_BITCELL_UM2 = {
+    0.18: 4.5,
+    0.13: 2.4,
+    0.09: 1.1,
+    0.065: 0.55,
+    0.045: 0.27,
+}
+
+#: Reference dynamic energy (nJ) of one access to a 4 KB, 2-way SRAM at
+#: each node; other sizes scale with sqrt(capacity).
+_REFERENCE_ACCESS_NJ = {
+    0.18: 0.60,
+    0.13: 0.38,
+    0.09: 0.22,
+    0.065: 0.13,
+    0.045: 0.075,
+}
+
+#: Area / energy multiplier for a pipelined structure (extra latches,
+#: precharge, decoders; Agarwal et al. report 10-30% depending on depth).
+PIPELINING_AREA_OVERHEAD = 1.25
+PIPELINING_ENERGY_OVERHEAD = 1.15
+
+#: Extra area per fully-associative (CAM-tagged) entry, expressed as a
+#: fraction of that entry's data area.
+CAM_TAG_OVERHEAD = 0.30
+
+
+def _node_constant(table, node: TechnologyNode) -> float:
+    feature = node.feature_size_um
+    if feature in table:
+        return table[feature]
+    # Scale quadratically (area) / linearly (energy-ish) from the nearest
+    # published node; adequate for an extension model.
+    nearest = min(table, key=lambda f: abs(f - feature))
+    return table[nearest] * (feature / nearest) ** 2
+
+
+@dataclass(frozen=True)
+class StructureEstimate:
+    """Area and access energy of one SRAM-like structure."""
+
+    name: str
+    size_bytes: int
+    area_mm2: float
+    access_energy_nj: float
+
+    def scaled(self, factor: float) -> "StructureEstimate":
+        return StructureEstimate(
+            name=self.name, size_bytes=self.size_bytes,
+            area_mm2=self.area_mm2 * factor,
+            access_energy_nj=self.access_energy_nj * factor,
+        )
+
+
+def estimate_structure(
+    name: str,
+    size_bytes: int,
+    technology,
+    associativity: Optional[int] = 2,
+    line_size: int = 64,
+    fully_associative: bool = False,
+    pipelined: bool = False,
+) -> StructureEstimate:
+    """Estimate the area (mm^2) and per-access energy (nJ) of a structure."""
+    if size_bytes <= 0:
+        raise ValueError("structure size must be positive")
+    node = resolve_technology(technology)
+    bits = size_bytes * 8
+
+    # Tag bits: ~20 tag bits per line plus valid/LRU state.
+    lines = max(1, size_bytes // line_size)
+    tag_bits = lines * 24
+    total_bits = bits + tag_bits
+
+    bitcell_um2 = _node_constant(_BITCELL_UM2, node)
+    data_area_um2 = total_bits * bitcell_um2
+
+    # Peripheral overhead: large for tiny arrays, amortised for big ones.
+    periphery = 1.0 + 1.8 / math.log2(max(4, size_bytes / 64))
+    ways = lines if fully_associative else max(1, associativity or 1)
+    periphery *= 1.0 + 0.04 * (ways - 1)
+    if fully_associative:
+        periphery *= 1.0 + CAM_TAG_OVERHEAD
+
+    area_mm2 = data_area_um2 * periphery / 1e6
+
+    reference = _node_constant(_REFERENCE_ACCESS_NJ, node)
+    energy_nj = reference * math.sqrt(size_bytes / 4096.0)
+    if fully_associative:
+        energy_nj *= 1.0 + CAM_TAG_OVERHEAD
+
+    estimate = StructureEstimate(
+        name=name, size_bytes=size_bytes,
+        area_mm2=area_mm2, access_energy_nj=energy_nj,
+    )
+    if pipelined:
+        estimate = StructureEstimate(
+            name=name, size_bytes=size_bytes,
+            area_mm2=area_mm2 * PIPELINING_AREA_OVERHEAD,
+            access_energy_nj=energy_nj * PIPELINING_ENERGY_OVERHEAD,
+        )
+    return estimate
+
+
+@dataclass(frozen=True)
+class FrontEndBudget:
+    """Aggregate fast-storage budget of one configuration."""
+
+    label: str
+    capacity_bytes: int
+    area_mm2: float
+    #: Weighted per-fetch energy assuming the given fetch-source mix.
+    energy_per_line_fetch_nj: float
+
+
+def front_end_budget(config, fetch_source_fractions=None,
+                     label: Optional[str] = None) -> FrontEndBudget:
+    """Area/energy budget of the fast fetch structures of a configuration.
+
+    ``config`` is a :class:`repro.simulator.config.SimulationConfig`.  The
+    optional ``fetch_source_fractions`` (e.g. from a
+    :class:`~repro.simulator.stats.SimulationResult`) weight the per-access
+    energies into an average energy per fetched line; without it, the L1
+    energy is used as the weight for cache fetches.
+    """
+    technology = config.technology_node
+    structures = []
+
+    structures.append(estimate_structure(
+        "il1", config.l1_size_bytes, technology,
+        associativity=config.l1_associativity, line_size=config.line_size,
+        pipelined=config.l1_pipelined,
+    ))
+    l0_size = config.resolved_l0_size()
+    if l0_size:
+        structures.append(estimate_structure(
+            "il0", l0_size, technology, fully_associative=True,
+            line_size=config.line_size,
+        ))
+    if config.engine in ("fdp", "clgp", "next-line", "target-line"):
+        pb_bytes = config.resolved_prebuffer_entries() * config.line_size
+        structures.append(estimate_structure(
+            "PB", pb_bytes, technology, fully_associative=True,
+            line_size=config.line_size, pipelined=config.prebuffer_pipelined,
+        ))
+
+    total_area = sum(s.area_mm2 for s in structures)
+    capacity = sum(s.size_bytes for s in structures)
+
+    by_name = {s.name: s for s in structures}
+    if fetch_source_fractions:
+        energy = 0.0
+        for source, fraction in fetch_source_fractions.items():
+            if source in by_name:
+                energy += fraction * by_name[source].access_energy_nj
+            elif source in ("ul2", "Mem"):
+                # Escalations cost roughly an order of magnitude more.
+                energy += fraction * 10.0 * by_name["il1"].access_energy_nj
+    else:
+        energy = by_name["il1"].access_energy_nj
+
+    return FrontEndBudget(
+        label=label or config.derived_label(),
+        capacity_bytes=capacity,
+        area_mm2=total_area,
+        energy_per_line_fetch_nj=energy,
+    )

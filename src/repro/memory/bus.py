@@ -1,0 +1,129 @@
+"""Shared bus to the unified L2 cache, with arbitration.
+
+The paper models "a bus to the L2 cache that can only serve one request per
+cycle", with the priority order
+
+1. L1 data-cache demand requests,
+2. L1 instruction-cache demand requests,
+3. prefetch requests (served only when nothing else wants the bus).
+
+Requests are queued by the producers during a cycle and the simulator calls
+:meth:`L2Bus.tick` once per cycle; the single granted request's callback is
+invoked with the grant cycle so the producer can compute when its data
+arrives.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, List, Optional
+
+
+class BusPriority(IntEnum):
+    """Arbitration classes, lower value = higher priority."""
+
+    DATA_DEMAND = 0
+    INSTRUCTION_DEMAND = 1
+    PREFETCH = 2
+
+
+@dataclass
+class BusStats:
+    """Counters for bus behaviour, split by requester class."""
+
+    requests: List[int] = field(default_factory=lambda: [0, 0, 0])
+    grants: List[int] = field(default_factory=lambda: [0, 0, 0])
+    total_wait_cycles: List[int] = field(default_factory=lambda: [0, 0, 0])
+    busy_cycles: int = 0
+
+    def record_request(self, priority: BusPriority) -> None:
+        self.requests[priority] += 1
+
+    def record_grant(self, priority: BusPriority, waited: int) -> None:
+        self.grants[priority] += 1
+        self.total_wait_cycles[priority] += waited
+        self.busy_cycles += 1
+
+    def average_wait(self, priority: BusPriority) -> float:
+        g = self.grants[priority]
+        return self.total_wait_cycles[priority] / g if g else 0.0
+
+
+@dataclass(order=True)
+class _QueuedRequest:
+    sort_key: tuple
+    priority: BusPriority = field(compare=False)
+    submit_cycle: int = field(compare=False)
+    on_grant: Callable[[int], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    tag: Optional[object] = field(default=None, compare=False)
+
+
+class L2Bus:
+    """Single-request-per-cycle bus with strict priority arbitration.
+
+    ``grants_per_cycle`` defaults to 1 (paper Table 2: 64 B/cycle with
+    64-byte lines, i.e. one line transfer per cycle).
+    """
+
+    def __init__(self, grants_per_cycle: int = 1) -> None:
+        if grants_per_cycle < 1:
+            raise ValueError("grants_per_cycle must be >= 1")
+        self.grants_per_cycle = grants_per_cycle
+        self._queue: List[_QueuedRequest] = []
+        self._counter = itertools.count()
+        self.stats = BusStats()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        priority: BusPriority,
+        cycle: int,
+        on_grant: Callable[[int], None],
+        tag: Optional[object] = None,
+    ) -> _QueuedRequest:
+        """Queue a request.  ``on_grant(grant_cycle)`` is called when the bus
+        serves it (possibly in the same cycle if nothing of higher priority
+        is waiting)."""
+        request = _QueuedRequest(
+            sort_key=(int(priority), next(self._counter)),
+            priority=priority,
+            submit_cycle=cycle,
+            on_grant=on_grant,
+            tag=tag,
+        )
+        heapq.heappush(self._queue, request)
+        self.stats.record_request(priority)
+        return request
+
+    def cancel(self, request: _QueuedRequest) -> None:
+        """Mark a queued request as cancelled (e.g. a prefetch squashed by a
+        pipeline flush).  It will be skipped when it reaches the head."""
+        request.cancelled = True
+
+    def tick(self, cycle: int) -> int:
+        """Grant up to ``grants_per_cycle`` queued requests.  Returns the
+        number of grants issued this cycle."""
+        granted = 0
+        while granted < self.grants_per_cycle and self._queue:
+            request = heapq.heappop(self._queue)
+            if request.cancelled:
+                continue
+            waited = max(0, cycle - request.submit_cycle)
+            self.stats.record_grant(request.priority, waited)
+            request.on_grant(cycle)
+            granted += 1
+        return granted
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return sum(1 for r in self._queue if not r.cancelled)
+
+    def pending_by_priority(self, priority: BusPriority) -> int:
+        return sum(
+            1 for r in self._queue if not r.cancelled and r.priority == priority
+        )

@@ -1,0 +1,190 @@
+"""Set-associative cache model (tags only).
+
+Only tag state matters to the study, so the model stores which line
+addresses are resident, with a pluggable replacement policy per set.
+Latency and port behaviour live in :mod:`repro.memory.port`; this class is
+purely about contents.
+
+Used for the L0 filter cache, the L1 instruction cache, the unified L2 and
+(structurally) the fully-associative pre-buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .replacement import ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for a cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative, write-allocate, tags-only cache.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in statistics output (e.g. ``"il1"``, ``"ul2"``).
+    size_bytes:
+        Total capacity.  Must be a multiple of ``line_size * associativity``
+        (one exception: ``associativity=None`` selects full associativity).
+    line_size:
+        Line size in bytes.
+    associativity:
+        Number of ways; ``None`` or a value >= number of lines means fully
+        associative.
+    policy:
+        Replacement policy name ('lru', 'fifo', 'random').
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_size: int = 64,
+        associativity: Optional[int] = 2,
+        policy: str = "lru",
+        policy_seed: int = 0,
+    ) -> None:
+        if size_bytes <= 0 or line_size <= 0:
+            raise ValueError("cache size and line size must be positive")
+        if size_bytes % line_size:
+            raise ValueError("cache size must be a multiple of the line size")
+        num_lines = size_bytes // line_size
+        if associativity is None or associativity >= num_lines:
+            associativity = num_lines
+        if associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if num_lines % associativity:
+            raise ValueError(
+                f"{name}: {num_lines} lines not divisible by associativity "
+                f"{associativity}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_size = line_size
+        self.associativity = associativity
+        self.num_sets = num_lines // associativity
+        self.policy_name = policy
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(policy, policy_seed + i) for i in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # -- address mapping ---------------------------------------------------
+    def line_address(self, addr: int) -> int:
+        return addr - (addr % self.line_size)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_size) % self.num_sets
+
+    # -- content queries ----------------------------------------------------
+    def contains(self, addr: int) -> bool:
+        """Tag check without touching replacement state or statistics.
+
+        This models a *tag probe* (e.g. FDP's Enqueue Cache Probe
+        Filtering, which uses "an additional tag port or replicated tags").
+        """
+        line = self.line_address(addr)
+        return line in self._sets[self._set_index(line)]
+
+    def lookup(self, addr: int) -> bool:
+        """A real access: updates replacement state and hit/miss counters."""
+        line = self.line_address(addr)
+        idx = self._set_index(line)
+        cset = self._sets[idx]
+        if line in cset:
+            self._policies[idx].touch(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    # -- content updates -----------------------------------------------------
+    def fill(self, addr: int) -> Optional[int]:
+        """Insert the line containing ``addr``.
+
+        Returns the evicted line address (or ``None`` if no eviction /
+        the line was already present).
+        """
+        line = self.line_address(addr)
+        idx = self._set_index(line)
+        cset = self._sets[idx]
+        policy = self._policies[idx]
+        if line in cset:
+            policy.touch(line)
+            return None
+        evicted = None
+        if len(cset) >= self.associativity:
+            evicted = policy.victim(list(cset.keys()))
+            del cset[evicted]
+            policy.evict(evicted)
+            self.stats.evictions += 1
+        cset[line] = True
+        policy.insert(line)
+        self.stats.fills += 1
+        return evicted
+
+    def invalidate(self, addr: int) -> bool:
+        """Remove the line containing ``addr``; returns True if present."""
+        line = self.line_address(addr)
+        idx = self._set_index(line)
+        cset = self._sets[idx]
+        if line in cset:
+            del cset[line]
+            self._policies[idx].evict(line)
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache (does not reset statistics)."""
+        for i in range(self.num_sets):
+            self._sets[i].clear()
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def num_lines(self) -> int:
+        return self.num_sets * self.associativity
+
+    def resident_lines(self) -> List[int]:
+        """All resident line addresses (mainly for tests/invariants)."""
+        out: List[int] = []
+        for cset in self._sets:
+            out.extend(cset.keys())
+        return out
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, addr: int) -> bool:
+        return self.contains(addr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name!r}, {self.size_bytes}B, {self.associativity}-way, "
+            f"{self.line_size}B lines, {self.num_sets} sets)"
+        )

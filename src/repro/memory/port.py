@@ -1,0 +1,104 @@
+"""Cache port / access-timing models.
+
+Two access disciplines appear in the paper:
+
+* **Blocking (non-pipelined)** -- the structure is busy for its full access
+  latency; a new access cannot start until the previous one finishes.  This
+  is the "base" L1 configuration of Figure 1.
+* **Pipelined** -- a new access can start every cycle, but each access still
+  takes the full latency to return ("base pipelined", pipelined pre-buffers
+  with 16 entries).  Pipelining "does not reduce hit time or miss rate, but
+  increases the throughput of cache responses".
+
+Both are modelled by :class:`AccessPort`, which tracks when the next access
+may start and when issued accesses complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PortStats:
+    accesses: int = 0
+    stall_cycles: int = 0  #: cycles requests had to wait for the port
+
+
+class AccessPort:
+    """Timing model for one access port of a cache-like structure.
+
+    Parameters
+    ----------
+    latency:
+        Access latency in cycles (>= 1).
+    pipelined:
+        If True, a new access may start every cycle (initiation interval 1);
+        otherwise the port blocks for ``latency`` cycles per access.
+    ports:
+        Number of identical ports (accesses that can *start* in the same
+        cycle).  The paper's I-caches have 1 port.
+    """
+
+    def __init__(self, latency: int, pipelined: bool = False, ports: int = 1) -> None:
+        if latency < 1:
+            raise ValueError("latency must be >= 1")
+        if ports < 1:
+            raise ValueError("ports must be >= 1")
+        self.latency = latency
+        self.pipelined = pipelined
+        self.ports = ports
+        self._next_start = 0          # earliest cycle a new access may start
+        self._starts_this_cycle = 0   # accesses started in _current_cycle
+        self._current_cycle = -1
+        self.stats = PortStats()
+
+    # ------------------------------------------------------------------
+    def earliest_start(self, cycle: int) -> int:
+        """Earliest cycle (>= ``cycle``) at which a new access could start."""
+        start = max(cycle, self._next_start)
+        if (
+            start == self._current_cycle
+            and self._starts_this_cycle >= self.ports
+        ):
+            start += 1
+        return start
+
+    def issue(self, cycle: int) -> int:
+        """Start an access at the earliest opportunity at/after ``cycle``.
+
+        Returns the cycle at which the access completes (data available).
+        """
+        start = self.earliest_start(cycle)
+        if start != self._current_cycle:
+            self._current_cycle = start
+            self._starts_this_cycle = 0
+        self._starts_this_cycle += 1
+        self.stats.accesses += 1
+        self.stats.stall_cycles += start - cycle
+        if self.pipelined:
+            # Initiation interval of one cycle.
+            self._next_start = max(self._next_start, start)
+        else:
+            # Structure blocked until this access completes.
+            self._next_start = start + self.latency
+        return start + self.latency
+
+    def completion_if_issued(self, cycle: int) -> int:
+        """Completion cycle an access would have if issued now (no side
+        effects); used for the parallel-probe 'which source is fastest'
+        decision at the fetch stage."""
+        return self.earliest_start(cycle) + self.latency
+
+    def is_free(self, cycle: int) -> bool:
+        """Whether an access could start exactly at ``cycle``."""
+        return self.earliest_start(cycle) == cycle
+
+    def reset(self) -> None:
+        self._next_start = 0
+        self._starts_this_cycle = 0
+        self._current_cycle = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "pipelined" if self.pipelined else "blocking"
+        return f"AccessPort(latency={self.latency}, {mode}, ports={self.ports})"

@@ -1,0 +1,123 @@
+"""Replacement policies for set-associative caches and pre-buffers.
+
+The paper's caches use LRU; the prestage buffer uses LRU *restricted to
+replaceable entries* (consumers counter == 0), which is implemented on top
+of the same machinery in :mod:`repro.core.prestage_buffer`.  FIFO and
+Random policies are provided for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, List, Optional
+
+
+class ReplacementPolicy(ABC):
+    """Tracks recency/insertion order for the ways of a single cache set."""
+
+    @abstractmethod
+    def touch(self, tag: Hashable) -> None:
+        """Record a hit/use of ``tag``."""
+
+    @abstractmethod
+    def insert(self, tag: Hashable) -> None:
+        """Record that ``tag`` was filled into the set."""
+
+    @abstractmethod
+    def evict(self, tag: Hashable) -> None:
+        """Record that ``tag`` was removed from the set."""
+
+    @abstractmethod
+    def victim(self, resident: List[Hashable]) -> Hashable:
+        """Choose which of ``resident`` tags to replace."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement."""
+
+    def __init__(self) -> None:
+        self._stamp: Dict[Hashable, int] = {}
+        self._clock = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def touch(self, tag: Hashable) -> None:
+        self._stamp[tag] = self._tick()
+
+    def insert(self, tag: Hashable) -> None:
+        self._stamp[tag] = self._tick()
+
+    def evict(self, tag: Hashable) -> None:
+        self._stamp.pop(tag, None)
+
+    def victim(self, resident: List[Hashable]) -> Hashable:
+        return min(resident, key=lambda t: self._stamp.get(t, -1))
+
+    def age_rank(self, resident: List[Hashable]) -> List[Hashable]:
+        """Resident tags sorted oldest-first (exposed for the prestage
+        buffer, which needs "LRU among replaceable entries")."""
+        return sorted(resident, key=lambda t: self._stamp.get(t, -1))
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out replacement (insertion order, hits ignored)."""
+
+    def __init__(self) -> None:
+        self._order: Dict[Hashable, int] = {}
+        self._clock = 0
+
+    def touch(self, tag: Hashable) -> None:  # hits do not change FIFO order
+        pass
+
+    def insert(self, tag: Hashable) -> None:
+        self._clock += 1
+        self._order[tag] = self._clock
+
+    def evict(self, tag: Hashable) -> None:
+        self._order.pop(tag, None)
+
+    def victim(self, resident: List[Hashable]) -> Hashable:
+        return min(resident, key=lambda t: self._order.get(t, -1))
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random replacement (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def touch(self, tag: Hashable) -> None:
+        pass
+
+    def insert(self, tag: Hashable) -> None:
+        pass
+
+    def evict(self, tag: Hashable) -> None:
+        pass
+
+    def victim(self, resident: List[Hashable]) -> Hashable:
+        return self._rng.choice(list(resident))
+
+
+_POLICY_FACTORIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name ('lru', 'fifo', 'random')."""
+    try:
+        factory = _POLICY_FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(_POLICY_FACTORIES)}"
+        ) from None
+    if factory is RandomPolicy:
+        return factory(seed)
+    return factory()

@@ -1,0 +1,62 @@
+"""Simulator layer: configuration, presets, cycle loop, runner, results."""
+
+from .config import ENGINE_NAMES, PIPELINED_PREBUFFER_ENTRIES, SimulationConfig
+from .presets import (
+    FIGURE1_SCHEMES,
+    FIGURE5_SCHEMES,
+    FIGURE6_SCHEMES,
+    SCHEMES,
+    configs_for_schemes,
+    paper_config,
+    scheme_descriptions,
+)
+from .runner import (
+    bench_benchmark_names,
+    bench_instruction_budget,
+    bench_l1_sizes,
+    clear_workload_cache,
+    get_workload,
+    run_benchmarks,
+    run_mix,
+    run_single,
+    sweep_l1_sizes,
+)
+from .simulator import Simulator, simulate
+from .stats import (
+    SimulationResult,
+    aggregate_fetch_sources,
+    aggregate_prefetch_sources,
+    harmonic_mean,
+    harmonic_mean_ipc,
+    speedup,
+)
+
+__all__ = [
+    "ENGINE_NAMES",
+    "FIGURE1_SCHEMES",
+    "FIGURE5_SCHEMES",
+    "FIGURE6_SCHEMES",
+    "PIPELINED_PREBUFFER_ENTRIES",
+    "SCHEMES",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "aggregate_fetch_sources",
+    "aggregate_prefetch_sources",
+    "bench_benchmark_names",
+    "bench_instruction_budget",
+    "bench_l1_sizes",
+    "clear_workload_cache",
+    "configs_for_schemes",
+    "get_workload",
+    "harmonic_mean",
+    "harmonic_mean_ipc",
+    "paper_config",
+    "run_benchmarks",
+    "run_mix",
+    "run_single",
+    "scheme_descriptions",
+    "simulate",
+    "speedup",
+    "sweep_l1_sizes",
+]

@@ -1,0 +1,127 @@
+"""Named configuration presets matching the paper's evaluated machines.
+
+The figures compare a fixed set of configurations across L1 sizes and the
+two technology nodes:
+
+* ``ideal``            -- 1-cycle L1 of any size, no prefetching (Figure 1),
+* ``base``             -- blocking multi-cycle L1, no prefetching,
+* ``base-pipelined``   -- pipelined multi-cycle L1, no prefetching,
+* ``base+L0``          -- blocking L1 plus a one-cycle L0 filter cache,
+* ``FDP`` / ``FDP+L0`` -- fetch directed prefetching (one-cycle pre-buffer),
+* ``CLGP`` / ``CLGP+L0`` -- cache line guided prestaging,
+* ``FDP+L0+PB16`` / ``CLGP+L0+PB16`` -- 16-entry pipelined pre-buffers.
+
+:func:`paper_config` builds any of them for a given L1 size and technology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .config import SimulationConfig
+
+#: Preset scheme names accepted by :func:`paper_config`.
+SCHEMES = (
+    "ideal",
+    "base",
+    "base-pipelined",
+    "base+L0",
+    "FDP",
+    "FDP+L0",
+    "FDP+L0+PB16",
+    "CLGP",
+    "CLGP+L0",
+    "CLGP+L0+PB16",
+)
+
+#: The six configurations plotted in Figure 5, in the paper's legend order.
+FIGURE5_SCHEMES = (
+    "CLGP+L0+PB16",
+    "CLGP+L0",
+    "FDP+L0+PB16",
+    "FDP+L0",
+    "base-pipelined",
+    "base+L0",
+)
+
+#: The configurations plotted in Figure 1.
+FIGURE1_SCHEMES = ("ideal", "base-pipelined", "base+L0", "base")
+
+#: The per-benchmark comparison of Figure 6.
+FIGURE6_SCHEMES = ("base-pipelined", "FDP+L0+PB16", "CLGP+L0+PB16")
+
+
+def paper_config(
+    scheme: str,
+    l1_size_bytes: int = 4096,
+    technology: object = "0.045um",
+    max_instructions: int = 20_000,
+    **overrides,
+) -> SimulationConfig:
+    """Build a :class:`SimulationConfig` for one of the paper's machines."""
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+
+    base = dict(
+        technology=technology,
+        l1_size_bytes=l1_size_bytes,
+        max_instructions=max_instructions,
+        label=scheme,
+    )
+
+    if scheme == "ideal":
+        base.update(engine="baseline", ideal_l1=True)
+    elif scheme == "base":
+        base.update(engine="baseline")
+    elif scheme == "base-pipelined":
+        base.update(engine="baseline", l1_pipelined=True)
+    elif scheme == "base+L0":
+        base.update(engine="baseline", l0_enabled=True)
+    elif scheme == "FDP":
+        base.update(engine="fdp")
+    elif scheme == "FDP+L0":
+        base.update(engine="fdp", l0_enabled=True)
+    elif scheme == "FDP+L0+PB16":
+        base.update(engine="fdp", l0_enabled=True, prebuffer_pipelined=True)
+    elif scheme == "CLGP":
+        base.update(engine="clgp")
+    elif scheme == "CLGP+L0":
+        base.update(engine="clgp", l0_enabled=True)
+    elif scheme == "CLGP+L0+PB16":
+        base.update(engine="clgp", l0_enabled=True, prebuffer_pipelined=True)
+
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def configs_for_schemes(
+    schemes: Iterable[str],
+    l1_size_bytes: int,
+    technology: object,
+    max_instructions: int = 20_000,
+    **overrides,
+) -> List[SimulationConfig]:
+    """Configurations for several schemes at one design point."""
+    return [
+        paper_config(
+            scheme, l1_size_bytes=l1_size_bytes, technology=technology,
+            max_instructions=max_instructions, **overrides,
+        )
+        for scheme in schemes
+    ]
+
+
+def scheme_descriptions() -> Dict[str, str]:
+    """Short descriptions for reports and the CLI."""
+    return {
+        "ideal": "no prefetching, L1 forced to 1-cycle access (upper bound)",
+        "base": "no prefetching, blocking multi-cycle L1",
+        "base-pipelined": "no prefetching, pipelined multi-cycle L1",
+        "base+L0": "no prefetching, one-cycle L0 filter cache in front of L1",
+        "FDP": "fetch directed prefetching, one-cycle prefetch buffer",
+        "FDP+L0": "FDP plus a one-cycle L0 cache",
+        "FDP+L0+PB16": "FDP + L0 with a 16-entry pipelined prefetch buffer",
+        "CLGP": "cache line guided prestaging, one-cycle prestage buffer",
+        "CLGP+L0": "CLGP plus a one-cycle L0 emergency cache",
+        "CLGP+L0+PB16": "CLGP + L0 with a 16-entry pipelined prestage buffer",
+    }

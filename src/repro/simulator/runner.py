@@ -1,0 +1,139 @@
+"""Experiment runner: multi-benchmark, multi-configuration sweeps.
+
+The paper's figures are produced by sweeping a set of configurations over
+a set of benchmarks (and usually over L1 cache sizes).  This module
+provides those loops, a workload cache so each synthetic program is built
+only once per process, and simple helpers used by the benchmark harness
+and the examples.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES, profile_for
+from ..workloads.trace import Workload, build_workload
+from .config import SimulationConfig
+from .simulator import Simulator
+from .stats import SimulationResult, harmonic_mean_ipc
+
+#: Cache of built workloads, keyed by (benchmark name, seed).
+_WORKLOAD_CACHE: Dict[tuple, Workload] = {}
+
+
+def get_workload(name: str) -> Workload:
+    """Build (or fetch from cache) the synthetic workload for a benchmark."""
+    profile = profile_for(name)
+    key = (profile.name, profile.seed)
+    if key not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[key] = build_workload(profile)
+    return _WORKLOAD_CACHE[key]
+
+
+def clear_workload_cache() -> None:
+    _WORKLOAD_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# environment-controlled defaults for the benchmark harness
+# ----------------------------------------------------------------------
+def bench_instruction_budget(default: int = 20_000) -> int:
+    """Dynamic instructions per run (env: ``REPRO_BENCH_INSTRUCTIONS``)."""
+    try:
+        return max(1000, int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", default)))
+    except ValueError:
+        return default
+
+
+def bench_benchmark_names(default: Optional[Sequence[str]] = None) -> List[str]:
+    """Benchmarks to run (env: ``REPRO_BENCH_BENCHMARKS``, ``all`` for the
+    full SPECint2000 list)."""
+    raw = os.environ.get("REPRO_BENCH_BENCHMARKS", "")
+    if not raw:
+        return list(default if default is not None else DEFAULT_MIX)
+    if raw.strip().lower() == "all":
+        return list(SPECINT2000_NAMES)
+    names = [n.strip() for n in raw.split(",") if n.strip()]
+    for name in names:
+        profile_for(name)  # validate early
+    return names
+
+
+def bench_l1_sizes(default: Optional[Sequence[int]] = None) -> List[int]:
+    """L1 sizes for sweeps (env: ``REPRO_BENCH_SIZES``, comma-separated,
+    suffixes ``K`` allowed)."""
+    raw = os.environ.get("REPRO_BENCH_SIZES", "")
+    if not raw:
+        return list(default) if default is not None else [256, 1024, 4096, 16384, 65536]
+
+    def parse(token: str) -> int:
+        token = token.strip().upper()
+        if token.endswith("KB"):
+            return int(float(token[:-2]) * 1024)
+        if token.endswith("K"):
+            return int(float(token[:-1]) * 1024)
+        if token.endswith("B"):
+            return int(token[:-1])
+        return int(token)
+
+    return [parse(t) for t in raw.split(",") if t.strip()]
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+def run_single(
+    config: SimulationConfig,
+    benchmark: str,
+    max_instructions: Optional[int] = None,
+) -> SimulationResult:
+    """Run one configuration on one benchmark."""
+    workload = get_workload(benchmark)
+    return Simulator(config, workload).run(max_instructions)
+
+
+def run_benchmarks(
+    config: SimulationConfig,
+    benchmarks: Iterable[str],
+    max_instructions: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run one configuration across several benchmarks."""
+    return [run_single(config, name, max_instructions) for name in benchmarks]
+
+
+def run_mix(
+    config: SimulationConfig,
+    benchmarks: Optional[Iterable[str]] = None,
+    max_instructions: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run a configuration on a benchmark mix and aggregate.
+
+    Returns ``{"results": [...], "hmean_ipc": float}``.
+    """
+    names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
+    results = run_benchmarks(config, names, max_instructions)
+    return {"results": results, "hmean_ipc": harmonic_mean_ipc(results)}
+
+
+def sweep_l1_sizes(
+    configs_by_size,
+    benchmarks: Optional[Iterable[str]] = None,
+    max_instructions: Optional[int] = None,
+) -> Dict[int, Dict[str, object]]:
+    """Run ``{size: config}`` (or ``{size: [configs]}``) over a benchmark mix.
+
+    Returns ``{size: {label: {"results": [...], "hmean_ipc": float}}}``.
+    """
+    names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
+    out: Dict[int, Dict[str, object]] = {}
+    for size, configs in configs_by_size.items():
+        if isinstance(configs, SimulationConfig):
+            configs = [configs]
+        per_size: Dict[str, object] = {}
+        for config in configs:
+            per_size[config.derived_label()] = run_mix(
+                config, names, max_instructions
+            )
+        out[size] = per_size
+    return out

@@ -1,0 +1,230 @@
+"""Top-level cycle-driven simulator.
+
+Wires together the workload, the decoupled prediction unit, one of the
+fetch engines, the memory hierarchy + bus, and the simplified back-end,
+then advances them cycle by cycle until the requested number of
+correct-path instructions has committed.
+
+Per-cycle ordering (see DESIGN.md section 6):
+
+1. back-end: resolve branches (possibly flushing the front-end through the
+   redirect callback) and commit instructions,
+2. fetch stage: deliver ready instructions, start new line accesses,
+3. prefetcher: issue prefetches (FDP / CLGP),
+4. prediction: insert one new fetch block into the FTQ / CLTQ,
+5. bus: grant one queued L2 request (demand beats prefetch).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..backend.dcache import DataCacheModel
+from ..backend.pipeline import BackendPipeline
+from ..core.baseline import BaselineEngine
+from ..core.classic_prefetchers import NextNLineEngine, TargetLineEngine
+from ..core.clgp import CLGPEngine
+from ..core.engine import FetchEngine
+from ..core.fdp import FDPEngine
+from ..frontend.prediction import PredictionUnit
+from ..frontend.stream_predictor import StreamPredictor
+from ..memory.hierarchy import MemoryHierarchy
+from ..workloads.generator import WorkloadProfile
+from ..workloads.spec2000 import profile_for
+from ..workloads.trace import Workload, build_workload
+from .config import SimulationConfig
+from .stats import SimulationResult
+from .warming import apply_warmup, get_warmup_artifacts
+
+#: Safety factor for the default cycle limit (cycles per instruction).
+_DEFAULT_MAX_CPI = 400
+
+
+def _build_engine(
+    config: SimulationConfig,
+    hierarchy: MemoryHierarchy,
+    workload: Workload,
+) -> FetchEngine:
+    engine_config = config.engine_config()
+    if config.engine == "baseline":
+        return BaselineEngine(engine_config, hierarchy, workload.bbdict)
+    if config.engine == "fdp":
+        return FDPEngine(engine_config, hierarchy, workload.bbdict)
+    if config.engine == "clgp":
+        return CLGPEngine(engine_config, hierarchy, workload.bbdict)
+    if config.engine == "next-line":
+        return NextNLineEngine(
+            engine_config, hierarchy, workload.bbdict,
+            degree=config.next_line_degree,
+        )
+    if config.engine == "target-line":
+        return TargetLineEngine(
+            engine_config, hierarchy, workload.bbdict,
+            degree=config.next_line_degree,
+        )
+    raise ValueError(f"unknown engine {config.engine!r}")
+
+
+class Simulator:
+    """One configured machine running one workload."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        workload: Union[Workload, WorkloadProfile, str],
+    ) -> None:
+        self.config = config
+        self.workload = self._resolve_workload(workload)
+
+        self.hierarchy = MemoryHierarchy(config.hierarchy_config())
+        self.engine = _build_engine(config, self.hierarchy, self.workload)
+        predictor = StreamPredictor(
+            base_entries=config.stream_predictor_base_entries,
+            history_entries=config.stream_predictor_history_entries,
+            default_length=config.max_stream_instructions,
+        )
+        self.prediction = PredictionUnit(
+            self.workload,
+            predictor=predictor,
+            ras_entries=config.ras_entries,
+            max_stream_instructions=config.max_stream_instructions,
+        )
+        dcache = DataCacheModel(
+            self.hierarchy,
+            mlp_factor=config.mlp_factor,
+            seed=self.workload.profile.seed,
+        )
+        self.backend = BackendPipeline(
+            dcache=dcache,
+            bbdict=self.workload.bbdict,
+            commit_width=config.commit_width,
+            ruu_size=config.ruu_size,
+            branch_resolution_latency=config.branch_resolution_latency,
+            on_redirect=self._handle_redirect,
+        )
+        self.backend.set_l2_data_miss_rate(self.workload.profile.l2_data_miss_rate)
+        self.cycle = 0
+        self._warmed = False
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_workload(
+        workload: Union[Workload, WorkloadProfile, str]
+    ) -> Workload:
+        if isinstance(workload, Workload):
+            return workload
+        if isinstance(workload, WorkloadProfile):
+            return build_workload(workload)
+        if isinstance(workload, str):
+            return build_workload(profile_for(workload))
+        raise TypeError(f"cannot interpret workload {workload!r}")
+
+    # ------------------------------------------------------------------
+    def _handle_redirect(self, cycle: int) -> None:
+        """The back-end resolved a mispredicted branch: flush the front-end
+        and restart prediction on the correct path."""
+        self.engine.flush(cycle)
+        self.prediction.redirect(cycle)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        cycle = self.cycle
+        self.backend.tick(cycle)
+        self.engine.fetch_tick(cycle, self.backend)
+        self.engine.prefetch_tick(cycle)
+        self.prediction.tick(cycle, self.engine)
+        self.hierarchy.tick(cycle)
+        self.cycle += 1
+
+    def warm_up(self) -> int:
+        """Functionally warm the predictor and I-caches (idempotent)."""
+        if self._warmed:
+            return 0
+        self._warmed = True
+        budget = self.config.resolved_warmup_instructions()
+        if budget <= 0:
+            return 0
+        artifacts = get_warmup_artifacts(
+            self.workload,
+            budget,
+            base_entries=self.config.stream_predictor_base_entries,
+            history_entries=self.config.stream_predictor_history_entries,
+            max_stream_instructions=self.config.max_stream_instructions,
+            line_size=self.config.line_size,
+        )
+        self.prediction.predictor = apply_warmup(artifacts, self.hierarchy)
+        return artifacts.instructions
+
+    def run(self, max_instructions: Optional[int] = None) -> SimulationResult:
+        """Run until ``max_instructions`` correct-path instructions commit
+        (or the safety cycle limit is hit) and return the results."""
+        self.warm_up()
+        target = max_instructions or self.config.max_instructions
+        limit = self.config.max_cycles or target * _DEFAULT_MAX_CPI
+        while (
+            self.backend.stats.committed_instructions < target
+            and self.cycle < limit
+        ):
+            self.step()
+        return self._collect_results()
+
+    # ------------------------------------------------------------------
+    def _collect_results(self) -> SimulationResult:
+        engine_stats = self.engine.stats
+        backend_stats = self.backend.stats
+        prediction_stats = self.prediction.stats
+        l1 = self.hierarchy.l1.stats
+        l0 = self.hierarchy.l0.stats if self.hierarchy.l0 is not None else None
+        l2 = self.hierarchy.l2.stats
+        bus = self.hierarchy.bus.stats
+
+        return SimulationResult(
+            config_label=self.config.derived_label(),
+            workload=self.workload.name,
+            cycles=self.cycle,
+            committed_instructions=backend_stats.committed_instructions,
+            fetch_source_lines=dict(engine_stats.fetch_source_lines),
+            fetch_source_instructions=dict(engine_stats.fetch_source_instructions),
+            prefetch_source=dict(engine_stats.prefetch_source),
+            prefetches_issued=engine_stats.prefetches_issued,
+            stream_mispredictions=prediction_stats.stream_mispredictions,
+            streams_predicted=prediction_stats.streams_predicted,
+            wrong_path_instructions=engine_stats.wrong_path_instructions,
+            flushes=engine_stats.flushes,
+            l1_hits=l1.hits,
+            l1_misses=l1.misses,
+            l0_hits=l0.hits if l0 else 0,
+            l0_misses=l0.misses if l0 else 0,
+            l2_instruction_hits=l2.hits,
+            l2_instruction_misses=l2.misses,
+            dispatched_instructions=backend_stats.dispatched_instructions,
+            squashed_instructions=backend_stats.squashed_instructions,
+            loads=self.backend.dcache.stats.loads,
+            dl1_misses=self.backend.dcache.stats.dl1_misses,
+            bus_grants={
+                "data": bus.grants[0],
+                "instruction": bus.grants[1],
+                "prefetch": bus.grants[2],
+            },
+            extras={
+                "ruu_full_stalls": backend_stats.ruu_full_stalls,
+                "commit_stall_cycles": backend_stats.commit_stall_cycles,
+                "prefetch_buffer_stalls": engine_stats.prefetch_buffer_stalls,
+                "l1_latency": self.hierarchy.l1_latency,
+                "l2_latency": self.hierarchy.l2_latency,
+                "prebuffer_entries": (
+                    self.config.resolved_prebuffer_entries()
+                    if self.engine.has_prebuffer else 0
+                ),
+            },
+        )
+
+
+def simulate(
+    config: SimulationConfig,
+    workload: Union[Workload, WorkloadProfile, str],
+    max_instructions: Optional[int] = None,
+) -> SimulationResult:
+    """Convenience one-shot API: build the simulator and run it."""
+    return Simulator(config, workload).run(max_instructions)

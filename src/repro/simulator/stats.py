@@ -1,0 +1,138 @@
+"""Simulation results and statistics aggregation.
+
+A single run produces a :class:`SimulationResult`; multi-benchmark sweeps
+aggregate results with the harmonic mean of IPC, matching the HMEAN bars in
+the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..memory.hierarchy import FETCH_SOURCES
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one simulation run."""
+
+    config_label: str
+    workload: str
+    cycles: int
+    committed_instructions: int
+    # front end
+    fetch_source_lines: Dict[str, int] = field(default_factory=dict)
+    fetch_source_instructions: Dict[str, int] = field(default_factory=dict)
+    prefetch_source: Dict[str, int] = field(default_factory=dict)
+    prefetches_issued: int = 0
+    stream_mispredictions: int = 0
+    streams_predicted: int = 0
+    wrong_path_instructions: int = 0
+    flushes: int = 0
+    # caches
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l0_hits: int = 0
+    l0_misses: int = 0
+    l2_instruction_hits: int = 0
+    l2_instruction_misses: int = 0
+    # back end
+    dispatched_instructions: int = 0
+    squashed_instructions: int = 0
+    loads: int = 0
+    dl1_misses: int = 0
+    bus_grants: Dict[str, int] = field(default_factory=dict)
+    # raw extras for debugging / extended analysis
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle (the paper's main metric)."""
+        return self.committed_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.streams_predicted:
+            return 0.0
+        return self.stream_mispredictions / self.streams_predicted
+
+    def fetch_source_fractions(self, per_instruction: bool = True) -> Dict[str, float]:
+        counts = (
+            self.fetch_source_instructions if per_instruction
+            else self.fetch_source_lines
+        )
+        total = sum(counts.values())
+        if not total:
+            return {s: 0.0 for s in FETCH_SOURCES}
+        return {s: counts.get(s, 0) / total for s in FETCH_SOURCES}
+
+    def prefetch_source_fractions(self) -> Dict[str, float]:
+        total = sum(self.prefetch_source.values())
+        if not total:
+            return {s: 0.0 for s in FETCH_SOURCES}
+        return {s: self.prefetch_source.get(s, 0) / total for s in FETCH_SOURCES}
+
+    def one_cycle_fetch_fraction(self) -> float:
+        """Fraction of fetches served by one-cycle sources (pre-buffer + L0),
+        the paper's headline 88% / 95% statistic."""
+        fractions = self.fetch_source_fractions()
+        return fractions.get("PB", 0.0) + fractions.get("il0", 0.0)
+
+    def summary(self) -> str:
+        return (
+            f"{self.config_label:>18s} | {self.workload:>8s} | "
+            f"IPC {self.ipc:5.3f} | cycles {self.cycles:>8d} | "
+            f"mispred {self.misprediction_rate:5.1%} | "
+            f"1-cycle fetches {self.one_cycle_fetch_fraction():5.1%}"
+        )
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; returns 0.0 for an empty input or any zero value."""
+    vals = list(values)
+    if not vals or any(v <= 0 for v in vals):
+        return 0.0
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def harmonic_mean_ipc(results: Iterable[SimulationResult]) -> float:
+    """Harmonic-mean IPC over a set of per-benchmark results (paper HMEAN)."""
+    return harmonic_mean(r.ipc for r in results)
+
+
+def aggregate_fetch_sources(results: Iterable[SimulationResult],
+                            per_instruction: bool = True) -> Dict[str, float]:
+    """Fetch-source distribution summed over several benchmark runs."""
+    totals: Dict[str, int] = {s: 0 for s in FETCH_SOURCES}
+    for result in results:
+        counts = (
+            result.fetch_source_instructions if per_instruction
+            else result.fetch_source_lines
+        )
+        for source, count in counts.items():
+            totals[source] = totals.get(source, 0) + count
+    grand = sum(totals.values())
+    if not grand:
+        return {s: 0.0 for s in FETCH_SOURCES}
+    return {s: totals[s] / grand for s in FETCH_SOURCES}
+
+
+def aggregate_prefetch_sources(results: Iterable[SimulationResult]) -> Dict[str, float]:
+    """Prefetch-source distribution summed over several benchmark runs."""
+    totals: Dict[str, int] = {s: 0 for s in FETCH_SOURCES}
+    for result in results:
+        for source, count in result.prefetch_source.items():
+            totals[source] = totals.get(source, 0) + count
+    grand = sum(totals.values())
+    if not grand:
+        return {s: 0.0 for s in FETCH_SOURCES}
+    return {s: totals[s] / grand for s in FETCH_SOURCES}
+
+
+def speedup(new: float, old: float) -> float:
+    """Relative speedup of ``new`` over ``old`` (e.g. 0.035 = +3.5%)."""
+    if old <= 0:
+        return 0.0
+    return new / old - 1.0

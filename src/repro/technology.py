@@ -1,0 +1,94 @@
+"""Technology roadmap parameters (paper Table 1).
+
+The paper takes clock-frequency / cycle-time projections from the 2001 SIA
+International Technology Roadmap for Semiconductors and evaluates two
+design points: a "current" 0.09 micron process and a "far future" 0.045
+micron process.  This module holds those constants and the helpers that the
+latency model and the configuration layer use to select a design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One row of the paper's Table 1."""
+
+    year: int
+    feature_size_um: float      #: technology feature size in microns
+    clock_ghz: float            #: projected clock frequency in GHz
+    cycle_time_ns: float        #: projected cycle time in nanoseconds
+
+    @property
+    def name(self) -> str:
+        """Canonical name, e.g. ``'0.09um'``."""
+        return f"{self.feature_size_um:g}um"
+
+
+#: Paper Table 1: technological parameters predicted by the SIA.
+TECHNOLOGY_ROADMAP: List[TechnologyNode] = [
+    TechnologyNode(year=1999, feature_size_um=0.18, clock_ghz=0.5, cycle_time_ns=2.0),
+    TechnologyNode(year=2001, feature_size_um=0.13, clock_ghz=1.7, cycle_time_ns=0.59),
+    TechnologyNode(year=2004, feature_size_um=0.09, clock_ghz=4.0, cycle_time_ns=0.25),
+    TechnologyNode(year=2007, feature_size_um=0.065, clock_ghz=6.7, cycle_time_ns=0.15),
+    TechnologyNode(year=2010, feature_size_um=0.045, clock_ghz=11.5, cycle_time_ns=0.087),
+]
+
+_BY_NAME: Dict[str, TechnologyNode] = {node.name: node for node in TECHNOLOGY_ROADMAP}
+_BY_FEATURE: Dict[float, TechnologyNode] = {
+    node.feature_size_um: node for node in TECHNOLOGY_ROADMAP
+}
+
+#: The two design points evaluated throughout the paper.
+TECH_090 = _BY_FEATURE[0.09]
+TECH_045 = _BY_FEATURE[0.045]
+
+#: Names accepted by :func:`resolve_technology`.
+EVALUATED_NODES = (TECH_090, TECH_045)
+
+
+def resolve_technology(node) -> TechnologyNode:
+    """Coerce a node spec into a :class:`TechnologyNode`.
+
+    Accepts a :class:`TechnologyNode`, a feature size in microns (float,
+    e.g. ``0.09``), or a name string (``"0.09um"`` / ``"0.045um"``, also
+    tolerant of ``"0.09"`` and ``"90nm"`` style spellings).
+    """
+    if isinstance(node, TechnologyNode):
+        return node
+    if isinstance(node, (int, float)):
+        key = float(node)
+        if key in _BY_FEATURE:
+            return _BY_FEATURE[key]
+        raise KeyError(f"no technology node with feature size {node} um")
+    if isinstance(node, str):
+        text = node.strip().lower()
+        if text.endswith("nm"):
+            try:
+                nm = float(text[:-2])
+            except ValueError:
+                raise KeyError(f"unrecognised technology spec {node!r}") from None
+            return resolve_technology(nm / 1000.0)
+        text = text.removesuffix("um")
+        text = text.removesuffix("µm")
+        try:
+            return resolve_technology(float(text))
+        except (ValueError, KeyError):
+            raise KeyError(f"unrecognised technology spec {node!r}") from None
+    raise TypeError(f"cannot interpret technology spec {node!r}")
+
+
+def table1_rows() -> List[Dict[str, float]]:
+    """Table 1 in row-dict form (used by the Table 1 bench and docs)."""
+    return [
+        {
+            "year": n.year,
+            "technology_um": n.feature_size_um,
+            "clock_ghz": n.clock_ghz,
+            "cycle_time_ns": n.cycle_time_ns,
+        }
+        for n in TECHNOLOGY_ROADMAP
+    ]

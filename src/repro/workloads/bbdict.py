@@ -1,0 +1,111 @@
+"""Basic-block dictionary: static program knowledge for wrong-path fetch.
+
+The paper's simulator keeps "a separate basic block dictionary in which we
+have the information of all static instructions (type, source/target
+registers). That allows for prefetching even along wrong paths, as well as
+performing speculative lookups and updates of the branch predictor."
+
+This module provides the equivalent: given *any* instruction address the
+front-end may speculatively fetch from (including addresses reached only on
+mispredicted paths), it answers
+
+* which basic block contains the address,
+* what the instruction classes in that block are,
+* where the static successors of the block are (fall-through and taken
+  target),
+
+so the decoupled front-end can keep generating fetch requests down a wrong
+path until the mispredicted branch resolves.  Addresses that fall outside
+the program (e.g. a garbled predicted target) are modelled as runs of
+straight-line ALU code, mirroring how a real machine would happily fetch
+whatever bytes live there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cfg import BasicBlock, ControlFlowGraph
+from .isa import INSTRUCTION_BYTES, BranchKind, InstrClass
+
+
+@dataclass(frozen=True)
+class StaticBlockView:
+    """A read-only view of the static code at some address.
+
+    ``start`` may be in the middle of a :class:`BasicBlock` (the front-end
+    can land anywhere after a mispredicted target); ``size`` counts the
+    instructions from ``start`` to the end of the underlying block.
+    """
+
+    start: int
+    size: int
+    kind: BranchKind
+    taken_target: Optional[int]
+    taken_probability: float
+    instr_classes: tuple
+    synthetic: bool = False  #: True when the address is outside the program
+
+    @property
+    def fall_through(self) -> int:
+        return self.start + self.size * INSTRUCTION_BYTES
+
+    @property
+    def terminator_addr(self) -> int:
+        return self.start + (self.size - 1) * INSTRUCTION_BYTES
+
+    @property
+    def ends_in_branch(self) -> bool:
+        return self.kind is not BranchKind.NONE
+
+
+#: Size (instructions) of the fabricated straight-line blocks returned for
+#: addresses outside the known program.
+_SYNTHETIC_BLOCK_SIZE = 8
+
+
+class BasicBlockDictionary:
+    """Address -> static block information, tolerant of arbitrary addresses."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self._cfg = cfg
+
+    def view_at(self, addr: int) -> StaticBlockView:
+        """Static view of the code starting at ``addr``.
+
+        If ``addr`` is inside a known block, the view covers the remainder
+        of that block.  Otherwise a synthetic straight-line block is
+        fabricated (marked ``synthetic=True``).
+        """
+        addr = addr - (addr % INSTRUCTION_BYTES)
+        block = self._cfg.block_containing(addr)
+        if block is None:
+            return StaticBlockView(
+                start=addr,
+                size=_SYNTHETIC_BLOCK_SIZE,
+                kind=BranchKind.NONE,
+                taken_target=None,
+                taken_probability=0.0,
+                instr_classes=tuple([InstrClass.ALU] * _SYNTHETIC_BLOCK_SIZE),
+                synthetic=True,
+            )
+        offset = (addr - block.addr) // INSTRUCTION_BYTES
+        remaining = block.size - offset
+        return StaticBlockView(
+            start=addr,
+            size=remaining,
+            kind=block.kind,
+            taken_target=block.taken_target,
+            taken_probability=block.taken_probability,
+            instr_classes=tuple(block.instr_classes[offset:]),
+            synthetic=False,
+        )
+
+    def block_at(self, addr: int) -> Optional[BasicBlock]:
+        """The real block starting exactly at ``addr`` (None if absent)."""
+        return self._cfg.block_at(addr)
+
+    @property
+    def cfg(self) -> ControlFlowGraph:
+        return self._cfg

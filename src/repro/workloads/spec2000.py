@@ -1,0 +1,159 @@
+"""Per-benchmark profiles mimicking the SPECint2000 suite.
+
+The paper evaluates gzip, vpr, gcc, mcf, crafty, parser, eon, perlbmk, gap,
+vortex, bzip2 and twolf.  Real traces are unavailable, so each benchmark is
+represented by a :class:`~repro.workloads.generator.WorkloadProfile` whose
+knobs are set according to widely reported characteristics of the suite:
+
+* **instruction footprint** -- gcc, crafty, eon, perlbmk, vortex and gap
+  have large instruction working sets and suffer I-cache misses even at
+  32-64 KB; gzip, bzip2 and mcf have tiny loops that fit in a few KB.
+* **branch behaviour** -- gzip and bzip2 are highly predictable; gcc,
+  crafty, eon, perlbmk have more hard-to-predict branches and deeper call
+  behaviour (important for the CLTQ flush / emergency-cache path).
+* **data behaviour** -- mcf is dominated by D-cache misses (low IPC no
+  matter what the I-side does); most others have moderate data miss rates.
+
+Absolute IPC will not match the paper; the goal is that the *relative*
+behaviour across benchmarks and across fetch engines follows the paper's
+Figure 6 (CLGP best everywhere except gzip, biggest wins on eon / vortex /
+gap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .generator import WorkloadProfile
+
+#: Benchmark order used throughout the paper's per-benchmark figure.
+SPECINT2000_NAMES: List[str] = [
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+    "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf",
+]
+
+#: A small representative mix used by default in the sweep benches so that
+#: pure-Python simulation stays affordable; chosen to span small / medium /
+#: large footprints and easy / hard branch behaviour.
+DEFAULT_MIX: List[str] = ["gzip", "gcc", "eon", "mcf"]
+
+
+def _profile(name: str, **kw) -> WorkloadProfile:
+    base = dict(
+        name=name,
+        footprint_kb=32.0,
+        num_functions=24,
+        avg_block_size=5.5,
+        hard_branch_fraction=0.12,
+        loop_fraction=0.18,
+        avg_loop_iterations=12.0,
+        call_fraction=0.10,
+        load_fraction=0.24,
+        store_fraction=0.10,
+        dl1_miss_rate=0.04,
+        l2_data_miss_rate=0.10,
+        call_skew=1.6,
+        seed=sum(ord(c) for c in name),
+    )
+    base.update(kw)
+    return WorkloadProfile(**base)
+
+
+#: The twelve SPECint2000 profiles.
+#:
+#: The dominant knobs are ``footprint_kb`` (static code size),
+#: ``avg_loop_iterations`` (how long execution dwells in one place -- low
+#: values make the dynamic working set sprawl across the static footprint,
+#: high values keep it concentrated) and ``hard_branch_fraction`` (branch
+#: predictability).  The values below give dynamic instruction working sets
+#: that range from a few KB (gzip, mcf, bzip2) to several tens of KB (gcc,
+#: eon, perlbmk, vortex) over a 20K-instruction measurement window, matching
+#: the qualitative split the paper relies on.
+SPECINT2000_PROFILES: Dict[str, WorkloadProfile] = {
+    # Small-footprint, loop-dominated, very predictable.  The one benchmark
+    # where the paper's Figure 6 shows CLGP is *not* best.
+    "gzip": _profile(
+        "gzip", footprint_kb=8.0, num_functions=6, avg_block_size=7.0,
+        hard_branch_fraction=0.05, loop_fraction=0.30, avg_loop_iterations=40.0,
+        call_fraction=0.04, dl1_miss_rate=0.02,
+    ),
+    "vpr": _profile(
+        "vpr", footprint_kb=24.0, num_functions=18, avg_block_size=5.0,
+        hard_branch_fraction=0.16, loop_fraction=0.20, avg_loop_iterations=8.0,
+        call_fraction=0.06, dl1_miss_rate=0.035,
+    ),
+    # Huge instruction footprint, branchy, sprawling control flow.
+    "gcc": _profile(
+        "gcc", footprint_kb=160.0, num_functions=96, avg_block_size=4.6,
+        hard_branch_fraction=0.09, loop_fraction=0.07, avg_loop_iterations=8.0,
+        call_fraction=0.06, dl1_miss_rate=0.03,
+    ),
+    # Tiny code, dominated by pointer-chasing data misses.
+    "mcf": _profile(
+        "mcf", footprint_kb=4.0, num_functions=5, avg_block_size=5.0,
+        hard_branch_fraction=0.14, loop_fraction=0.28, avg_loop_iterations=25.0,
+        call_fraction=0.04, dl1_miss_rate=0.20, l2_data_miss_rate=0.45,
+    ),
+    "crafty": _profile(
+        "crafty", footprint_kb=72.0, num_functions=48, avg_block_size=5.8,
+        hard_branch_fraction=0.13, loop_fraction=0.12, avg_loop_iterations=5.0,
+        call_fraction=0.08, dl1_miss_rate=0.02,
+    ),
+    "parser": _profile(
+        "parser", footprint_kb=48.0, num_functions=36, avg_block_size=4.8,
+        hard_branch_fraction=0.15, loop_fraction=0.14, avg_loop_iterations=6.0,
+        call_fraction=0.08, dl1_miss_rate=0.04,
+    ),
+    # C++ ray tracer: many small functions, deep call chains, large
+    # footprint -- the benchmark with the paper's biggest CLGP win (20%).
+    "eon": _profile(
+        "eon", footprint_kb=112.0, num_functions=80, avg_block_size=4.2,
+        hard_branch_fraction=0.05, loop_fraction=0.06, avg_loop_iterations=6.0,
+        call_fraction=0.10, dl1_miss_rate=0.015,
+    ),
+    "perlbmk": _profile(
+        "perlbmk", footprint_kb=128.0, num_functions=72, avg_block_size=4.8,
+        hard_branch_fraction=0.13, loop_fraction=0.10, avg_loop_iterations=4.0,
+        call_fraction=0.08, dl1_miss_rate=0.025,
+    ),
+    # gap and vortex: large footprints, pronounced CLGP wins in the paper.
+    "gap": _profile(
+        "gap", footprint_kb=96.0, num_functions=64, avg_block_size=5.2,
+        hard_branch_fraction=0.11, loop_fraction=0.12, avg_loop_iterations=5.0,
+        call_fraction=0.08, dl1_miss_rate=0.02,
+    ),
+    "vortex": _profile(
+        "vortex", footprint_kb=144.0, num_functions=88, avg_block_size=5.4,
+        hard_branch_fraction=0.08, loop_fraction=0.08, avg_loop_iterations=4.0,
+        call_fraction=0.08, dl1_miss_rate=0.025,
+    ),
+    # Small, loopy, predictable.
+    "bzip2": _profile(
+        "bzip2", footprint_kb=10.0, num_functions=8, avg_block_size=6.5,
+        hard_branch_fraction=0.07, loop_fraction=0.28, avg_loop_iterations=30.0,
+        call_fraction=0.05, dl1_miss_rate=0.03,
+    ),
+    "twolf": _profile(
+        "twolf", footprint_kb=32.0, num_functions=26, avg_block_size=4.8,
+        hard_branch_fraction=0.17, loop_fraction=0.16, avg_loop_iterations=7.0,
+        call_fraction=0.06, dl1_miss_rate=0.06,
+    ),
+}
+
+
+def profile_for(name: str) -> WorkloadProfile:
+    """Return the profile for a SPECint2000 benchmark name.
+
+    Raises ``KeyError`` for unknown names (with the valid names listed).
+    """
+    try:
+        return SPECINT2000_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; valid names: {', '.join(SPECINT2000_NAMES)}"
+        ) from None
+
+
+def profiles_for(names: Iterable[str]) -> List[WorkloadProfile]:
+    """Profiles for several benchmark names, in the given order."""
+    return [profile_for(n) for n in names]

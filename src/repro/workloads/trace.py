@@ -1,0 +1,278 @@
+"""Dynamic execution of synthetic programs (trace production).
+
+Two layers:
+
+* :class:`ProgramWalker` -- executes the CFG block by block along the
+  *correct* path (the committed path): it resolves conditional branch
+  outcomes with a seeded RNG, maintains the real call stack for returns,
+  and yields :class:`DynamicBlock` records.  Given the same profile/seed
+  the walk is identical across simulator configurations, so every fetch
+  engine is evaluated on exactly the same dynamic instruction stream
+  (mirroring trace-driven simulation in the paper).
+
+* :class:`CorrectPathOracle` -- a buffered cursor over the walker used by
+  the decoupled front-end.  It can *peek* the upcoming fetch stream
+  (sequential instructions up to and including the next taken control
+  transfer), *advance* by a number of instructions (possibly stopping in
+  the middle of a stream after a misprediction), and report the current
+  correct-path fetch address.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .bbdict import BasicBlockDictionary
+from .cfg import ControlFlowGraph
+from .generator import WorkloadProfile, generate_program
+from .isa import INSTRUCTION_BYTES, BranchKind
+
+#: Maximum call depth tracked by the walker; deeper calls fall through (the
+#: generator builds an acyclic call graph so this is only a safety net).
+MAX_CALL_DEPTH = 64
+
+#: Upper bound on fetch-stream length in instructions (the stream predictor
+#: cannot encode arbitrarily long streams; 64 instructions = 256 bytes,
+#: i.e. 4 cache lines, matching stream-fetch literature).
+MAX_STREAM_INSTRUCTIONS = 64
+
+
+@dataclass(frozen=True)
+class DynamicBlock:
+    """One dynamic execution of a basic block on the correct path."""
+
+    addr: int               #: first instruction address
+    size: int               #: number of instructions executed in this block
+    kind: BranchKind        #: terminator kind
+    taken: bool             #: whether the terminator transferred control
+    next_addr: int          #: address executed immediately after this block
+    terminator_addr: int    #: address of the final (branch) instruction
+
+    @property
+    def end_addr(self) -> int:
+        return self.addr + self.size * INSTRUCTION_BYTES
+
+
+@dataclass(frozen=True)
+class ActualStream:
+    """The true upcoming fetch stream on the correct path.
+
+    A *stream* is a run of sequential instructions starting at ``start``
+    and ending either at a taken control transfer (``ends_taken=True``) or
+    at the stream-length cap.  ``next_addr`` is where the correct path
+    continues after the stream.
+    """
+
+    start: int
+    length: int                 #: instructions in the stream
+    next_addr: int
+    ends_taken: bool
+    terminator_kind: BranchKind
+    terminator_addr: int
+
+    @property
+    def end_addr(self) -> int:
+        return self.start + self.length * INSTRUCTION_BYTES
+
+
+class ProgramWalker:
+    """Executes a CFG along the correct path, one basic block at a time."""
+
+    def __init__(self, cfg: ControlFlowGraph, seed: int = 0):
+        self._cfg = cfg
+        self._rng = random.Random(seed ^ 0x5F3759DF)
+        self._pc = cfg.entry_address
+        self._call_stack: List[int] = []
+        self._blocks_executed = 0
+        self._instructions_executed = 0
+
+    @property
+    def instructions_executed(self) -> int:
+        return self._instructions_executed
+
+    @property
+    def blocks_executed(self) -> int:
+        return self._blocks_executed
+
+    def next_block(self) -> DynamicBlock:
+        """Execute one basic block and return its dynamic record."""
+        block = self._cfg.block_at(self._pc)
+        if block is None:
+            # The PC should always land on block starts during correct-path
+            # execution; treat a stray PC as a jump back to the entry.
+            block = self._cfg.block_at(self._cfg.entry_address)
+            self._pc = block.addr
+
+        taken = False
+        next_addr = block.fall_through
+        kind = block.kind
+
+        if kind is BranchKind.CONDITIONAL:
+            taken = self._rng.random() < block.taken_probability
+            if taken:
+                next_addr = block.taken_target
+        elif kind is BranchKind.UNCONDITIONAL:
+            taken = True
+            next_addr = block.taken_target
+        elif kind is BranchKind.CALL:
+            taken = True
+            if len(self._call_stack) < MAX_CALL_DEPTH:
+                self._call_stack.append(block.fall_through)
+                next_addr = block.taken_target
+            else:
+                # Depth cap: skip the call (treated as not taken).
+                taken = False
+                next_addr = block.fall_through
+        elif kind is BranchKind.RETURN:
+            taken = True
+            if self._call_stack:
+                next_addr = self._call_stack.pop()
+            else:
+                next_addr = self._cfg.entry_address
+
+        record = DynamicBlock(
+            addr=block.addr,
+            size=block.size,
+            kind=kind,
+            taken=taken,
+            next_addr=next_addr,
+            terminator_addr=block.terminator_addr,
+        )
+        self._pc = next_addr
+        self._blocks_executed += 1
+        self._instructions_executed += block.size
+        return record
+
+
+class CorrectPathOracle:
+    """Buffered cursor over the correct-path dynamic block stream.
+
+    The front-end uses it to (a) learn what the correct path actually does
+    (for comparing against branch predictions and for training the
+    predictor) and (b) know where to resume after a misprediction
+    resolves.  Internally it materialises dynamic blocks lazily into a
+    window; the cursor is a ``(window index, instruction offset)`` pair so
+    the front-end can stop mid-block when a predicted stream is shorter
+    than the actual one.
+    """
+
+    def __init__(self, walker: ProgramWalker,
+                 max_stream_instructions: int = MAX_STREAM_INSTRUCTIONS):
+        self._walker = walker
+        self._window: List[DynamicBlock] = []
+        self._index = 0          # index of the current block within the window
+        self._offset = 0         # instruction offset within the current block
+        self._consumed_instructions = 0
+        self.max_stream_instructions = max_stream_instructions
+
+    # -- materialisation helpers ---------------------------------------
+    def _ensure(self, index: int) -> DynamicBlock:
+        while len(self._window) <= index:
+            self._window.append(self._walker.next_block())
+        return self._window[index]
+
+    def _compact(self) -> None:
+        """Drop fully-consumed blocks from the front of the window."""
+        if self._index > 64:
+            del self._window[: self._index]
+            self._index = 0
+
+    # -- public API ------------------------------------------------------
+    @property
+    def consumed_instructions(self) -> int:
+        """Total correct-path instructions the front-end has moved past."""
+        return self._consumed_instructions
+
+    def current_address(self) -> int:
+        """Address of the next correct-path instruction to be fetched."""
+        block = self._ensure(self._index)
+        return block.addr + self._offset * INSTRUCTION_BYTES
+
+    def peek_stream(self, max_instructions: Optional[int] = None) -> ActualStream:
+        """The actual stream that begins at :meth:`current_address`.
+
+        Does not move the cursor.
+        """
+        cap = max_instructions or self.max_stream_instructions
+        start = self.current_address()
+        length = 0
+        idx = self._index
+        off = self._offset
+        while True:
+            block = self._ensure(idx)
+            available = block.size - off
+            remaining = cap - length
+            if available >= remaining and not (
+                block.taken and available <= remaining
+            ):
+                # The cap ends the stream inside (or exactly at the end of)
+                # this block without reaching a taken terminator.
+                length += remaining
+                end_addr = block.addr + (off + remaining) * INSTRUCTION_BYTES
+                return ActualStream(
+                    start=start, length=length, next_addr=end_addr,
+                    ends_taken=False, terminator_kind=BranchKind.NONE,
+                    terminator_addr=end_addr - INSTRUCTION_BYTES,
+                )
+            length += available
+            if block.taken:
+                return ActualStream(
+                    start=start, length=length, next_addr=block.next_addr,
+                    ends_taken=True, terminator_kind=block.kind,
+                    terminator_addr=block.terminator_addr,
+                )
+            if length >= cap:
+                end_addr = block.addr + block.size * INSTRUCTION_BYTES
+                return ActualStream(
+                    start=start, length=length, next_addr=end_addr,
+                    ends_taken=False, terminator_kind=BranchKind.NONE,
+                    terminator_addr=end_addr - INSTRUCTION_BYTES,
+                )
+            idx += 1
+            off = 0
+
+    def advance(self, n_instructions: int) -> None:
+        """Move the cursor forward by ``n_instructions`` along the correct
+        path (used after emitting a fetch block for those instructions)."""
+        if n_instructions < 0:
+            raise ValueError("cannot advance by a negative amount")
+        remaining = n_instructions
+        while remaining > 0:
+            block = self._ensure(self._index)
+            available = block.size - self._offset
+            if remaining < available:
+                self._offset += remaining
+                remaining = 0
+            else:
+                remaining -= available
+                self._index += 1
+                self._offset = 0
+        self._consumed_instructions += n_instructions
+        self._compact()
+
+
+@dataclass
+class Workload:
+    """A fully-built workload: program, dictionary, and trace machinery."""
+
+    profile: WorkloadProfile
+    cfg: ControlFlowGraph
+    bbdict: BasicBlockDictionary
+
+    def new_oracle(self) -> CorrectPathOracle:
+        """A fresh correct-path oracle (identical stream for identical
+        profile seeds, regardless of simulator configuration)."""
+        walker = ProgramWalker(self.cfg, seed=self.profile.seed)
+        return CorrectPathOracle(walker)
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+def build_workload(profile: WorkloadProfile) -> Workload:
+    """Generate the program for ``profile`` and wrap it as a workload."""
+    cfg = generate_program(profile)
+    return Workload(profile=profile, cfg=cfg, bbdict=BasicBlockDictionary(cfg))

@@ -1,0 +1,73 @@
+"""Shared helpers for driving fetch engines in unit tests.
+
+These tests exercise an engine directly (without the full simulator): a
+recording back-end accepts every dispatched instruction, and ``drive``
+advances the engine + hierarchy cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend.fetch_block import FetchBlock, FetchedInstruction
+
+
+class RecordingBackend:
+    """Back-end stand-in that accepts (and records) all dispatches."""
+
+    def __init__(self, capacity: int = 10**9):
+        self.capacity = capacity
+        self.instructions: List[FetchedInstruction] = []
+
+    def has_space(self) -> bool:
+        return len(self.instructions) < self.capacity
+
+    def dispatch(self, instr: FetchedInstruction, cycle: int) -> bool:
+        if not self.has_space():
+            return False
+        self.instructions.append(instr)
+        return True
+
+    @property
+    def count(self) -> int:
+        return len(self.instructions)
+
+    def sources(self) -> List[str]:
+        return [i.fetch_source for i in self.instructions]
+
+
+def block_for(workload, index: int = 0, **kw) -> FetchBlock:
+    """A fetch block covering exactly the ``index``-th basic block of the
+    workload's CFG (so instruction classes resolve against real code)."""
+    static = workload.cfg.all_blocks()[index]
+    return FetchBlock(start=static.addr, length=static.size, **kw)
+
+
+def blocks_on_distinct_lines(workload, count: int, line_size: int = 64,
+                             min_size: int = 1, **kw) -> List[FetchBlock]:
+    """``count`` fetch blocks whose first cache lines are all different
+    (useful when a test needs several independent prefetch candidates)."""
+    chosen: List[FetchBlock] = []
+    seen_lines = set()
+    for static in workload.cfg.all_blocks():
+        line = static.addr - (static.addr % line_size)
+        if line in seen_lines or static.size < min_size:
+            continue
+        seen_lines.add(line)
+        chosen.append(FetchBlock(start=static.addr, length=static.size, **kw))
+        if len(chosen) == count:
+            return chosen
+    raise AssertionError(f"workload too small for {count} distinct lines")
+
+
+def drive(engine, backend, cycles: int, start_cycle: int = 0,
+          prefetch: bool = True) -> int:
+    """Run ``cycles`` cycles of fetch (+ prefetch + bus).  Returns the total
+    number of instructions delivered."""
+    delivered = 0
+    for cycle in range(start_cycle, start_cycle + cycles):
+        delivered += engine.fetch_tick(cycle, backend)
+        if prefetch:
+            engine.prefetch_tick(cycle)
+        engine.hierarchy.tick(cycle)
+    return delivered

@@ -1,0 +1,84 @@
+"""Tests for the area / access-energy extension model."""
+
+import pytest
+
+from repro.memory.area import (
+    PIPELINING_AREA_OVERHEAD,
+    FrontEndBudget,
+    estimate_structure,
+    front_end_budget,
+)
+from repro.simulator.presets import paper_config
+
+
+class TestEstimateStructure:
+    def test_area_grows_with_capacity(self):
+        small = estimate_structure("a", 1024, "0.09um")
+        large = estimate_structure("b", 65536, "0.09um")
+        assert large.area_mm2 > 10 * small.area_mm2
+
+    def test_area_shrinks_with_feature_size(self):
+        old = estimate_structure("a", 4096, "0.09um")
+        new = estimate_structure("a", 4096, "0.045um")
+        assert new.area_mm2 < old.area_mm2
+
+    def test_pipelining_overhead_applied(self):
+        plain = estimate_structure("a", 16384, "0.09um")
+        pipelined = estimate_structure("a", 16384, "0.09um", pipelined=True)
+        assert pipelined.area_mm2 == pytest.approx(
+            plain.area_mm2 * PIPELINING_AREA_OVERHEAD)
+        assert pipelined.access_energy_nj > plain.access_energy_nj
+
+    def test_fully_associative_costs_more(self):
+        sa = estimate_structure("a", 512, "0.045um", associativity=2)
+        fa = estimate_structure("a", 512, "0.045um", fully_associative=True)
+        assert fa.area_mm2 > sa.area_mm2
+        assert fa.access_energy_nj > sa.access_energy_nj
+
+    def test_energy_scales_sublinearly(self):
+        small = estimate_structure("a", 4096, "0.045um")
+        large = estimate_structure("a", 16384, "0.045um")
+        assert 1.5 < large.access_energy_nj / small.access_energy_nj < 3.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            estimate_structure("a", 0, "0.09um")
+
+    def test_unlisted_node_scales(self):
+        est = estimate_structure("a", 4096, 0.13)
+        assert est.area_mm2 > 0
+
+    def test_scaled_helper(self):
+        est = estimate_structure("a", 4096, "0.09um")
+        doubled = est.scaled(2.0)
+        assert doubled.area_mm2 == pytest.approx(2 * est.area_mm2)
+
+
+class TestFrontEndBudget:
+    def test_clgp_small_budget_beats_large_pipelined_cache_area(self):
+        """The paper's 2.5KB CLGP budget should occupy far less area than a
+        16KB pipelined I-cache."""
+        clgp = front_end_budget(paper_config(
+            "CLGP+L0+PB16", l1_size_bytes=1024, technology="0.09um"))
+        pipelined = front_end_budget(paper_config(
+            "base-pipelined", l1_size_bytes=16384, technology="0.09um"))
+        assert clgp.capacity_bytes < pipelined.capacity_bytes
+        assert clgp.area_mm2 < 0.6 * pipelined.area_mm2
+
+    def test_budget_includes_prebuffer_only_for_prefetchers(self):
+        base = front_end_budget(paper_config("base", l1_size_bytes=4096))
+        fdp = front_end_budget(paper_config("FDP", l1_size_bytes=4096))
+        assert fdp.capacity_bytes > base.capacity_bytes
+        assert fdp.area_mm2 > base.area_mm2
+
+    def test_energy_weighted_by_fetch_sources(self):
+        config = paper_config("CLGP+L0", l1_size_bytes=4096,
+                              technology="0.045um")
+        cheap = front_end_budget(config, {"PB": 0.95, "il1": 0.05})
+        expensive = front_end_budget(config, {"il1": 0.7, "ul2": 0.3})
+        assert cheap.energy_per_line_fetch_nj < expensive.energy_per_line_fetch_nj
+
+    def test_label_defaults_to_config_label(self):
+        budget = front_end_budget(paper_config("CLGP+L0"))
+        assert isinstance(budget, FrontEndBudget)
+        assert budget.label == "CLGP+L0"

@@ -1,0 +1,129 @@
+"""Tests for the simplified out-of-order back-end model."""
+
+import pytest
+
+from repro.backend.dcache import DataCacheModel
+from repro.backend.pipeline import BackendPipeline
+from repro.frontend.fetch_block import FetchedInstruction
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.workloads.isa import InstrClass
+
+
+def make_backend(workload, ruu_size=16, resolution=4, on_redirect=None):
+    hierarchy = MemoryHierarchy(HierarchyConfig(technology="0.09um"))
+    dcache = DataCacheModel(hierarchy)
+    return BackendPipeline(
+        dcache=dcache,
+        bbdict=workload.bbdict,
+        commit_width=4,
+        ruu_size=ruu_size,
+        branch_resolution_latency=resolution,
+        on_redirect=on_redirect,
+    )
+
+
+def alu(addr=0x1000, wrong_path=False, triggers_redirect=False):
+    return FetchedInstruction(addr=addr, cls=InstrClass.ALU,
+                              wrong_path=wrong_path,
+                              triggers_redirect=triggers_redirect)
+
+
+class TestDispatchAndCommit:
+    def test_commit_width_limits_per_cycle(self, tiny_workload):
+        backend = make_backend(tiny_workload)
+        for i in range(8):
+            assert backend.dispatch(alu(0x1000 + 4 * i), cycle=0)
+        assert backend.tick(1) == 4
+        assert backend.tick(2) == 4
+        assert backend.stats.committed_instructions == 8
+
+    def test_instructions_commit_only_after_completion(self, tiny_workload):
+        backend = make_backend(tiny_workload)
+        backend.dispatch(alu(), cycle=10)
+        assert backend.tick(10) == 0     # completes at cycle 11
+        assert backend.tick(11) == 1
+
+    def test_ruu_capacity_backpressure(self, tiny_workload):
+        backend = make_backend(tiny_workload, ruu_size=2)
+        assert backend.dispatch(alu(), 0)
+        assert backend.dispatch(alu(), 0)
+        assert not backend.has_space()
+        assert not backend.dispatch(alu(), 0)
+        assert backend.stats.ruu_full_stalls == 1
+        backend.tick(5)
+        assert backend.has_space()
+
+    def test_loads_use_dcache_model(self, tiny_workload):
+        backend = make_backend(tiny_workload)
+        block = tiny_workload.cfg.all_blocks()[0]
+        load = FetchedInstruction(addr=block.addr, cls=InstrClass.LOAD,
+                                  wrong_path=False)
+        backend.dispatch(load, 0)
+        assert backend.dcache.stats.loads == 1
+
+    def test_wrong_path_loads_do_not_touch_dcache(self, tiny_workload):
+        backend = make_backend(tiny_workload)
+        load = FetchedInstruction(addr=0x1000, cls=InstrClass.LOAD,
+                                  wrong_path=True)
+        backend.dispatch(load, 0)
+        assert backend.dcache.stats.loads == 0
+
+    def test_wrong_path_instructions_never_commit(self, tiny_workload):
+        backend = make_backend(tiny_workload)
+        backend.dispatch(alu(wrong_path=True), 0)
+        for cycle in range(1, 10):
+            assert backend.tick(cycle) == 0
+        assert backend.stats.committed_instructions == 0
+
+
+class TestRedirect:
+    def test_redirect_fires_after_resolution_latency(self, tiny_workload):
+        fired = []
+        backend = make_backend(tiny_workload, resolution=5,
+                               on_redirect=fired.append)
+        backend.dispatch(alu(triggers_redirect=True), cycle=10)
+        backend.dispatch(alu(wrong_path=True), cycle=10)
+        for cycle in range(10, 20):
+            backend.tick(cycle)
+        assert fired == [15]
+        assert backend.stats.redirects == 1
+
+    def test_redirect_squashes_wrong_path(self, tiny_workload):
+        backend = make_backend(tiny_workload, resolution=3)
+        backend.dispatch(alu(triggers_redirect=True), 0)
+        for i in range(5):
+            backend.dispatch(alu(0x2000 + 4 * i, wrong_path=True), 0)
+        for cycle in range(0, 6):
+            backend.tick(cycle)
+        assert backend.stats.squashed_instructions == 5
+        assert backend.occupancy == 0
+        # The branch itself was correct-path and must have committed.
+        assert backend.stats.committed_instructions == 1
+
+    def test_correct_path_instructions_survive_redirect(self, tiny_workload):
+        backend = make_backend(tiny_workload, resolution=2)
+        backend.dispatch(alu(0x1000), 0)
+        backend.dispatch(alu(0x1004, triggers_redirect=True), 0)
+        backend.dispatch(alu(0x2000, wrong_path=True), 0)
+        for cycle in range(0, 5):
+            backend.tick(cycle)
+        assert backend.stats.committed_instructions == 2
+
+    def test_redirect_pending_property(self, tiny_workload):
+        backend = make_backend(tiny_workload, resolution=99)
+        backend.dispatch(alu(triggers_redirect=True), 0)
+        assert backend.redirect_pending
+
+
+class TestStats:
+    def test_dispatch_counters(self, tiny_workload):
+        backend = make_backend(tiny_workload)
+        backend.dispatch(alu(), 0)
+        backend.dispatch(alu(wrong_path=True), 0)
+        assert backend.stats.dispatched_instructions == 2
+        assert backend.stats.wrong_path_dispatched == 1
+
+    def test_commit_stall_cycles(self, tiny_workload):
+        backend = make_backend(tiny_workload)
+        backend.tick(0)
+        assert backend.stats.commit_stall_cycles == 1

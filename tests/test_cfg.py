@@ -1,0 +1,127 @@
+"""Unit tests for the static CFG model (repro.workloads.cfg)."""
+
+import pytest
+
+from repro.workloads.cfg import BasicBlock, ControlFlowGraph, Function
+from repro.workloads.isa import BranchKind, InstrClass
+
+
+def make_block(addr, size=4, kind=BranchKind.NONE, target=None, prob=0.5):
+    return BasicBlock(addr=addr, size=size, kind=kind, taken_target=target,
+                      taken_probability=prob)
+
+
+class TestBasicBlock:
+    def test_addresses(self):
+        block = make_block(0x1000, size=5)
+        assert block.end_addr == 0x1000 + 5 * 4
+        assert block.fall_through == block.end_addr
+        assert block.terminator_addr == 0x1000 + 4 * 4
+
+    def test_default_instr_classes(self):
+        block = make_block(0x1000, size=3, kind=BranchKind.CONDITIONAL,
+                           target=0x2000)
+        assert len(block.instr_classes) == 3
+        assert block.instr_classes[-1] is InstrClass.BRANCH_COND
+
+    def test_terminator_class_forced_consistent(self):
+        block = BasicBlock(
+            addr=0x1000, size=2, kind=BranchKind.CALL, taken_target=0x2000,
+            instr_classes=[InstrClass.ALU, InstrClass.ALU],
+        )
+        assert block.instr_classes[-1] is InstrClass.CALL
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock(addr=0x1000, size=0, kind=BranchKind.NONE)
+
+    def test_mismatched_class_length_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock(addr=0x1000, size=3, kind=BranchKind.NONE,
+                       instr_classes=[InstrClass.ALU])
+
+    def test_instruction_accessor(self):
+        block = make_block(0x1000, size=4, kind=BranchKind.RETURN)
+        instrs = block.instructions()
+        assert len(instrs) == 4
+        assert instrs[0].addr == 0x1000
+        assert instrs[-1].is_block_terminator
+        assert instrs[-1].cls is InstrClass.RETURN
+
+    def test_instruction_index_bounds(self):
+        block = make_block(0x1000, size=2)
+        with pytest.raises(IndexError):
+            block.instruction(2)
+
+    def test_ends_in_branch(self):
+        assert not make_block(0x1000).ends_in_branch
+        assert make_block(0x1000, kind=BranchKind.UNCONDITIONAL,
+                          target=0x2000).ends_in_branch
+
+
+class TestControlFlowGraph:
+    def _simple_cfg(self):
+        blocks_main = [
+            make_block(0x1000, size=4, kind=BranchKind.CALL, target=0x2000),
+            make_block(0x1010, size=4, kind=BranchKind.UNCONDITIONAL,
+                       target=0x1000),
+        ]
+        blocks_f = [
+            make_block(0x2000, size=4, kind=BranchKind.RETURN),
+        ]
+        main = Function("main", 0x1000, blocks_main)
+        f = Function("f", 0x2000, blocks_f)
+        return ControlFlowGraph([main, f], entry_function="main")
+
+    def test_entry_address(self):
+        cfg = self._simple_cfg()
+        assert cfg.entry_address == 0x1000
+
+    def test_block_at_exact(self):
+        cfg = self._simple_cfg()
+        assert cfg.block_at(0x1000) is not None
+        assert cfg.block_at(0x1004) is None
+
+    def test_block_containing_interior_address(self):
+        cfg = self._simple_cfg()
+        block = cfg.block_containing(0x1008)
+        assert block is not None and block.addr == 0x1000
+
+    def test_block_containing_outside(self):
+        cfg = self._simple_cfg()
+        assert cfg.block_containing(0x9000) is None
+
+    def test_counts(self):
+        cfg = self._simple_cfg()
+        assert cfg.num_blocks == 3
+        assert cfg.num_static_instructions == 12
+        assert cfg.footprint_bytes == 48
+
+    def test_validate_ok(self):
+        self._simple_cfg().validate()
+
+    def test_validate_missing_target(self):
+        bad = Function("main", 0x1000, [
+            make_block(0x1000, size=4, kind=BranchKind.UNCONDITIONAL,
+                       target=0x5000),
+        ])
+        cfg = ControlFlowGraph([bad], entry_function="main")
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_duplicate_block_address_rejected(self):
+        f1 = Function("a", 0x1000, [make_block(0x1000)])
+        f2 = Function("b", 0x1000, [make_block(0x1000)])
+        with pytest.raises(ValueError):
+            ControlFlowGraph([f1, f2], entry_function="a")
+
+    def test_unknown_entry_function_rejected(self):
+        f1 = Function("a", 0x1000, [make_block(0x1000)])
+        with pytest.raises(KeyError):
+            ControlFlowGraph([f1], entry_function="missing")
+
+    def test_function_size_properties(self):
+        f = Function("a", 0x1000, [make_block(0x1000, size=4),
+                                   make_block(0x1010, size=6)])
+        assert f.size_instructions == 10
+        assert f.size_bytes == 40

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "CLGP+L0", "--l1-size", "8192", "--benchmarks", "gzip"])
+        assert args.scheme == "CLGP+L0"
+        assert args.l1_size == 8192
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NOPE"])
+
+
+class TestCommands:
+    def test_tables_command(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+        assert "0.045um" in out
+
+    def test_run_command_small(self, capsys):
+        code = main(["run", "base", "--benchmarks", "gzip",
+                     "--instructions", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "HMEAN IPC" in out
+
+    def test_figure_command_small(self, capsys):
+        code = main(["figure", "4", "--benchmarks", "gzip",
+                     "--instructions", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CLGP" in out
+
+    def test_speedups_command_small(self, capsys):
+        code = main(["speedups", "--benchmarks", "gzip",
+                     "--instructions", "1000"])
+        assert code == 0
+        assert "CLGP vs FDP" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for SimulationConfig derivation logic."""
+
+import pytest
+
+from repro.simulator.config import SimulationConfig
+
+
+class TestValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(engine="markov")
+
+    def test_nonpositive_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(max_instructions=0)
+
+
+class TestTechnologyDerivedSizing:
+    def test_prebuffer_entries_from_one_cycle_capacity(self):
+        assert SimulationConfig(technology="0.09um").resolved_prebuffer_entries() == 8
+        assert SimulationConfig(technology="0.045um").resolved_prebuffer_entries() == 4
+
+    def test_prebuffer_explicit_override(self):
+        config = SimulationConfig(technology="0.045um", prebuffer_entries=12)
+        assert config.resolved_prebuffer_entries() == 12
+
+    def test_pipelined_prebuffer_defaults_to_16_entries(self):
+        config = SimulationConfig(technology="0.045um", prebuffer_pipelined=True)
+        assert config.resolved_prebuffer_entries() == 16
+        assert config.resolved_prebuffer_latency() == 3
+
+    def test_pipelined_prebuffer_stages_at_009(self):
+        config = SimulationConfig(technology="0.09um", prebuffer_pipelined=True)
+        assert config.resolved_prebuffer_latency() == 2
+
+    def test_l0_size_from_one_cycle_capacity(self):
+        assert SimulationConfig(technology="0.09um",
+                                l0_enabled=True).resolved_l0_size() == 512
+        assert SimulationConfig(technology="0.045um",
+                                l0_enabled=True).resolved_l0_size() == 256
+        assert SimulationConfig(l0_enabled=False).resolved_l0_size() is None
+
+    def test_l1_latency_from_table3(self):
+        assert SimulationConfig(technology="0.045um",
+                                l1_size_bytes=4096).resolved_l1_latency() == 4
+        assert SimulationConfig(technology="0.09um",
+                                l1_size_bytes=4096).resolved_l1_latency() == 3
+
+    def test_ideal_l1_forces_one_cycle(self):
+        config = SimulationConfig(ideal_l1=True, l1_size_bytes=65536)
+        assert config.resolved_l1_latency() == 1
+        assert config.hierarchy_config().l1_latency_override == 1
+
+
+class TestStructureConfigs:
+    def test_hierarchy_config_fields(self):
+        config = SimulationConfig(technology="0.045um", l1_size_bytes=8192,
+                                  l0_enabled=True, l1_pipelined=True)
+        h = config.hierarchy_config()
+        assert h.l1_size_bytes == 8192
+        assert h.l1_pipelined
+        assert h.l0_size_bytes == 256
+
+    def test_engine_config_fields(self):
+        config = SimulationConfig(engine="clgp", technology="0.045um",
+                                  clgp_free_on_use=True)
+        e = config.engine_config()
+        assert e.prebuffer_entries == 4
+        assert e.clgp_free_on_use
+
+    def test_lookahead_raised_for_pipelined_structures(self):
+        plain = SimulationConfig(technology="0.045um")
+        pipelined_pb = SimulationConfig(technology="0.045um",
+                                        prebuffer_pipelined=True)
+        pipelined_l1 = SimulationConfig(technology="0.045um", l1_pipelined=True,
+                                        l1_size_bytes=4096)
+        assert plain.engine_config().fetch_lookahead == plain.fetch_lookahead
+        assert pipelined_pb.engine_config().fetch_lookahead >= 4
+        assert pipelined_l1.engine_config().fetch_lookahead >= 5
+
+    def test_warmup_resolution(self):
+        assert SimulationConfig(warmup_instructions=0).resolved_warmup_instructions() == 0
+        assert SimulationConfig(warmup_instructions=123).resolved_warmup_instructions() == 123
+        auto = SimulationConfig(max_instructions=10_000).resolved_warmup_instructions()
+        assert auto >= 50_000
+
+
+class TestLabelsAndBudget:
+    @pytest.mark.parametrize("kwargs,expected", [
+        (dict(engine="baseline"), "base"),
+        (dict(engine="baseline", l1_pipelined=True), "base pipelined"),
+        (dict(engine="baseline", ideal_l1=True), "ideal"),
+        (dict(engine="baseline", l0_enabled=True), "base + L0"),
+        (dict(engine="fdp", l0_enabled=True), "FDP + L0"),
+        (dict(engine="clgp", l0_enabled=True, prebuffer_pipelined=True),
+         "CLGP + L0 + PB:16"),
+    ])
+    def test_derived_labels(self, kwargs, expected):
+        assert SimulationConfig(**kwargs).derived_label() == expected
+
+    def test_explicit_label_wins(self):
+        assert SimulationConfig(label="xyz").derived_label() == "xyz"
+
+    def test_with_overrides_copies(self):
+        a = SimulationConfig(l1_size_bytes=4096)
+        b = a.with_overrides(l1_size_bytes=8192)
+        assert a.l1_size_bytes == 4096 and b.l1_size_bytes == 8192
+
+    def test_total_fast_budget(self):
+        config = SimulationConfig(engine="clgp", technology="0.09um",
+                                  l1_size_bytes=1024, l0_enabled=True,
+                                  prebuffer_pipelined=True)
+        # 1KB L1 + 512B L0 + 16 * 64B pre-buffer = 2.5 KB (paper section 5.1)
+        assert config.total_fast_budget_bytes() == 1024 + 512 + 1024
+
+    def test_budget_without_prebuffer_for_baseline(self):
+        config = SimulationConfig(engine="baseline", l1_size_bytes=4096)
+        assert config.total_fast_budget_bytes() == 4096

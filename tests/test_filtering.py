@@ -1,0 +1,73 @@
+"""Tests for the prefetch filtering policies."""
+
+import pytest
+
+from repro.core.filtering import (
+    EnqueueCacheProbeFilter,
+    NullFilter,
+    make_filter,
+)
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(HierarchyConfig(l0_size_bytes=256))
+
+
+class TestNullFilter:
+    def test_always_prefetches(self, hierarchy):
+        f = NullFilter()
+        hierarchy.l1.fill(0x1000)
+        assert f.should_prefetch(0x1000, hierarchy)
+        assert f.stats.candidates == 1
+        assert f.stats.filtered == 0
+
+
+class TestEnqueueCacheProbeFilter:
+    def test_filters_l1_resident_lines(self, hierarchy):
+        f = EnqueueCacheProbeFilter()
+        hierarchy.l1.fill(0x1000)
+        assert not f.should_prefetch(0x1000, hierarchy)
+        assert f.stats.filtered_l1 == 1
+
+    def test_filters_l0_resident_lines(self, hierarchy):
+        f = EnqueueCacheProbeFilter()
+        hierarchy.l0.fill(0x2000)
+        assert not f.should_prefetch(0x2000, hierarchy)
+        assert f.stats.filtered_l0 == 1
+
+    def test_passes_uncached_lines(self, hierarchy):
+        f = EnqueueCacheProbeFilter()
+        assert f.should_prefetch(0x3000, hierarchy)
+
+    def test_l0_probe_can_be_disabled(self, hierarchy):
+        f = EnqueueCacheProbeFilter(probe_l0=False)
+        hierarchy.l0.fill(0x2000)
+        assert f.should_prefetch(0x2000, hierarchy)
+
+    def test_works_without_l0(self):
+        f = EnqueueCacheProbeFilter()
+        h = MemoryHierarchy(HierarchyConfig())
+        assert f.should_prefetch(0x1000, h)
+
+    def test_filter_rate(self, hierarchy):
+        f = EnqueueCacheProbeFilter()
+        hierarchy.l1.fill(0x1000)
+        f.should_prefetch(0x1000, hierarchy)
+        f.should_prefetch(0x5000, hierarchy)
+        assert f.stats.filter_rate == pytest.approx(0.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        (None, NullFilter), ("none", NullFilter),
+        ("enqueue-cache-probe", EnqueueCacheProbeFilter),
+        ("ecpf", EnqueueCacheProbeFilter),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_filter(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_filter("markov")

@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic program generator."""
+
+import pytest
+
+from repro.workloads.generator import (
+    CODE_BASE_ADDRESS,
+    ProgramGenerator,
+    WorkloadProfile,
+    generate_program,
+)
+from repro.workloads.isa import BranchKind
+
+
+@pytest.fixture(scope="module")
+def small_profile():
+    return WorkloadProfile(name="unit", footprint_kb=8.0, num_functions=6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def small_cfg(small_profile):
+    return generate_program(small_profile)
+
+
+class TestGeneratedStructure:
+    def test_validates(self, small_cfg):
+        small_cfg.validate()
+
+    def test_entry_is_main(self, small_cfg):
+        assert small_cfg.entry_function == "main"
+        assert small_cfg.entry_address == CODE_BASE_ADDRESS
+
+    def test_footprint_near_target(self, small_profile, small_cfg):
+        target = small_profile.footprint_kb * 1024
+        # main and alignment add overhead; allow a generous band.
+        assert 0.5 * target <= small_cfg.footprint_bytes <= 2.5 * target
+
+    def test_number_of_functions(self, small_profile, small_cfg):
+        # main + requested functions
+        assert len(small_cfg.functions) == small_profile.num_functions + 1
+
+    def test_blocks_do_not_overlap(self, small_cfg):
+        blocks = small_cfg.all_blocks()
+        for prev, cur in zip(blocks, blocks[1:]):
+            assert prev.end_addr <= cur.addr
+
+    def test_call_targets_are_function_entries(self, small_cfg):
+        entries = {f.entry for f in small_cfg.functions.values()}
+        for block in small_cfg.all_blocks():
+            if block.kind is BranchKind.CALL:
+                assert block.taken_target in entries
+
+    def test_main_ends_with_loopback(self, small_cfg):
+        main = small_cfg.functions["main"]
+        last = main.blocks[-1]
+        assert last.kind is BranchKind.UNCONDITIONAL
+        assert last.taken_target == main.entry
+
+    def test_non_main_functions_end_with_return(self, small_cfg):
+        for name, func in small_cfg.functions.items():
+            if name == "main":
+                continue
+            assert func.blocks[-1].kind is BranchKind.RETURN
+
+    def test_main_calls_every_body_function(self, small_cfg):
+        main = small_cfg.functions["main"]
+        called = {b.taken_target for b in main.blocks if b.kind is BranchKind.CALL}
+        body_entries = {
+            f.entry for name, f in small_cfg.functions.items()
+            if name != "main" and any(
+                b.kind is BranchKind.CALL for b in small_cfg.functions["main"].blocks
+            )
+        }
+        # every called target is a real function; at least half the
+        # functions are reachable directly from main.
+        assert called
+        assert len(called) >= (len(small_cfg.functions) - 1) // 2
+
+
+class TestDeterminismAndKnobs:
+    def test_same_seed_same_program(self):
+        p = WorkloadProfile(name="det", footprint_kb=6, num_functions=5, seed=42)
+        a = generate_program(p)
+        b = generate_program(p)
+        assert [blk.addr for blk in a.all_blocks()] == [blk.addr for blk in b.all_blocks()]
+        assert [blk.size for blk in a.all_blocks()] == [blk.size for blk in b.all_blocks()]
+
+    def test_different_seed_different_program(self):
+        a = generate_program(WorkloadProfile(name="x", footprint_kb=6, seed=1))
+        b = generate_program(WorkloadProfile(name="x", footprint_kb=6, seed=2))
+        assert [blk.size for blk in a.all_blocks()] != [blk.size for blk in b.all_blocks()]
+
+    def test_footprint_knob_scales_program(self):
+        small = generate_program(WorkloadProfile(name="s", footprint_kb=4, seed=5))
+        large = generate_program(WorkloadProfile(name="l", footprint_kb=64, seed=5))
+        assert large.footprint_bytes > 4 * small.footprint_bytes
+
+    def test_block_size_bounds_respected(self):
+        profile = WorkloadProfile(name="b", footprint_kb=8, min_block_size=3,
+                                  max_block_size=6, seed=9)
+        cfg = generate_program(profile)
+        for block in cfg.all_blocks():
+            assert 2 <= block.size <= max(6, 3)
+
+    def test_conditional_probabilities_in_range(self):
+        cfg = generate_program(WorkloadProfile(name="p", footprint_kb=16, seed=13))
+        for block in cfg.all_blocks():
+            if block.kind is BranchKind.CONDITIONAL:
+                assert 0.0 < block.taken_probability < 1.0
+
+    def test_scaled_helper(self):
+        p = WorkloadProfile(name="orig", footprint_kb=8)
+        q = p.scaled(footprint_kb=32, seed=99)
+        assert q.footprint_kb == 32 and q.seed == 99
+        assert p.footprint_kb == 8  # original unchanged
+
+    def test_generator_class_direct_use(self, small_profile):
+        cfg = ProgramGenerator(small_profile).generate()
+        assert cfg.num_blocks > 10

@@ -1,0 +1,107 @@
+"""Unit tests for the abstract ISA model (repro.workloads.isa)."""
+
+import pytest
+
+from repro.workloads.isa import (
+    INSTRUCTION_BYTES,
+    BranchKind,
+    InstrClass,
+    StaticInstruction,
+    TERMINATOR_CLASS,
+    align_down,
+    instructions_in_range,
+    line_address,
+    span_lines,
+)
+
+
+class TestInstrClass:
+    def test_control_classes(self):
+        assert InstrClass.BRANCH_COND.is_control
+        assert InstrClass.BRANCH_UNCOND.is_control
+        assert InstrClass.CALL.is_control
+        assert InstrClass.RETURN.is_control
+        assert not InstrClass.ALU.is_control
+        assert not InstrClass.LOAD.is_control
+
+    def test_memory_classes(self):
+        assert InstrClass.LOAD.is_memory
+        assert InstrClass.STORE.is_memory
+        assert not InstrClass.ALU.is_memory
+        assert not InstrClass.CALL.is_memory
+
+    def test_conditional_flag(self):
+        assert InstrClass.BRANCH_COND.is_conditional
+        assert not InstrClass.BRANCH_UNCOND.is_conditional
+
+
+class TestTerminatorMapping:
+    def test_every_branch_kind_has_terminator_class(self):
+        for kind in BranchKind:
+            assert kind in TERMINATOR_CLASS
+
+    def test_conditional_maps_to_conditional_branch(self):
+        assert TERMINATOR_CLASS[BranchKind.CONDITIONAL] is InstrClass.BRANCH_COND
+
+    def test_none_maps_to_alu(self):
+        assert TERMINATOR_CLASS[BranchKind.NONE] is InstrClass.ALU
+
+
+class TestAddressHelpers:
+    def test_align_down(self):
+        assert align_down(0, 64) == 0
+        assert align_down(63, 64) == 0
+        assert align_down(64, 64) == 64
+        assert align_down(130, 64) == 128
+
+    def test_line_address(self):
+        assert line_address(0x1000, 64) == 0x1000
+        assert line_address(0x103C, 64) == 0x1000
+        assert line_address(0x1040, 64) == 0x1040
+
+    def test_instructions_in_range(self):
+        addrs = list(instructions_in_range(0x100, 4))
+        assert addrs == [0x100, 0x104, 0x108, 0x10C]
+
+    def test_instructions_in_range_empty(self):
+        assert list(instructions_in_range(0x100, 0)) == []
+
+
+class TestSpanLines:
+    def test_single_line(self):
+        assert span_lines(0x1000, 4, 64) == [0x1000]
+
+    def test_exactly_one_full_line(self):
+        # 16 four-byte instructions fill one 64-byte line.
+        assert span_lines(0x1000, 16, 64) == [0x1000]
+
+    def test_crosses_line_boundary(self):
+        # Start near the end of a line.
+        assert span_lines(0x1000 + 60, 2, 64) == [0x1000, 0x1040]
+
+    def test_multiple_lines(self):
+        lines = span_lines(0x1000, 40, 64)
+        assert lines == [0x1000, 0x1040, 0x1080]
+
+    def test_zero_instructions(self):
+        assert span_lines(0x1000, 0, 64) == []
+
+    def test_unaligned_start(self):
+        lines = span_lines(0x1008, 16, 64)
+        assert lines == [0x1000, 0x1040]
+
+
+class TestStaticInstruction:
+    def test_fields(self):
+        instr = StaticInstruction(addr=0x200, cls=InstrClass.LOAD)
+        assert instr.addr == 0x200
+        assert instr.cls is InstrClass.LOAD
+        assert not instr.is_block_terminator
+
+    def test_frozen(self):
+        instr = StaticInstruction(addr=0x200, cls=InstrClass.LOAD)
+        with pytest.raises(AttributeError):
+            instr.addr = 0x300
+
+    def test_instruction_size_constant(self):
+        assert INSTRUCTION_BYTES == 4

@@ -1,0 +1,104 @@
+"""Tests for the CACTI-like latency model (paper Table 3)."""
+
+import pytest
+
+from repro.memory.latency import (
+    L1_SIZES_BYTES,
+    L2_SIZE_BYTES,
+    MEMORY_LATENCY_CYCLES,
+    CactiLikeModel,
+    access_latency,
+    l1_latency_table,
+    l2_latency,
+    one_cycle_prebuffer_entries,
+    pipelined_prebuffer_stages,
+    table3_rows,
+)
+
+#: The exact latencies printed in the paper's Table 3.
+PAPER_TABLE3_090 = {
+    256: 1, 512: 1, 1024: 2, 2048: 2, 4096: 3,
+    8192: 3, 16384: 3, 32768: 3, 65536: 3, L2_SIZE_BYTES: 17,
+}
+PAPER_TABLE3_045 = {
+    256: 1, 512: 2, 1024: 3, 2048: 4, 4096: 4,
+    8192: 4, 16384: 4, 32768: 4, 65536: 5, L2_SIZE_BYTES: 24,
+}
+
+
+class TestTable3Exact:
+    @pytest.mark.parametrize("size,expected", sorted(PAPER_TABLE3_090.items()))
+    def test_090um_latencies(self, size, expected):
+        assert access_latency(size, "0.09um") == expected
+
+    @pytest.mark.parametrize("size,expected", sorted(PAPER_TABLE3_045.items()))
+    def test_045um_latencies(self, size, expected):
+        assert access_latency(size, "0.045um") == expected
+
+    def test_table3_rows_match_paper(self):
+        rows = table3_rows()
+        assert rows["0.09um"] == PAPER_TABLE3_090
+        assert rows["0.045um"] == PAPER_TABLE3_045
+
+    def test_l1_latency_table_covers_all_sweep_sizes(self):
+        table = l1_latency_table("0.045um")
+        assert set(table) == set(L1_SIZES_BYTES)
+
+    def test_l2_latency(self):
+        assert l2_latency("0.09um") == 17
+        assert l2_latency("0.045um") == 24
+
+    def test_memory_latency_constant(self):
+        assert MEMORY_LATENCY_CYCLES == 200
+
+
+class TestInterpolation:
+    def test_latency_monotonic_in_size(self):
+        model = CactiLikeModel("0.045um")
+        sizes = [256, 384, 512, 768, 1024, 3072, 4096, 131072, 1 << 20]
+        latencies = [model.access_latency_cycles(s) for s in sizes]
+        assert latencies == sorted(latencies)
+
+    def test_intermediate_size_between_anchors(self):
+        model = CactiLikeModel("0.09um")
+        # 3 KB sits between 2 KB (2 cycles) and 4 KB (3 cycles).
+        assert 2 <= model.access_latency_cycles(3072) <= 3
+
+    def test_access_time_positive_and_monotonic(self):
+        model = CactiLikeModel("0.09um")
+        previous = 0.0
+        for size in (256, 1024, 4096, 65536, 1 << 20):
+            t = model.access_time_ns(size)
+            assert t > 0
+            assert t >= previous
+            previous = t
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CactiLikeModel("0.09um").access_time_ns(0)
+
+    def test_unlisted_technology_scales(self):
+        # 0.13um is in the roadmap but not in Table 3; the model must still
+        # produce sane monotonic latencies.
+        model = CactiLikeModel(0.13)
+        assert model.access_latency_cycles(256) >= 1
+        assert (
+            model.access_latency_cycles(1 << 20)
+            > model.access_latency_cycles(4096)
+        )
+
+
+class TestDerivedSizing:
+    def test_one_cycle_capacity_matches_paper(self):
+        assert CactiLikeModel("0.09um").one_cycle_capacity_bytes(64) == 512
+        assert CactiLikeModel("0.045um").one_cycle_capacity_bytes(64) == 256
+
+    def test_prebuffer_entries_match_paper(self):
+        # "512 bytes at 0.09um and 256 bytes at 0.045um" -> 8 and 4 lines.
+        assert one_cycle_prebuffer_entries("0.09um") == 8
+        assert one_cycle_prebuffer_entries("0.045um") == 4
+
+    def test_pipelined_prebuffer_stages_match_paper(self):
+        # 16-entry pre-buffer: two stages at 0.09um, three at 0.045um.
+        assert pipelined_prebuffer_stages("0.09um", entries=16) == 2
+        assert pipelined_prebuffer_stages("0.045um", entries=16) == 3

@@ -1,0 +1,48 @@
+"""Tests for analysis metrics helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    budget_equivalent_size,
+    crossover_size,
+    speedup_table,
+)
+
+
+class TestSpeedupTable:
+    def test_relative_to_baseline(self):
+        table = speedup_table({"base": 1.0, "CLGP": 1.25, "FDP": 1.1}, "base")
+        assert table["CLGP"] == pytest.approx(0.25)
+        assert table["FDP"] == pytest.approx(0.10)
+        assert table["base"] == pytest.approx(0.0)
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            speedup_table({"a": 1.0}, "missing")
+
+
+class TestCrossover:
+    def test_crossover_found(self):
+        a = {256: 0.9, 1024: 1.1, 4096: 1.3}
+        b = {256: 1.0, 1024: 1.0, 4096: 1.0}
+        assert crossover_size(a, b) == 1024
+
+    def test_no_crossover(self):
+        a = {256: 0.5, 1024: 0.6}
+        b = {256: 1.0, 1024: 1.0}
+        assert crossover_size(a, b) is None
+
+    def test_only_common_sizes_considered(self):
+        a = {256: 2.0}
+        b = {1024: 1.0}
+        assert crossover_size(a, b) is None
+
+
+class TestBudgetEquivalent:
+    def test_smallest_size_reaching_target(self):
+        series = {256: 0.8, 1024: 1.0, 4096: 1.2, 16384: 1.4}
+        assert budget_equivalent_size(1.1, series) == 4096
+        assert budget_equivalent_size(0.1, series) == 256
+
+    def test_unreachable_target(self):
+        assert budget_equivalent_size(9.9, {256: 1.0}) is None

@@ -1,0 +1,112 @@
+"""Integration tests for the paper's qualitative claims.
+
+These run small but real simulations (a few thousand instructions on a
+large-footprint benchmark) and assert the *relationships* the paper
+establishes, with generous margins so the tests are robust to modelling
+noise:
+
+1. prefetching (FDP, CLGP) beats the no-prefetch baseline on benchmarks
+   whose code does not fit in the L1;
+2. CLGP serves more of its fetches from one-cycle storage than FDP;
+3. CLGP is at least as fast as FDP at the paper's headline design point;
+4. CLGP is far less sensitive to L1 size than the baseline;
+5. prefetch requests in CLGP hit the prestage buffer more often than FDP's
+   hit its prefetch buffer (paper Figure 8: 28% vs 21.5%);
+6. the prestaging claim that most fetches come from the prestage buffer.
+"""
+
+import pytest
+
+from repro.simulator.presets import paper_config
+from repro.simulator.runner import run_single
+
+INSTRUCTIONS = 6000
+BENCH = "gcc"          # large instruction footprint
+
+
+def run(scheme, benchmark=BENCH, l1_size=4096, tech="0.045um", **overrides):
+    config = paper_config(scheme, l1_size_bytes=l1_size, technology=tech,
+                          max_instructions=INSTRUCTIONS, **overrides)
+    return run_single(config, benchmark, INSTRUCTIONS)
+
+
+@pytest.fixture(scope="module")
+def results():
+    schemes = ("base", "base-pipelined", "base+L0", "ideal",
+               "FDP+L0", "CLGP+L0", "FDP+L0+PB16", "CLGP+L0+PB16")
+    return {scheme: run(scheme) for scheme in schemes}
+
+
+class TestPrefetchingBeatsBaselines:
+    def test_fdp_beats_base(self, results):
+        assert results["FDP+L0"].ipc > results["base"].ipc * 1.1
+
+    def test_clgp_beats_base_pipelined(self, results):
+        assert results["CLGP+L0"].ipc > results["base-pipelined"].ipc * 1.15
+
+    def test_clgp_pb16_is_best_overall(self, results):
+        best_baseline = max(results[s].ipc for s in
+                            ("base", "base-pipelined", "base+L0", "ideal"))
+        assert results["CLGP+L0+PB16"].ipc > best_baseline
+
+
+class TestCLGPvsFDP:
+    def test_clgp_not_slower_than_fdp(self, results):
+        assert results["CLGP+L0"].ipc >= results["FDP+L0"].ipc * 0.97
+
+    def test_clgp_serves_more_fetches_from_prebuffer(self, results):
+        clgp = results["CLGP+L0"].fetch_source_fractions()["PB"]
+        fdp = results["FDP+L0"].fetch_source_fractions()["PB"]
+        assert clgp > fdp + 0.15
+
+    def test_clgp_one_cycle_fraction_dominates(self, results):
+        assert (results["CLGP+L0"].one_cycle_fetch_fraction()
+                > results["FDP+L0"].one_cycle_fetch_fraction())
+
+    def test_clgp_reduces_slow_cache_fetches(self, results):
+        def slow_fraction(result):
+            fractions = result.fetch_source_fractions()
+            return fractions["il1"] + fractions["ul2"] + fractions["Mem"]
+        assert slow_fraction(results["CLGP+L0"]) < slow_fraction(results["FDP+L0"])
+
+    def test_clgp_prefetch_requests_hit_prebuffer_more(self, results):
+        clgp = results["CLGP+L0"].prefetch_source_fractions()["PB"]
+        fdp = results["FDP+L0"].prefetch_source_fractions()["PB"]
+        assert clgp >= fdp
+
+    def test_prestage_buffer_supplies_majority_of_fetches(self, results):
+        assert results["CLGP+L0"].fetch_source_fractions()["PB"] > 0.5
+
+
+class TestCacheSizeInsensitivity:
+    def test_clgp_flat_baseline_steep(self):
+        small_clgp = run("CLGP+L0", l1_size=512)
+        large_clgp = run("CLGP+L0", l1_size=32768)
+        small_base = run("base-pipelined", l1_size=512)
+        large_base = run("base-pipelined", l1_size=32768)
+        clgp_gain = large_clgp.ipc / small_clgp.ipc
+        base_gain = large_base.ipc / small_base.ipc
+        assert clgp_gain < base_gain
+
+    def test_tiny_budget_clgp_matches_large_pipelined_cache(self):
+        """Paper section 5.1: CLGP with a small budget rivals a much larger
+        pipelined I-cache without prefetching."""
+        clgp_small = run("CLGP+L0+PB16", l1_size=1024)
+        pipelined_large = run("base-pipelined", l1_size=16384)
+        assert clgp_small.ipc >= pipelined_large.ipc * 0.9
+
+
+class TestSmallCodeBenchmark:
+    def test_gzip_schemes_are_close(self):
+        """For a benchmark that fits in the L1, prefetching neither helps
+        much nor hurts much (paper Figure 6: gzip is the exception where
+        the pipelined baseline wins slightly)."""
+        clgp = run("CLGP+L0+PB16", benchmark="gzip", l1_size=8192)
+        base = run("base-pipelined", benchmark="gzip", l1_size=8192)
+        assert abs(clgp.ipc - base.ipc) / base.ipc < 0.35
+
+    def test_mcf_is_data_bound_everywhere(self):
+        clgp = run("CLGP+L0", benchmark="mcf")
+        base = run("base-pipelined", benchmark="mcf")
+        # Instruction prefetching cannot buy much on a data-bound benchmark.
+        assert clgp.ipc < base.ipc * 1.3

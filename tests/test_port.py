@@ -1,0 +1,71 @@
+"""Tests for the cache access-port timing model."""
+
+import pytest
+
+from repro.memory.port import AccessPort
+
+
+class TestBlockingPort:
+    def test_single_access_latency(self):
+        port = AccessPort(latency=3)
+        assert port.issue(10) == 13
+
+    def test_blocks_until_completion(self):
+        port = AccessPort(latency=3)
+        port.issue(10)
+        # The next access cannot start before cycle 13.
+        assert port.earliest_start(11) == 13
+        assert port.issue(11) == 16
+
+    def test_free_after_completion(self):
+        port = AccessPort(latency=2)
+        port.issue(0)
+        assert port.is_free(2)
+        assert port.issue(5) == 7
+
+    def test_stall_cycles_accounted(self):
+        port = AccessPort(latency=4)
+        port.issue(0)
+        port.issue(1)   # must wait until cycle 4
+        assert port.stats.stall_cycles == 3
+        assert port.stats.accesses == 2
+
+
+class TestPipelinedPort:
+    def test_back_to_back_issues(self):
+        port = AccessPort(latency=3, pipelined=True)
+        assert port.issue(0) == 3
+        assert port.issue(1) == 4
+        assert port.issue(2) == 5
+
+    def test_single_port_limits_same_cycle_issues(self):
+        port = AccessPort(latency=3, pipelined=True, ports=1)
+        assert port.issue(0) == 3
+        # Second access in the same cycle starts one cycle later.
+        assert port.issue(0) == 4
+
+    def test_two_ports_allow_two_per_cycle(self):
+        port = AccessPort(latency=2, pipelined=True, ports=2)
+        assert port.issue(0) == 2
+        assert port.issue(0) == 2
+        assert port.issue(0) == 3
+
+    def test_completion_if_issued_is_side_effect_free(self):
+        port = AccessPort(latency=3, pipelined=True)
+        before = port.completion_if_issued(5)
+        after = port.completion_if_issued(5)
+        assert before == after == 8
+        assert port.stats.accesses == 0
+
+
+class TestValidationAndReset:
+    @pytest.mark.parametrize("latency,ports", [(0, 1), (1, 0), (-1, 1)])
+    def test_invalid_parameters(self, latency, ports):
+        with pytest.raises(ValueError):
+            AccessPort(latency=latency, ports=ports)
+
+    def test_reset(self):
+        port = AccessPort(latency=5)
+        port.issue(0)
+        port.reset()
+        assert port.issue(0) == 5

@@ -1,0 +1,70 @@
+"""Tests for the paper-configuration presets."""
+
+import pytest
+
+from repro.simulator.presets import (
+    FIGURE1_SCHEMES,
+    FIGURE5_SCHEMES,
+    FIGURE6_SCHEMES,
+    SCHEMES,
+    configs_for_schemes,
+    paper_config,
+    scheme_descriptions,
+)
+
+
+class TestPaperConfig:
+    def test_all_schemes_buildable(self):
+        for scheme in SCHEMES:
+            config = paper_config(scheme, l1_size_bytes=4096,
+                                  technology="0.045um")
+            assert config.derived_label() == scheme
+            assert config.l1_size_bytes == 4096
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            paper_config("CLGP+L3")
+
+    def test_base_pipelined_sets_pipelined_l1(self):
+        assert paper_config("base-pipelined").l1_pipelined
+        assert not paper_config("base").l1_pipelined
+
+    def test_ideal_sets_override(self):
+        assert paper_config("ideal").ideal_l1
+
+    def test_l0_variants(self):
+        assert paper_config("FDP+L0").l0_enabled
+        assert not paper_config("FDP").l0_enabled
+        assert paper_config("CLGP+L0").engine == "clgp"
+
+    def test_pb16_variants_are_pipelined(self):
+        for scheme in ("FDP+L0+PB16", "CLGP+L0+PB16"):
+            config = paper_config(scheme)
+            assert config.prebuffer_pipelined
+            assert config.resolved_prebuffer_entries() == 16
+
+    def test_overrides_pass_through(self):
+        config = paper_config("CLGP+L0", max_instructions=1234,
+                              clgp_free_on_use=True)
+        assert config.max_instructions == 1234
+        assert config.clgp_free_on_use
+
+
+class TestSchemeGroups:
+    def test_figure_scheme_lists_are_valid(self):
+        for group in (FIGURE1_SCHEMES, FIGURE5_SCHEMES, FIGURE6_SCHEMES):
+            assert set(group) <= set(SCHEMES)
+
+    def test_figure5_has_six_configurations(self):
+        assert len(FIGURE5_SCHEMES) == 6
+
+    def test_figure6_has_three_configurations(self):
+        assert len(FIGURE6_SCHEMES) == 3
+
+    def test_configs_for_schemes(self):
+        configs = configs_for_schemes(("base", "CLGP+L0"), 8192, "0.09um")
+        assert [c.derived_label() for c in configs] == ["base", "CLGP+L0"]
+        assert all(c.l1_size_bytes == 8192 for c in configs)
+
+    def test_descriptions_cover_all_schemes(self):
+        assert set(scheme_descriptions()) == set(SCHEMES)

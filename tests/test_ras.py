@@ -1,0 +1,76 @@
+"""Tests for the return address stack."""
+
+import pytest
+
+from repro.frontend.ras import ReturnAddressStack
+
+
+class TestBasicOperation:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_pop_empty_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_peek_does_not_remove(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x300)
+        assert ras.peek() == 0x300
+        assert len(ras) == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)
+        assert ras.overflows == 1
+        assert ras.pop() == 0x3
+        assert ras.pop() == 0x2
+        assert ras.pop() is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+
+class TestCheckpointing:
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(8)
+        for addr in (0x10, 0x20, 0x30):
+            ras.push(addr)
+        snap = ras.snapshot()
+        ras.pop()
+        ras.push(0x99)
+        ras.restore(snap)
+        assert ras.pop() == 0x30
+        assert ras.pop() == 0x20
+
+    def test_restore_respects_capacity(self):
+        ras = ReturnAddressStack(2)
+        snap = (0x1, 0x2, 0x3, 0x4)
+        ras.restore(snap)
+        assert len(ras) == 2
+        assert ras.pop() == 0x4
+        assert ras.pop() == 0x3
+
+    def test_clear(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x1)
+        ras.clear()
+        assert len(ras) == 0
+        assert ras.peek() is None
+
+    def test_counters(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x1)
+        ras.pop()
+        ras.pop()
+        assert ras.pushes == 1
+        assert ras.pops == 2
+        assert ras.underflows == 1

@@ -1,0 +1,87 @@
+"""Tests for the replacement policies."""
+
+import pytest
+
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recently_used(self):
+        policy = LRUPolicy()
+        for tag in ("a", "b", "c"):
+            policy.insert(tag)
+        policy.touch("a")
+        assert policy.victim(["a", "b", "c"]) == "b"
+
+    def test_touch_refreshes(self):
+        policy = LRUPolicy()
+        policy.insert("a")
+        policy.insert("b")
+        policy.touch("a")
+        assert policy.victim(["a", "b"]) == "b"
+
+    def test_evict_removes_state(self):
+        policy = LRUPolicy()
+        policy.insert("a")
+        policy.evict("a")
+        # re-inserted entry should behave as new
+        policy.insert("b")
+        policy.insert("a")
+        assert policy.victim(["a", "b"]) == "b"
+
+    def test_age_rank_ordering(self):
+        policy = LRUPolicy()
+        for tag in ("a", "b", "c"):
+            policy.insert(tag)
+        policy.touch("a")
+        assert policy.age_rank(["a", "b", "c"]) == ["b", "c", "a"]
+
+
+class TestFIFO:
+    def test_victim_is_first_inserted(self):
+        policy = FIFOPolicy()
+        for tag in ("x", "y", "z"):
+            policy.insert(tag)
+        policy.touch("x")  # hits do not matter for FIFO
+        assert policy.victim(["x", "y", "z"]) == "x"
+
+    def test_eviction_moves_to_next_oldest(self):
+        policy = FIFOPolicy()
+        for tag in ("x", "y", "z"):
+            policy.insert(tag)
+        policy.evict("x")
+        assert policy.victim(["y", "z"]) == "y"
+
+
+class TestRandom:
+    def test_victim_is_member(self):
+        policy = RandomPolicy(seed=3)
+        resident = ["a", "b", "c", "d"]
+        for _ in range(20):
+            assert policy.victim(resident) in resident
+
+    def test_seeded_reproducibility(self):
+        a = RandomPolicy(seed=9)
+        b = RandomPolicy(seed=9)
+        resident = ["a", "b", "c", "d"]
+        assert [a.victim(resident) for _ in range(10)] == [
+            b.victim(resident) for _ in range(10)
+        ]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy), ("fifo", FIFOPolicy), ("random", RandomPolicy),
+        ("LRU", LRUPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")

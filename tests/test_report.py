@@ -1,0 +1,53 @@
+"""Tests for the plain-text report formatting."""
+
+from repro.analysis.report import (
+    format_ipc_sweep,
+    format_key_value_table,
+    format_latency_table,
+    format_per_benchmark,
+    format_source_distribution,
+    format_speedups,
+)
+
+
+class TestFormatIpcSweep:
+    def test_contains_schemes_sizes_and_values(self):
+        series = {"CLGP+L0": {256: 1.234, 4096: 1.5},
+                  "base": {256: 0.75, 4096: 0.9}}
+        text = format_ipc_sweep(series, "Figure X")
+        assert "Figure X" in text
+        assert "CLGP+L0" in text and "base" in text
+        assert "256B" in text and "4KB" in text
+        assert "1.234" in text
+
+    def test_missing_cells_render_nan(self):
+        series = {"a": {256: 1.0}, "b": {512: 2.0}}
+        text = format_ipc_sweep(series, "t")
+        assert "nan" in text
+
+
+class TestOtherFormatters:
+    def test_per_benchmark(self):
+        series = {"gzip": {"CLGP": 2.5, "FDP": 2.4}, "HMEAN": {"CLGP": 1.2, "FDP": 1.1}}
+        text = format_per_benchmark(series, "Figure 6")
+        assert "gzip" in text and "HMEAN" in text and "2.500" in text
+
+    def test_source_distribution_percentages(self):
+        series = {"CLGP": {4096: {"PB": 0.9, "il1": 0.1}}}
+        text = format_source_distribution(series, "Figure 7")
+        assert "90.0%" in text and "PB" in text
+
+    def test_key_value_table(self):
+        text = format_key_value_table({"RAS": "8-entry"}, "Table 2")
+        assert "RAS" in text and "8-entry" in text
+
+    def test_latency_table(self):
+        text = format_latency_table({"0.09um": {256: 1, 1 << 20: 17}})
+        assert "0.09um" in text and "17" in text
+
+    def test_speedups(self):
+        data = {"0.09um": {"clgp_over_fdp": 0.035,
+                           "clgp_over_base_pipelined": 0.39,
+                           "ipc": {"CLGP+L0+PB16": 1.5}}}
+        text = format_speedups(data)
+        assert "+3.5%" in text and "+39.0%" in text and "CLGP+L0+PB16" in text

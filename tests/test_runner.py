@@ -1,0 +1,101 @@
+"""Tests for the experiment runner and its environment knobs."""
+
+import pytest
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.runner import (
+    bench_benchmark_names,
+    bench_instruction_budget,
+    bench_l1_sizes,
+    clear_workload_cache,
+    get_workload,
+    run_benchmarks,
+    run_mix,
+    run_single,
+    sweep_l1_sizes,
+)
+
+
+def fast_config(**kw):
+    base = dict(engine="baseline", technology="0.045um", l1_size_bytes=4096,
+                max_instructions=800, warmup_instructions=2000)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestWorkloadCache:
+    def test_same_object_returned(self):
+        clear_workload_cache()
+        assert get_workload("gzip") is get_workload("gzip")
+
+    def test_clear(self):
+        a = get_workload("gzip")
+        clear_workload_cache()
+        assert get_workload("gzip") is not a
+
+
+class TestEnvironmentKnobs:
+    def test_instruction_budget_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_INSTRUCTIONS", raising=False)
+        assert bench_instruction_budget(12345) == 12345
+
+    def test_instruction_budget_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "5000")
+        assert bench_instruction_budget() == 5000
+
+    def test_instruction_budget_floor_and_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "10")
+        assert bench_instruction_budget() == 1000
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "lots")
+        assert bench_instruction_budget(777) == 777
+
+    def test_benchmarks_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_BENCHMARKS", raising=False)
+        assert bench_benchmark_names(["gcc"]) == ["gcc"]
+
+    def test_benchmarks_env_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BENCHMARKS", "gzip, mcf")
+        assert bench_benchmark_names() == ["gzip", "mcf"]
+
+    def test_benchmarks_env_all(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BENCHMARKS", "all")
+        assert len(bench_benchmark_names()) == 12
+
+    def test_benchmarks_env_invalid_name(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BENCHMARKS", "quake")
+        with pytest.raises(KeyError):
+            bench_benchmark_names()
+
+    def test_sizes_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SIZES", raising=False)
+        assert bench_l1_sizes([1024]) == [1024]
+        monkeypatch.setenv("REPRO_BENCH_SIZES", "256,4K,64KB")
+        assert bench_l1_sizes() == [256, 4096, 65536]
+
+
+class TestRunning:
+    def test_run_single(self):
+        result = run_single(fast_config(), "gzip", 800)
+        assert result.workload == "gzip"
+        assert result.committed_instructions >= 800
+
+    def test_run_benchmarks_order(self):
+        results = run_benchmarks(fast_config(), ["mcf", "gzip"], 600)
+        assert [r.workload for r in results] == ["mcf", "gzip"]
+
+    def test_run_mix_aggregates(self):
+        out = run_mix(fast_config(), ["gzip", "mcf"], 600)
+        assert set(out) == {"results", "hmean_ipc"}
+        assert out["hmean_ipc"] > 0
+        assert len(out["results"]) == 2
+
+    def test_sweep_l1_sizes(self):
+        configs = {
+            1024: fast_config(l1_size_bytes=1024),
+            4096: [fast_config(l1_size_bytes=4096)],
+        }
+        out = sweep_l1_sizes(configs, ["gzip"], 500)
+        assert set(out) == {1024, 4096}
+        for per_size in out.values():
+            for data in per_size.values():
+                assert data["hmean_ipc"] > 0

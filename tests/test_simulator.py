@@ -1,0 +1,116 @@
+"""Integration tests for the top-level simulator."""
+
+import pytest
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.simulator import Simulator, simulate
+
+from conftest import make_sim_config
+
+
+class TestBasicRuns:
+    @pytest.mark.parametrize("engine", ["baseline", "fdp", "clgp"])
+    def test_engines_run_to_completion(self, tiny_workload, engine):
+        config = make_sim_config(engine=engine, max_instructions=1500)
+        result = Simulator(config, tiny_workload).run()
+        assert result.committed_instructions >= 1500
+        assert result.cycles > 0
+        assert 0.05 < result.ipc < 4.0
+
+    def test_next_line_and_target_line_engines(self, tiny_workload):
+        for engine in ("next-line", "target-line"):
+            config = make_sim_config(engine=engine, max_instructions=1000)
+            result = Simulator(config, tiny_workload).run()
+            assert result.committed_instructions >= 1000
+
+    def test_simulate_helper(self, tiny_workload):
+        config = make_sim_config(max_instructions=800)
+        result = simulate(config, tiny_workload)
+        assert result.committed_instructions >= 800
+
+    def test_workload_by_name(self):
+        config = make_sim_config(max_instructions=800, warmup_instructions=2000)
+        result = simulate(config, "gzip")
+        assert result.workload == "gzip"
+
+    def test_workload_by_profile(self):
+        from repro.workloads.generator import WorkloadProfile
+        config = make_sim_config(max_instructions=500, warmup_instructions=0)
+        profile = WorkloadProfile(name="adhoc", footprint_kb=4, seed=21)
+        assert simulate(config, profile).workload == "adhoc"
+
+    def test_invalid_workload_type(self):
+        with pytest.raises(TypeError):
+            Simulator(make_sim_config(), 12345)
+
+
+class TestResultConsistency:
+    def test_committed_not_more_than_dispatched(self, tiny_workload):
+        result = simulate(make_sim_config(engine="fdp"), tiny_workload)
+        assert result.committed_instructions <= result.dispatched_instructions
+
+    def test_fetch_source_fractions_sum_to_one(self, tiny_workload):
+        result = simulate(make_sim_config(engine="clgp"), tiny_workload)
+        assert sum(result.fetch_source_fractions().values()) == pytest.approx(1.0)
+
+    def test_baseline_never_prefetches(self, tiny_workload):
+        result = simulate(make_sim_config(engine="baseline"), tiny_workload)
+        assert result.prefetches_issued == 0
+        assert result.bus_grants["prefetch"] == 0
+
+    def test_prefetchers_issue_prefetches(self, medium_workload):
+        result = simulate(make_sim_config(engine="clgp", max_instructions=3000),
+                          medium_workload)
+        assert result.prefetches_issued > 0
+
+    def test_redirects_match_flushes(self, tiny_workload):
+        result = simulate(make_sim_config(engine="clgp"), tiny_workload)
+        assert result.flushes == result.stream_mispredictions or (
+            result.flushes <= result.stream_mispredictions
+        )
+
+    def test_deterministic_given_config(self, tiny_workload):
+        config = make_sim_config(engine="clgp", max_instructions=1200)
+        a = Simulator(config, tiny_workload).run()
+        b = Simulator(config, tiny_workload).run()
+        assert a.cycles == b.cycles
+        assert a.committed_instructions == b.committed_instructions
+        assert a.fetch_source_lines == b.fetch_source_lines
+
+    def test_extras_present(self, tiny_workload):
+        result = simulate(make_sim_config(engine="clgp"), tiny_workload)
+        assert "l1_latency" in result.extras
+        assert result.extras["prebuffer_entries"] == 4
+
+
+class TestConfigurationEffects:
+    def test_ideal_l1_not_slower_than_blocking_base(self, medium_workload):
+        base = simulate(make_sim_config(engine="baseline", max_instructions=3000),
+                        medium_workload)
+        ideal = simulate(make_sim_config(engine="baseline", ideal_l1=True,
+                                         max_instructions=3000),
+                         medium_workload)
+        assert ideal.ipc >= base.ipc * 0.98
+
+    def test_larger_l1_helps_ideal_baseline(self, medium_workload):
+        small = simulate(make_sim_config(engine="baseline", ideal_l1=True,
+                                         l1_size_bytes=512,
+                                         max_instructions=3000),
+                         medium_workload)
+        large = simulate(make_sim_config(engine="baseline", ideal_l1=True,
+                                         l1_size_bytes=65536,
+                                         max_instructions=3000),
+                         medium_workload)
+        assert large.ipc > small.ipc
+
+    def test_step_can_be_called_directly(self, tiny_workload):
+        sim = Simulator(make_sim_config(max_instructions=100), tiny_workload)
+        sim.warm_up()
+        for _ in range(50):
+            sim.step()
+        assert sim.cycle == 50
+
+    def test_max_cycles_limit_respected(self, tiny_workload):
+        config = make_sim_config(max_instructions=10**9, max_cycles=300)
+        result = Simulator(config, tiny_workload).run()
+        assert result.cycles <= 300

@@ -1,0 +1,73 @@
+"""Tests for the SPECint2000 benchmark profiles."""
+
+import pytest
+
+from repro.workloads.spec2000 import (
+    DEFAULT_MIX,
+    SPECINT2000_NAMES,
+    SPECINT2000_PROFILES,
+    profile_for,
+    profiles_for,
+)
+
+
+class TestProfileCatalogue:
+    def test_all_twelve_benchmarks_present(self):
+        assert len(SPECINT2000_NAMES) == 12
+        assert set(SPECINT2000_NAMES) == set(SPECINT2000_PROFILES)
+
+    def test_names_match_paper_figure6_order(self):
+        assert SPECINT2000_NAMES == [
+            "gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+            "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf",
+        ]
+
+    def test_profile_for_known(self):
+        p = profile_for("gcc")
+        assert p.name == "gcc"
+
+    def test_profile_for_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError) as excinfo:
+            profile_for("doom")
+        assert "gzip" in str(excinfo.value)
+
+    def test_profiles_for_preserves_order(self):
+        ps = profiles_for(["mcf", "gzip"])
+        assert [p.name for p in ps] == ["mcf", "gzip"]
+
+    def test_default_mix_is_valid_subset(self):
+        assert set(DEFAULT_MIX) <= set(SPECINT2000_NAMES)
+        assert len(DEFAULT_MIX) >= 3
+
+
+class TestProfileCharacteristics:
+    def test_unique_seeds(self):
+        seeds = [p.seed for p in SPECINT2000_PROFILES.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_footprint_split(self):
+        """Small benchmarks must be much smaller than the large ones (the
+        paper's premise: gzip fits in tiny caches, gcc does not)."""
+        small = {"gzip", "mcf", "bzip2"}
+        large = {"gcc", "eon", "perlbmk", "vortex"}
+        max_small = max(SPECINT2000_PROFILES[n].footprint_kb for n in small)
+        min_large = min(SPECINT2000_PROFILES[n].footprint_kb for n in large)
+        assert min_large > 5 * max_small
+
+    def test_mcf_is_data_bound(self):
+        mcf = profile_for("mcf")
+        others = [p for n, p in SPECINT2000_PROFILES.items() if n != "mcf"]
+        assert mcf.dl1_miss_rate > max(p.dl1_miss_rate for p in others)
+
+    def test_gzip_is_most_predictable(self):
+        gzip = profile_for("gzip")
+        assert gzip.hard_branch_fraction <= min(
+            p.hard_branch_fraction for p in SPECINT2000_PROFILES.values()
+        )
+
+    def test_probabilities_are_valid(self):
+        for profile in SPECINT2000_PROFILES.values():
+            assert 0.0 <= profile.dl1_miss_rate <= 1.0
+            assert 0.0 <= profile.l2_data_miss_rate <= 1.0
+            assert 0.0 <= profile.hard_branch_fraction <= 1.0
+            assert 0.0 <= profile.load_fraction + profile.store_fraction < 1.0

@@ -1,0 +1,86 @@
+"""Tests for results aggregation (SimulationResult, harmonic means, ...)."""
+
+import pytest
+
+from repro.simulator.stats import (
+    SimulationResult,
+    aggregate_fetch_sources,
+    aggregate_prefetch_sources,
+    harmonic_mean,
+    harmonic_mean_ipc,
+    speedup,
+)
+
+
+def result(ipc_cycles=(1000, 1000), label="cfg", workload="w", **kw):
+    committed, cycles = ipc_cycles
+    return SimulationResult(
+        config_label=label, workload=workload, cycles=cycles,
+        committed_instructions=committed, **kw,
+    )
+
+
+class TestSimulationResult:
+    def test_ipc(self):
+        assert result((2000, 1000)).ipc == 2.0
+        assert result((0, 0)).ipc == 0.0
+
+    def test_misprediction_rate(self):
+        r = result(streams_predicted=200, stream_mispredictions=20)
+        assert r.misprediction_rate == pytest.approx(0.1)
+        assert result().misprediction_rate == 0.0
+
+    def test_fetch_source_fractions_normalised(self):
+        r = result(fetch_source_instructions={"PB": 60, "il1": 40})
+        fractions = r.fetch_source_fractions()
+        assert fractions["PB"] == pytest.approx(0.6)
+        assert fractions["il1"] == pytest.approx(0.4)
+        assert fractions["Mem"] == 0.0
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fetch_source_fractions_empty(self):
+        assert sum(result().fetch_source_fractions().values()) == 0.0
+
+    def test_one_cycle_fetch_fraction(self):
+        r = result(fetch_source_instructions={"PB": 50, "il0": 30, "il1": 20})
+        assert r.one_cycle_fetch_fraction() == pytest.approx(0.8)
+
+    def test_prefetch_source_fractions(self):
+        r = result(prefetch_source={"PB": 25, "ul2": 75})
+        assert r.prefetch_source_fractions()["ul2"] == pytest.approx(0.75)
+
+    def test_summary_contains_key_numbers(self):
+        text = result((500, 1000), label="CLGP+L0", workload="gcc").summary()
+        assert "CLGP+L0" in text and "gcc" in text and "0.500" in text
+
+
+class TestAggregation:
+    def test_harmonic_mean_basics(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 4.0]) == pytest.approx(8 / 3)
+        assert harmonic_mean([]) == 0.0
+        assert harmonic_mean([1.0, 0.0]) == 0.0
+
+    def test_harmonic_mean_below_arithmetic(self):
+        values = [0.5, 1.0, 2.5]
+        assert harmonic_mean(values) < sum(values) / len(values)
+
+    def test_harmonic_mean_ipc(self):
+        results = [result((1000, 1000)), result((1000, 2000))]
+        assert harmonic_mean_ipc(results) == pytest.approx(harmonic_mean([1.0, 0.5]))
+
+    def test_aggregate_fetch_sources(self):
+        results = [
+            result(fetch_source_instructions={"PB": 80, "il1": 20}),
+            result(fetch_source_instructions={"PB": 20, "il1": 80}),
+        ]
+        agg = aggregate_fetch_sources(results)
+        assert agg["PB"] == pytest.approx(0.5)
+        assert agg["il1"] == pytest.approx(0.5)
+
+    def test_aggregate_prefetch_sources_empty(self):
+        assert sum(aggregate_prefetch_sources([result()]).values()) == 0.0
+
+    def test_speedup(self):
+        assert speedup(1.2, 1.0) == pytest.approx(0.2)
+        assert speedup(1.0, 0.0) == 0.0

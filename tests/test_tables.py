@@ -1,0 +1,43 @@
+"""Tests for the table builders (paper Tables 1-3)."""
+
+from repro.analysis.tables import table1, table2, table3
+from repro.simulator.config import SimulationConfig
+
+
+class TestTable1:
+    def test_five_generations(self):
+        assert len(table1()) == 5
+
+    def test_paper_design_points_present(self):
+        nodes = {row["technology_um"] for row in table1()}
+        assert {0.09, 0.045} <= nodes
+
+
+class TestTable2:
+    def test_contains_paper_rows(self):
+        rows = table2()
+        assert rows["Fetch/Issue/Commit"] == "4 instructions"
+        assert rows["RUU Size"] == "64 instructions"
+        assert rows["RAS"] == "8-entry"
+        assert rows["Pipeline depth"] == "15 stages"
+        assert "1K+6K" in rows["Branch Predictor"]
+        assert rows["Mem. lat."] == "200 cycles"
+        assert "1MB" in rows["L2 Cache"]
+
+    def test_reflects_custom_config(self):
+        rows = table2(SimulationConfig(fetch_width=8, ruu_size=128))
+        assert rows["Fetch/Issue/Commit"] == "8 instructions"
+        assert rows["RUU Size"] == "128 instructions"
+
+
+class TestTable3:
+    def test_both_technologies_present(self):
+        rows = table3()
+        assert set(rows) == {"0.09um", "0.045um"}
+
+    def test_values_match_paper(self):
+        rows = table3()
+        assert rows["0.09um"][4096] == 3
+        assert rows["0.045um"][4096] == 4
+        assert rows["0.09um"][1 << 20] == 17
+        assert rows["0.045um"][1 << 20] == 24

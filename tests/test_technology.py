@@ -1,0 +1,68 @@
+"""Tests for the SIA technology roadmap constants (paper Table 1)."""
+
+import pytest
+
+from repro.technology import (
+    EVALUATED_NODES,
+    TECH_045,
+    TECH_090,
+    TECHNOLOGY_ROADMAP,
+    TechnologyNode,
+    resolve_technology,
+    table1_rows,
+)
+
+
+class TestTable1Values:
+    def test_roadmap_has_five_rows(self):
+        assert len(TECHNOLOGY_ROADMAP) == 5
+
+    def test_exact_paper_values(self):
+        rows = {n.feature_size_um: n for n in TECHNOLOGY_ROADMAP}
+        assert rows[0.18].year == 1999 and rows[0.18].cycle_time_ns == 2.0
+        assert rows[0.13].clock_ghz == 1.7 and rows[0.13].cycle_time_ns == 0.59
+        assert rows[0.09].year == 2004 and rows[0.09].clock_ghz == 4.0
+        assert rows[0.065].clock_ghz == 6.7 and rows[0.065].cycle_time_ns == 0.15
+        assert rows[0.045].year == 2010 and rows[0.045].cycle_time_ns == 0.087
+
+    def test_evaluated_nodes(self):
+        assert TECH_090.feature_size_um == 0.09
+        assert TECH_045.feature_size_um == 0.045
+        assert EVALUATED_NODES == (TECH_090, TECH_045)
+
+    def test_monotonic_trends(self):
+        clocks = [n.clock_ghz for n in TECHNOLOGY_ROADMAP]
+        cycles = [n.cycle_time_ns for n in TECHNOLOGY_ROADMAP]
+        assert clocks == sorted(clocks)
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_table1_rows_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 5
+        assert {"year", "technology_um", "clock_ghz", "cycle_time_ns"} <= set(rows[0])
+
+
+class TestResolveTechnology:
+    @pytest.mark.parametrize("spec", [0.09, "0.09", "0.09um", "90nm", TECH_090])
+    def test_accepts_many_spellings_090(self, spec):
+        assert resolve_technology(spec) is TECH_090
+
+    @pytest.mark.parametrize("spec", [0.045, "0.045um", "45nm"])
+    def test_accepts_many_spellings_045(self, spec):
+        assert resolve_technology(spec) is TECH_045
+
+    def test_unknown_feature_size(self):
+        with pytest.raises(KeyError):
+            resolve_technology(0.5)
+
+    def test_garbage_string(self):
+        with pytest.raises(KeyError):
+            resolve_technology("quantum")
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeError):
+            resolve_technology([0.09])
+
+    def test_node_name(self):
+        assert TECH_090.name == "0.09um"
+        assert TECH_045.name == "0.045um"

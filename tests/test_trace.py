@@ -1,0 +1,141 @@
+"""Tests for dynamic execution: ProgramWalker and CorrectPathOracle."""
+
+import pytest
+
+from repro.workloads.isa import INSTRUCTION_BYTES, BranchKind
+from repro.workloads.trace import (
+    CorrectPathOracle,
+    ProgramWalker,
+    build_workload,
+)
+from repro.workloads.generator import WorkloadProfile
+
+
+class TestProgramWalker:
+    def test_blocks_follow_control_flow(self, tiny_workload):
+        walker = ProgramWalker(tiny_workload.cfg, seed=1)
+        prev = None
+        for _ in range(200):
+            rec = walker.next_block()
+            if prev is not None:
+                assert rec.addr == prev.next_addr
+            prev = rec
+
+    def test_taken_implies_target(self, tiny_workload):
+        walker = ProgramWalker(tiny_workload.cfg, seed=1)
+        for _ in range(300):
+            rec = walker.next_block()
+            if not rec.taken:
+                assert rec.next_addr == rec.end_addr
+            if rec.kind is BranchKind.UNCONDITIONAL:
+                assert rec.taken
+
+    def test_call_return_pairing(self, tiny_workload):
+        """Returns must go back to the instruction after some earlier call."""
+        walker = ProgramWalker(tiny_workload.cfg, seed=2)
+        call_fallthroughs = []
+        checked = 0
+        for _ in range(2000):
+            rec = walker.next_block()
+            if rec.kind is BranchKind.CALL and rec.taken:
+                call_fallthroughs.append(rec.end_addr)
+            elif rec.kind is BranchKind.RETURN and rec.taken and call_fallthroughs:
+                assert rec.next_addr == call_fallthroughs.pop()
+                checked += 1
+        assert checked > 0
+
+    def test_deterministic_given_seed(self, tiny_workload):
+        a = ProgramWalker(tiny_workload.cfg, seed=5)
+        b = ProgramWalker(tiny_workload.cfg, seed=5)
+        for _ in range(300):
+            ra, rb = a.next_block(), b.next_block()
+            assert ra == rb
+
+    def test_instruction_counter(self, tiny_workload):
+        walker = ProgramWalker(tiny_workload.cfg, seed=1)
+        total = sum(walker.next_block().size for _ in range(50))
+        assert walker.instructions_executed == total
+        assert walker.blocks_executed == 50
+
+
+class TestCorrectPathOracle:
+    def _oracle(self, workload, seed=1):
+        return CorrectPathOracle(ProgramWalker(workload.cfg, seed=seed))
+
+    def test_current_address_starts_at_entry(self, tiny_workload):
+        oracle = self._oracle(tiny_workload)
+        assert oracle.current_address() == tiny_workload.cfg.entry_address
+
+    def test_peek_does_not_advance(self, tiny_workload):
+        oracle = self._oracle(tiny_workload)
+        first = oracle.peek_stream()
+        second = oracle.peek_stream()
+        assert first == second
+        assert oracle.consumed_instructions == 0
+
+    def test_stream_ends_at_taken_branch_or_cap(self, tiny_workload):
+        oracle = self._oracle(tiny_workload)
+        for _ in range(100):
+            stream = oracle.peek_stream()
+            assert 1 <= stream.length <= oracle.max_stream_instructions
+            if not stream.ends_taken:
+                # Cap-ended streams continue sequentially.
+                assert stream.next_addr == stream.end_addr
+            oracle.advance(stream.length)
+
+    def test_advance_moves_to_next_stream_start(self, tiny_workload):
+        oracle = self._oracle(tiny_workload)
+        stream = oracle.peek_stream()
+        oracle.advance(stream.length)
+        assert oracle.current_address() == stream.next_addr
+
+    def test_partial_advance_lands_mid_stream(self, tiny_workload):
+        oracle = self._oracle(tiny_workload)
+        stream = oracle.peek_stream()
+        if stream.length < 2:
+            pytest.skip("first stream too short for a partial advance")
+        oracle.advance(stream.length - 1)
+        expected = stream.start + (stream.length - 1) * INSTRUCTION_BYTES
+        assert oracle.current_address() == expected
+        # The remainder of the stream is re-peeked from the middle.
+        rest = oracle.peek_stream()
+        assert rest.start == expected
+
+    def test_streams_are_contiguous_instruction_stream(self, tiny_workload):
+        oracle = self._oracle(tiny_workload)
+        consumed = 0
+        for _ in range(50):
+            stream = oracle.peek_stream()
+            oracle.advance(stream.length)
+            consumed += stream.length
+        assert oracle.consumed_instructions == consumed
+
+    def test_negative_advance_rejected(self, tiny_workload):
+        oracle = self._oracle(tiny_workload)
+        with pytest.raises(ValueError):
+            oracle.advance(-1)
+
+    def test_max_stream_cap_respected(self, tiny_workload):
+        oracle = CorrectPathOracle(
+            ProgramWalker(tiny_workload.cfg, seed=3), max_stream_instructions=8
+        )
+        for _ in range(50):
+            stream = oracle.peek_stream()
+            assert stream.length <= 8
+            oracle.advance(stream.length)
+
+
+class TestWorkload:
+    def test_build_workload(self):
+        workload = build_workload(WorkloadProfile(name="w", footprint_kb=4, seed=3))
+        assert workload.name == "w"
+        assert workload.cfg.num_blocks > 0
+
+    def test_new_oracle_is_reproducible(self, tiny_workload):
+        a = tiny_workload.new_oracle()
+        b = tiny_workload.new_oracle()
+        for _ in range(50):
+            sa, sb = a.peek_stream(), b.peek_stream()
+            assert sa == sb
+            a.advance(sa.length)
+            b.advance(sb.length)
