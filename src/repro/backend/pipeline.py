@@ -18,8 +18,9 @@ needed for an instruction-fetch study; what must be captured is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
 
 from .dcache import DataCacheModel
 from ..frontend.fetch_block import FetchedInstruction
@@ -38,7 +39,7 @@ class BackendStats:
     ruu_full_stalls: int = 0       #: dispatch attempts rejected for space
 
 
-@dataclass
+@dataclass(slots=True)
 class _RuuEntry:
     seq: int
     cls: InstrClass
@@ -67,9 +68,12 @@ class BackendPipeline:
         self.on_redirect = on_redirect
         self.stats = BackendStats()
 
-        self._ruu: List[_RuuEntry] = []
+        self._ruu: Deque[_RuuEntry] = deque()
         self._seq = 0
         self._pending_redirect_cycle: Optional[int] = None
+        #: Memoized per-address load miss probability (the CFG is static, so
+        #: the bisect in ``block_containing`` only has to run once per PC).
+        self._load_miss_prob: dict = {}
 
     # ------------------------------------------------------------------
     # dispatch (called by the fetch stage when instructions are delivered)
@@ -85,26 +89,45 @@ class BackendPipeline:
 
         Returns False (and dispatches nothing) when the RUU is full.
         """
-        if not self.has_space():
+        return self.dispatch_scalars(
+            instr.addr, instr.cls, instr.wrong_path,
+            instr.triggers_redirect, cycle,
+        )
+
+    def dispatch_scalars(
+        self,
+        addr: int,
+        cls: InstrClass,
+        wrong_path: bool,
+        triggers_redirect: bool,
+        cycle: int,
+    ) -> bool:
+        """Fast-path :meth:`dispatch` taking the instruction fields directly
+        (the fetch stage calls this once per delivered instruction; skipping
+        the :class:`FetchedInstruction` wrapper is a measurable win)."""
+        if len(self._ruu) >= self.ruu_size:
             self.stats.ruu_full_stalls += 1
             return False
         self._seq += 1
         entry = _RuuEntry(
             seq=self._seq,
-            cls=instr.cls,
-            wrong_path=instr.wrong_path,
+            cls=cls,
+            wrong_path=wrong_path,
             completion_cycle=None,
-            triggers_redirect=instr.triggers_redirect,
+            triggers_redirect=triggers_redirect,
         )
         self.stats.dispatched_instructions += 1
-        if instr.wrong_path:
+        if wrong_path:
             self.stats.wrong_path_dispatched += 1
 
-        if instr.cls is InstrClass.LOAD and not instr.wrong_path:
-            block = self.bbdict.cfg.block_containing(instr.addr)
-            miss_prob = (
-                block.load_miss_probability if block is not None else 0.0
-            )
+        if cls is InstrClass.LOAD and not wrong_path:
+            miss_prob = self._load_miss_prob.get(addr)
+            if miss_prob is None:
+                block = self.bbdict.cfg.block_containing(addr)
+                miss_prob = (
+                    block.load_miss_probability if block is not None else 0.0
+                )
+                self._load_miss_prob[addr] = miss_prob
             l2_miss_prob = self._l2_data_miss_rate
 
             def _complete(done_cycle: int, entry=entry) -> None:
@@ -114,7 +137,7 @@ class BackendPipeline:
         else:
             entry.completion_cycle = cycle + 1
 
-        if instr.triggers_redirect:
+        if triggers_redirect:
             # The redirect fires when the branch resolves in the back-end.
             self._pending_redirect_cycle = cycle + self.branch_resolution_latency
 
@@ -135,19 +158,25 @@ class BackendPipeline:
     def tick(self, cycle: int) -> int:
         """Resolve redirects and commit instructions.  Returns the number of
         instructions committed this cycle."""
-        self._maybe_redirect(cycle)
+        pending = self._pending_redirect_cycle
+        if pending is not None and cycle >= pending:
+            self._maybe_redirect(cycle)
+        ruu = self._ruu
         committed = 0
-        while committed < self.commit_width and self._ruu:
-            head = self._ruu[0]
+        width = self.commit_width
+        while committed < width and ruu:
+            head = ruu[0]
             if head.wrong_path:
                 break  # wait for the flush triggered by the resolving branch
-            if head.completion_cycle is None or head.completion_cycle > cycle:
+            completion = head.completion_cycle
+            if completion is None or completion > cycle:
                 break
-            self._ruu.pop(0)
+            ruu.popleft()
             committed += 1
+        stats = self.stats
         if committed == 0:
-            self.stats.commit_stall_cycles += 1
-        self.stats.committed_instructions += committed
+            stats.commit_stall_cycles += 1
+        stats.committed_instructions += committed
         return committed
 
     def _maybe_redirect(self, cycle: int) -> None:
@@ -160,7 +189,7 @@ class BackendPipeline:
         # Squash everything younger than the mispredicted branch.  By
         # construction every younger instruction is wrong-path.
         before = len(self._ruu)
-        self._ruu = [e for e in self._ruu if not e.wrong_path]
+        self._ruu = deque(e for e in self._ruu if not e.wrong_path)
         self.stats.squashed_instructions += before - len(self._ruu)
         self.stats.redirects += 1
         if self.on_redirect is not None:
@@ -174,3 +203,13 @@ class BackendPipeline:
     @property
     def redirect_pending(self) -> bool:
         return self._pending_redirect_cycle is not None
+
+    # -- introspection for the event-driven simulator loop -----------------
+    @property
+    def pending_redirect_cycle(self) -> Optional[int]:
+        """Cycle at which the pending misprediction resolves (None: none)."""
+        return self._pending_redirect_cycle
+
+    def ruu_head(self) -> Optional[_RuuEntry]:
+        """Oldest RUU entry (the only one commit can act on), or None."""
+        return self._ruu[0] if self._ruu else None

@@ -61,7 +61,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_instructions=args.instructions,
     )
     names = _benchmarks(args.benchmarks)
-    results = run_benchmarks(config, names, args.instructions)
+    if args.jobs < 0:
+        print("error: --jobs must be >= 1 (or 0 for all cores)", file=sys.stderr)
+        return 2
+    results = run_benchmarks(config, names, args.instructions, jobs=args.jobs)
     for result in results:
         print(result.summary())
     print(f"{'HMEAN IPC':>18s} : {harmonic_mean_ipc(results):.3f}")
@@ -139,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate one configuration")
     p_run.add_argument("scheme", choices=SCHEMES)
     _add_common(p_run)
+    # Only `run` drives run_benchmarks directly; the figure/speedups series
+    # builders do not take a jobs parameter (yet), so the flag is scoped
+    # here rather than silently ignored elsewhere.
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for multi-benchmark runs "
+                            "(0 = all cores)")
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure's data")

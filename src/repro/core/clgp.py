@@ -88,13 +88,15 @@ class CLGPEngine(FetchEngine):
     # the CLGP prestaging algorithm
     # ------------------------------------------------------------------
     def prefetch_tick(self, cycle: int) -> None:
+        cltq = self.cltq
+        if not cltq._unprefetched:
+            return
         issued = 0
         examined = 0
-        for request in self.cltq.iter_entries():
-            if examined >= self.config.clgp_scan_per_cycle:
+        while examined < self.config.clgp_scan_per_cycle:
+            request = cltq.next_unprefetched()
+            if request is None:
                 break
-            if request.prefetched:
-                continue
             examined += 1
             line = request.line_addr
 
@@ -102,14 +104,14 @@ class CLGPEngine(FetchEngine):
             if entry is not None:
                 # Already present (or in flight): extend its lifetime.
                 self.prestage_buffer.add_consumer(entry)
-                request.prefetched = True
+                cltq.mark_scanned(request)
                 self.stats.prefetch_source[SOURCE_PREBUFFER] += 1
                 continue
 
             if self.config.clgp_use_filtering and not self._ablation_filter.should_prefetch(
                 line, self.hierarchy
             ):
-                request.prefetched = True
+                cltq.mark_scanned(request)
                 self.stats.prefetch_source[SOURCE_L1] += 1
                 continue
 
@@ -120,7 +122,7 @@ class CLGPEngine(FetchEngine):
                 # Every entry still has outstanding consumers: retry later.
                 self.stats.prefetch_buffer_stalls += 1
                 break
-            request.prefetched = True
+            cltq.mark_scanned(request)
             issued += 1
             self.stats.prefetches_issued += 1
 
@@ -132,6 +134,31 @@ class CLGPEngine(FetchEngine):
             self.hierarchy.prefetch_access(
                 line, cycle, _arrived, probe_l1=self.config.prefetch_probe_l1
             )
+
+    def _prefetch_quiescent(self):
+        """Event-driven loop support: the prestaging scan is a pure wait iff
+        every CLTQ entry already has its prefetched bit set, or the first
+        unprefetched entry needs an allocation that cannot succeed because
+        every prestage entry still has outstanding consumers (one stall per
+        cycle).  CLTQ contents and consumers counters only change on
+        fetch/flush events, so the verdict holds for every skipped cycle."""
+        if self.config.clgp_scan_per_cycle < 1:
+            return 0   # the scan loop never runs
+        # The verdict only depends on the first entry the next scan would
+        # examine; peek_unprefetched shares next_unprefetched's staleness
+        # rule but has no side effects.
+        request = self.cltq.peek_unprefetched()
+        if request is None:
+            return 0
+        if self.config.clgp_use_filtering:
+            return None   # the scan would at least update filter state
+        if self.prestage_buffer.get(request.line_addr) is not None:
+            return None   # the scan would add a consumer
+        if self.config.prefetches_per_cycle < 1:
+            return 0      # the scan breaks right before allocating
+        if self.prestage_buffer.has_free_entry():
+            return None   # the scan would allocate and issue
+        return 1          # blocked: one prefetch_buffer_stalls per cycle
 
     # ------------------------------------------------------------------
     # fetch-stage hooks

@@ -30,6 +30,12 @@ class CacheLineTargetQueue:
         self.capacity_blocks = capacity_blocks
         self.line_size = line_size
         self._entries: Deque[FetchLineRequest] = deque()
+        #: Scan acceleration for the CLGP prestaging algorithm: entries in
+        #: queue order whose 'prefetched bit' may still be unset.  Stale
+        #: references (prefetched, or popped by the fetch stage) are lazily
+        #: dropped from the front, making the per-cycle scan O(window)
+        #: instead of O(queue length).
+        self._unprefetched: Deque[FetchLineRequest] = deque()
         self._resident_blocks = 0
         self.enqueued_blocks = 0
         self.enqueued_lines = 0
@@ -46,12 +52,13 @@ class CacheLineTargetQueue:
             return False
         requests = block.line_requests(self.line_size)
         self._entries.extend(requests)
+        self._unprefetched.extend(requests)
         self._resident_blocks += 1
         self.enqueued_blocks += 1
         self.enqueued_lines += len(requests)
         # Remember how many entries belong to this block so residency can be
         # decremented when its last line is consumed.
-        block._cltq_lines_remaining = len(requests)  # type: ignore[attr-defined]
+        block.cltq_lines_remaining = len(requests)
         return True
 
     # -- fetch side ----------------------------------------------------------
@@ -64,8 +71,8 @@ class CacheLineTargetQueue:
         request = self._entries.popleft()
         request.occupied = False
         block = request.block
-        remaining = getattr(block, "_cltq_lines_remaining", 1) - 1
-        block._cltq_lines_remaining = remaining  # type: ignore[attr-defined]
+        remaining = block.cltq_lines_remaining - 1
+        block.cltq_lines_remaining = remaining
         if remaining <= 0:
             self._resident_blocks = max(0, self._resident_blocks - 1)
         return request
@@ -84,10 +91,45 @@ class CacheLineTargetQueue:
     def iter_entries(self) -> Iterable[FetchLineRequest]:
         return iter(self._entries)
 
+    @staticmethod
+    def _is_stale(request: FetchLineRequest) -> bool:
+        """A pending-scan reference no longer worth examining: already
+        prefetched, or popped by the fetch stage."""
+        return request.prefetched or not request.occupied
+
+    def next_unprefetched(self) -> Optional[FetchLineRequest]:
+        """Head-most queued entry with an unset 'prefetched bit' (stale
+        scan references are dropped along the way)."""
+        pending = self._unprefetched
+        while pending:
+            request = pending[0]
+            if self._is_stale(request):
+                pending.popleft()
+                continue
+            return request
+        return None
+
+    def peek_unprefetched(self) -> Optional[FetchLineRequest]:
+        """Read-only :meth:`next_unprefetched`: same entry the next scan
+        would examine, with no side effects (stale references are skipped,
+        not dropped).  Used by the event loop's quiescence check."""
+        for request in self._unprefetched:
+            if not self._is_stale(request):
+                return request
+        return None
+
+    def mark_scanned(self, request: FetchLineRequest) -> None:
+        """The prestaging scan resolved this entry: set its 'prefetched
+        bit' and drop it from the pending-scan order."""
+        request.prefetched = True
+        if self._unprefetched and self._unprefetched[0] is request:
+            self._unprefetched.popleft()
+
     # -- global -----------------------------------------------------------------
     def flush(self) -> None:
         """Branch misprediction: discard every queued line."""
         self._entries.clear()
+        self._unprefetched.clear()
         self._resident_blocks = 0
 
     @property

@@ -23,14 +23,16 @@ cache, CLGP decrements the consumers counter), where demand misses fill
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 from ..frontend.fetch_block import (
     FetchBlock,
     FetchLineRequest,
     FetchedInstruction,
 )
+from ..workloads.isa import INSTRUCTION_BYTES
 from ..memory.hierarchy import (
     SOURCE_L0,
     SOURCE_L1,
@@ -127,7 +129,7 @@ class FetchStats:
         return {s: c / total for s, c in self.prefetch_source.items()}
 
 
-@dataclass
+@dataclass(slots=True)
 class _InflightLine:
     """A line access in progress in the fetch stage."""
 
@@ -137,6 +139,9 @@ class _InflightLine:
     pb_entry: Optional[PreBufferEntry] = None
     waiting_on_prebuffer: bool = False
     delivered: int = 0
+    #: Instruction classes of the parent block, resolved once when the line
+    #: access starts so delivery cycles never re-enter the bbdict walk.
+    classes: Optional[Tuple] = None
 
 
 class FetchEngine:
@@ -157,7 +162,7 @@ class FetchEngine:
         self.hierarchy = hierarchy
         self.bbdict = bbdict
         self.stats = FetchStats()
-        self._inflight: List[_InflightLine] = []
+        self._inflight: Deque[_InflightLine] = deque()
 
     # ==================================================================
     # interface towards the prediction unit (queue management)
@@ -196,6 +201,18 @@ class FetchEngine:
 
     def prefetch_tick(self, cycle: int) -> None:
         """Issue prefetches for this cycle (no-op for the baselines)."""
+
+    def _prefetch_quiescent(self) -> Optional[int]:
+        """Whether :meth:`prefetch_tick` is provably a pure wait right now.
+
+        Used by the simulator's event-driven loop.  Returns ``None`` when
+        the next ``prefetch_tick`` could change machine state (so cycles
+        must not be skipped); otherwise the number of
+        ``prefetch_buffer_stalls`` the tick would record (0 or 1), which the
+        loop replays for every skipped cycle.  Engines without a prefetcher
+        are always quiescent.
+        """
+        return 0
 
     def flush(self, cycle: int) -> None:
         """Branch misprediction: discard queued fetch requests.
@@ -268,6 +285,7 @@ class FetchEngine:
     def _start_line_access(self, request: FetchLineRequest, cycle: int) -> _InflightLine:
         line = request.line_addr
         infl = _InflightLine(request=request)
+        infl.classes = request.block.instr_classes(self.bbdict)
         hierarchy = self.hierarchy
 
         candidates = []
@@ -362,44 +380,73 @@ class FetchEngine:
     def _deliver(self, infl: _InflightLine, cycle: int, backend) -> int:
         request = infl.request
         block = request.block
-        classes = block.instr_classes(self.bbdict)
+        classes = infl.classes
+        if classes is None:   # line never went through _start_line_access
+            classes = infl.classes = block.instr_classes(self.bbdict)
+        source = infl.source
+        stats = self.stats
         delivered = 0
+        wrong = 0
         if infl.delivered == 0:
             # First delivery cycle of this line: account the line fetch.
-            self.stats.lines_fetched += 1
-            self.stats.fetch_source_lines[infl.source] += 1
+            stats.lines_fetched += 1
+            stats.fetch_source_lines[source] += 1
 
-        while (
-            delivered < self.config.fetch_width
-            and infl.delivered < request.num_instructions
-        ):
-            if not backend.has_space():
+        fetch_width = self.config.fetch_width
+        num_instructions = request.num_instructions
+        first_index = request.first_instr_index
+        block_start = block.start
+        block_wrong_path = block.wrong_path
+        correct_prefix = block.correct_prefix
+        mispredicted = block.mispredicted
+        # Scalar fast path when the back-end supports it; test doubles that
+        # only implement has_space()/dispatch(FetchedInstruction) still work.
+        dispatch_scalars = getattr(backend, "dispatch_scalars", None)
+        dispatch = backend.dispatch
+        free_slots = getattr(backend, "free_slots", None)
+        budget = min(fetch_width, num_instructions - infl.delivered)
+        if free_slots is not None:
+            budget = min(budget, free_slots())
+        while delivered < budget:
+            if free_slots is None and not backend.has_space():
                 break
-            index = request.first_instr_index + infl.delivered
-            wrong_path = block.wrong_path or index >= block.correct_prefix
-            triggers_redirect = (
-                block.mispredicted and index == block.correct_prefix - 1
-            )
-            instr = FetchedInstruction(
-                addr=block.instruction_addr(index),
-                cls=classes[index],
-                wrong_path=wrong_path,
-                triggers_redirect=triggers_redirect,
-                redirect_target=block.redirect_target if triggers_redirect else None,
-                fetch_source=infl.source,
-            )
-            if not backend.dispatch(instr, cycle):
+            index = first_index + infl.delivered
+            wrong_path = block_wrong_path or index >= correct_prefix
+            triggers_redirect = mispredicted and index == correct_prefix - 1
+            if dispatch_scalars is not None:
+                accepted = dispatch_scalars(
+                    block_start + index * INSTRUCTION_BYTES,
+                    classes[index], wrong_path, triggers_redirect, cycle,
+                )
+            else:
+                accepted = dispatch(
+                    FetchedInstruction(
+                        addr=block_start + index * INSTRUCTION_BYTES,
+                        cls=classes[index],
+                        wrong_path=wrong_path,
+                        triggers_redirect=triggers_redirect,
+                        redirect_target=(
+                            block.redirect_target if triggers_redirect else None
+                        ),
+                        fetch_source=source,
+                    ),
+                    cycle,
+                )
+            if not accepted:
                 break
             infl.delivered += 1
             delivered += 1
-            self.stats.instructions_delivered += 1
-            self.stats.fetch_source_instructions[infl.source] += 1
             if wrong_path:
-                self.stats.wrong_path_instructions += 1
+                wrong += 1
 
-        if infl.delivered >= request.num_instructions:
-            self._on_line_consumed(request, infl.source, infl.pb_entry, cycle)
-            self._inflight.pop(0)
+        if delivered:
+            stats.instructions_delivered += delivered
+            stats.fetch_source_instructions[source] += delivered
+            stats.wrong_path_instructions += wrong
+
+        if infl.delivered >= num_instructions:
+            self._on_line_consumed(request, source, infl.pb_entry, cycle)
+            self._inflight.popleft()
         return delivered
 
     # ==================================================================

@@ -62,6 +62,7 @@ class FDPEngine(FetchEngine):
         )
         self.filter = make_filter(config.prefetch_filter)
         self.piq: Deque[int] = deque()
+        self._piq_set: set = set()   # O(1) membership mirror of the PIQ
         self.piq_drops = 0
         if hierarchy.has_l0:
             self.name = "FDP+L0"
@@ -89,12 +90,13 @@ class FDPEngine(FetchEngine):
             # I-cache (L1 or L0), so no prefetch is performed.
             self.stats.prefetch_source[SOURCE_L1] += 1
             return
-        if line_addr in self.piq:
+        if line_addr in self._piq_set:
             return
         if len(self.piq) >= self.config.piq_entries:
             self.piq_drops += 1
             return
         self.piq.append(line_addr)
+        self._piq_set.add(line_addr)
 
     def _pop_next_line(self) -> Optional[FetchLineRequest]:
         return self.ftq.pop_line()
@@ -111,6 +113,7 @@ class FDPEngine(FetchEngine):
             line = self.piq[0]
             if self.prefetch_buffer.contains(line):
                 self.piq.popleft()
+                self._piq_set.discard(line)
                 self.stats.prefetch_source[SOURCE_PREBUFFER] += 1
                 continue
             entry = self.prefetch_buffer.allocate(line)
@@ -118,6 +121,7 @@ class FDPEngine(FetchEngine):
                 self.stats.prefetch_buffer_stalls += 1
                 break
             self.piq.popleft()
+            self._piq_set.discard(line)
             issued += 1
             self.stats.prefetches_issued += 1
 
@@ -129,6 +133,23 @@ class FDPEngine(FetchEngine):
             self.hierarchy.prefetch_access(
                 line, cycle, _arrived, probe_l1=self.config.prefetch_probe_l1
             )
+
+    def _prefetch_quiescent(self):
+        """Event-driven loop support: ``prefetch_tick`` is a pure wait iff
+        the PIQ is empty, or its head is blocked because every prefetch
+        buffer entry is still in use (which records one stall per cycle).
+        PIQ contents and buffer replaceability only change on fetch-stage /
+        flush events, so the verdict holds for every skipped cycle."""
+        if self.config.prefetches_per_cycle < 1:
+            return 0
+        if not self.piq:
+            return 0
+        line = self.piq[0]
+        if self.prefetch_buffer.contains(line):
+            return None   # the tick would pop the entry (state change)
+        if self.prefetch_buffer.has_free_entry():
+            return None   # the tick would allocate and issue
+        return 1          # blocked: one prefetch_buffer_stalls per cycle
 
     # ------------------------------------------------------------------
     # fetch-stage hooks
@@ -173,3 +194,4 @@ class FDPEngine(FetchEngine):
         super().flush(cycle)
         self.ftq.flush()
         self.piq.clear()
+        self._piq_set.clear()

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 from ..memory.port import AccessPort
 
 
-@dataclass
+@dataclass(slots=True)
 class PreBufferEntry:
     """One line-sized entry of a prefetch / prestage buffer."""
 
@@ -94,7 +94,13 @@ class PreBufferBase:
         raise NotImplementedError
 
     def has_free_entry(self) -> bool:
-        return len(self._entries) < self.capacity or bool(self.replaceable_entries())
+        return len(self._entries) < self.capacity or self._victim() is not None
+
+    def _victim(self) -> Optional[PreBufferEntry]:
+        """Preferred replacement victim (same choice as
+        ``replaceable_entries()[0]``, without building/sorting the list)."""
+        candidates = self.replaceable_entries()
+        return candidates[0] if candidates else None
 
     def allocate(self, line_addr: int) -> Optional[PreBufferEntry]:
         """Allocate an entry for a new prefetch of ``line_addr``.
@@ -105,10 +111,10 @@ class PreBufferBase:
         if line_addr in self._entries:
             raise ValueError(f"line {line_addr:#x} already in the pre-buffer")
         if len(self._entries) >= self.capacity:
-            candidates = self.replaceable_entries()
-            if not candidates:
+            victim = self._victim()
+            if victim is None:
                 return None
-            self._evict(candidates[0])
+            self._evict(victim)
         entry = PreBufferEntry(line_addr=line_addr, available=False)
         self._entries[line_addr] = entry
         self.touch(entry)
@@ -160,6 +166,18 @@ class PrefetchBuffer(PreBufferBase):
     def replaceable_entries(self) -> List[PreBufferEntry]:
         valid = [e for e in self._entries.values() if e.valid]
         return sorted(valid, key=lambda e: (not e.available, e.lru_stamp))
+
+    def _victim(self) -> Optional[PreBufferEntry]:
+        best = None
+        best_key = None
+        for e in self._entries.values():
+            if not e.valid:
+                continue
+            key = (not e.available, e.lru_stamp)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = e
+        return best
 
     def mark_used(self, entry: PreBufferEntry) -> None:
         """Called when the fetch unit consumes the line: the entry becomes

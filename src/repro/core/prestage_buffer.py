@@ -48,6 +48,17 @@ class PrestageBuffer(PreBufferBase):
         free = [e for e in self._entries.values() if e.consumers == 0]
         return sorted(free, key=lambda e: e.lru_stamp)
 
+    def _victim(self):
+        best = None
+        best_stamp = None
+        for e in self._entries.values():
+            if e.consumers:
+                continue
+            if best_stamp is None or e.lru_stamp < best_stamp:
+                best_stamp = e.lru_stamp
+                best = e
+        return best
+
     # -- CLGP bookkeeping ---------------------------------------------------
     def add_consumer(self, entry: PreBufferEntry) -> None:
         """A CLTQ entry now references this line (prefetch request found the

@@ -21,8 +21,14 @@ from ..workloads.isa import INSTRUCTION_BYTES, InstrClass, span_lines
 
 _block_ids = itertools.count()
 
+#: Memoized block-to-cache-line split geometry: (start, length, line_size)
+#: -> tuple of (line_addr, first_instr_index, num_instructions).  Fetch
+#: blocks for the same streams recur millions of times across a sweep and
+#: the split only depends on addresses, so this is shared globally.
+_SPLIT_CACHE: dict = {}
 
-@dataclass
+
+@dataclass(slots=True)
 class FetchBlock:
     """A predicted fetch stream (sequential run of instructions).
 
@@ -59,6 +65,9 @@ class FetchBlock:
     _instr_classes: Optional[Tuple[InstrClass, ...]] = field(
         default=None, repr=False, compare=False
     )
+    #: CLTQ bookkeeping: line entries of this block still resident in the
+    #: queue (maintained by :class:`~repro.core.cltq.CacheLineTargetQueue`).
+    cltq_lines_remaining: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.length < 1:
@@ -77,44 +86,48 @@ class FetchBlock:
     def instruction_addr(self, index: int) -> int:
         return self.start + index * INSTRUCTION_BYTES
 
+    def _split_geometry(self, line_size: int) -> tuple:
+        key = (self.start, self.length, line_size)
+        geometry = _SPLIT_CACHE.get(key)
+        if geometry is None:
+            start, end_addr = self.start, self.end_addr
+            segments = []
+            for line in span_lines(start, self.length, line_size):
+                seg_start = max(start, line)
+                seg_end = min(end_addr, line + line_size)
+                segments.append((
+                    line,
+                    (seg_start - start) // INSTRUCTION_BYTES,
+                    (seg_end - seg_start) // INSTRUCTION_BYTES,
+                ))
+            geometry = _SPLIT_CACHE[key] = tuple(segments)
+        return geometry
+
     def lines(self, line_size: int) -> List[int]:
         """Cache-line addresses covered by this block, in fetch order."""
-        return span_lines(self.start, self.length, line_size)
+        return [line for line, _, _ in self._split_geometry(line_size)]
 
     def line_requests(self, line_size: int) -> List["FetchLineRequest"]:
         """Split the block into per-line fetch requests (CLTQ granularity)."""
-        requests: List[FetchLineRequest] = []
-        for line in self.lines(line_size):
-            seg_start = max(self.start, line)
-            seg_end = min(self.end_addr, line + line_size)
-            n = (seg_end - seg_start) // INSTRUCTION_BYTES
-            first_index = (seg_start - self.start) // INSTRUCTION_BYTES
-            requests.append(
-                FetchLineRequest(
-                    line_addr=line,
-                    block=self,
-                    first_instr_index=first_index,
-                    num_instructions=n,
-                )
+        return [
+            FetchLineRequest(
+                line_addr=line,
+                block=self,
+                first_instr_index=first_index,
+                num_instructions=n,
             )
-        return requests
+            for line, first_index, n in self._split_geometry(line_size)
+        ]
 
     def instr_classes(self, bbdict: BasicBlockDictionary) -> Tuple[InstrClass, ...]:
         """Instruction classes for the whole block (resolved lazily via the
-        basic-block dictionary and cached on the block)."""
+        basic-block dictionary, which memoizes per (start, length))."""
         if self._instr_classes is None:
-            classes: List[InstrClass] = []
-            addr = self.start
-            while len(classes) < self.length:
-                view = bbdict.view_at(addr)
-                take = min(view.size, self.length - len(classes))
-                classes.extend(view.instr_classes[:take])
-                addr = view.start + take * INSTRUCTION_BYTES
-            self._instr_classes = tuple(classes[: self.length])
+            self._instr_classes = bbdict.classes_for(self.start, self.length)
         return self._instr_classes
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchLineRequest:
     """One cache line of a fetch block, as queued in the CLTQ or processed
     by the fetch stage."""
@@ -141,7 +154,7 @@ class FetchLineRequest:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchedInstruction:
     """A single instruction delivered by the fetch stage to the back-end."""
 

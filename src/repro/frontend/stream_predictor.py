@@ -35,7 +35,7 @@ from ..workloads.isa import BranchKind
 from ..workloads.trace import ActualStream
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamPrediction:
     """Outcome of a predictor lookup."""
 
@@ -47,7 +47,7 @@ class StreamPrediction:
     uses_ras: bool = False      #: True when next_addr should come from RAS
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     tag: int
     length: int
@@ -116,6 +116,26 @@ class _StreamTable:
 
     def occupancy(self) -> int:
         return sum(len(bucket) for bucket in self._sets)
+
+    def clone(self) -> "_StreamTable":
+        """Independent copy of contents and recency order.
+
+        Orders of magnitude cheaper than ``copy.deepcopy``; used to hand
+        each simulation a private copy of the warmed predictor prototype.
+        """
+        new = _StreamTable.__new__(_StreamTable)
+        new.entries = self.entries
+        new.associativity = self.associativity
+        new.num_sets = self.num_sets
+        new._sets = [
+            [
+                _Entry(e.tag, e.length, e.next_addr, e.terminator_kind,
+                       e.confidence)
+                for e in bucket
+            ]
+            for bucket in self._sets
+        ]
+        return new
 
 
 #: Backwards-compatible alias (earlier revisions used a direct-mapped table).
@@ -200,6 +220,21 @@ class StreamPredictor:
         self.history_table.update(
             self._history_key(addr, history), actual.length, actual.next_addr, kind
         )
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "StreamPredictor":
+        """Independent copy (tables and statistics included)."""
+        new = StreamPredictor.__new__(StreamPredictor)
+        new.base_table = self.base_table.clone()
+        new.history_table = self.history_table.clone()
+        new.default_length = self.default_length
+        new.history_bits = self.history_bits
+        new._history_mask = self._history_mask
+        new.lookups = self.lookups
+        new.base_hits = self.base_hits
+        new.history_hits = self.history_hits
+        new.table_misses = self.table_misses
+        return new
 
     # ------------------------------------------------------------------
     @staticmethod

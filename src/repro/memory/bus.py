@@ -52,7 +52,7 @@ class BusStats:
         return self.total_wait_cycles[priority] / g if g else 0.0
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _QueuedRequest:
     sort_key: tuple
     priority: BusPriority = field(compare=False)
@@ -75,6 +75,7 @@ class L2Bus:
         self.grants_per_cycle = grants_per_cycle
         self._queue: List[_QueuedRequest] = []
         self._counter = itertools.count()
+        self._live = 0   # non-cancelled queued requests (O(1) idle check)
         self.stats = BusStats()
 
     # ------------------------------------------------------------------
@@ -96,13 +97,16 @@ class L2Bus:
             tag=tag,
         )
         heapq.heappush(self._queue, request)
+        self._live += 1
         self.stats.record_request(priority)
         return request
 
     def cancel(self, request: _QueuedRequest) -> None:
         """Mark a queued request as cancelled (e.g. a prefetch squashed by a
         pipeline flush).  It will be skipped when it reaches the head."""
-        request.cancelled = True
+        if not request.cancelled:
+            request.cancelled = True
+            self._live -= 1
 
     def tick(self, cycle: int) -> int:
         """Grant up to ``grants_per_cycle`` queued requests.  Returns the
@@ -114,14 +118,20 @@ class L2Bus:
                 continue
             waited = max(0, cycle - request.submit_cycle)
             self.stats.record_grant(request.priority, waited)
+            self._live -= 1
             request.on_grant(cycle)
             granted += 1
         return granted
 
     # ------------------------------------------------------------------
     @property
+    def idle(self) -> bool:
+        """True when no live (non-cancelled) request is queued."""
+        return self._live == 0
+
+    @property
     def pending(self) -> int:
-        return sum(1 for r in self._queue if not r.cancelled)
+        return self._live
 
     def pending_by_priority(self, priority: BusPriority) -> int:
         return sum(

@@ -11,7 +11,7 @@ Used for the L0 filter cache, the L1 instruction cache, the unified L2 and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace as _replace
 from typing import Dict, List, Optional
 
 from .replacement import ReplacementPolicy, make_policy
@@ -85,21 +85,39 @@ class Cache:
         self.name = name
         self.size_bytes = size_bytes
         self.line_size = line_size
+        #: Mask for power-of-two line sizes (the common case); falls back to
+        #: modulo arithmetic otherwise.
+        self._line_mask = ~(line_size - 1) if line_size & (line_size - 1) == 0 else None
         self.associativity = associativity
         self.num_sets = num_lines // associativity
         self.policy_name = policy
-        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.num_sets)]
-        self._policies: List[ReplacementPolicy] = [
-            make_policy(policy, policy_seed + i) for i in range(self.num_sets)
-        ]
+        self._policy_seed = policy_seed
+        # Sets and their policies are allocated lazily on first touch: large
+        # caches (the 1 MB L2 has 4096 sets) would otherwise pay thousands
+        # of allocations per Simulator even when a run touches a handful.
+        self._sets: Dict[int, Dict[int, bool]] = {}
+        self._policies: Dict[int, ReplacementPolicy] = {}
         self.stats = CacheStats()
 
     # -- address mapping ---------------------------------------------------
     def line_address(self, addr: int) -> int:
+        mask = self._line_mask
+        if mask is not None:
+            return addr & mask
         return addr - (addr % self.line_size)
 
     def _set_index(self, line_addr: int) -> int:
         return (line_addr // self.line_size) % self.num_sets
+
+    def _set_and_policy(self, idx: int):
+        """Set contents + policy for ``idx``, allocating them on demand."""
+        cset = self._sets.get(idx)
+        if cset is None:
+            cset = self._sets[idx] = {}
+            self._policies[idx] = make_policy(
+                self.policy_name, self._policy_seed + idx
+            )
+        return cset, self._policies[idx]
 
     # -- content queries ----------------------------------------------------
     def contains(self, addr: int) -> bool:
@@ -109,14 +127,15 @@ class Cache:
         Filtering, which uses "an additional tag port or replicated tags").
         """
         line = self.line_address(addr)
-        return line in self._sets[self._set_index(line)]
+        cset = self._sets.get(self._set_index(line))
+        return cset is not None and line in cset
 
     def lookup(self, addr: int) -> bool:
         """A real access: updates replacement state and hit/miss counters."""
         line = self.line_address(addr)
         idx = self._set_index(line)
-        cset = self._sets[idx]
-        if line in cset:
+        cset = self._sets.get(idx)
+        if cset is not None and line in cset:
             self._policies[idx].touch(line)
             self.stats.hits += 1
             return True
@@ -132,8 +151,7 @@ class Cache:
         """
         line = self.line_address(addr)
         idx = self._set_index(line)
-        cset = self._sets[idx]
-        policy = self._policies[idx]
+        cset, policy = self._set_and_policy(idx)
         if line in cset:
             policy.touch(line)
             return None
@@ -152,8 +170,8 @@ class Cache:
         """Remove the line containing ``addr``; returns True if present."""
         line = self.line_address(addr)
         idx = self._set_index(line)
-        cset = self._sets[idx]
-        if line in cset:
+        cset = self._sets.get(idx)
+        if cset is not None and line in cset:
             del cset[line]
             self._policies[idx].evict(line)
             self.stats.invalidations += 1
@@ -162,8 +180,30 @@ class Cache:
 
     def flush(self) -> None:
         """Empty the cache (does not reset statistics)."""
-        for i in range(self.num_sets):
-            self._sets[i].clear()
+        for cset in self._sets.values():
+            cset.clear()
+
+    # -- snapshots (warm-state reuse across runs) -----------------------------
+    def snapshot(self) -> tuple:
+        """Capture contents, replacement state and statistics.
+
+        Used to warm many simulations from one replayed line trace: the
+        warm-up replays once into a fresh cache, snapshots it, and later
+        runs restore the snapshot instead of re-running thousands of
+        :meth:`fill` calls.
+        """
+        return (
+            {i: dict(s) for i, s in self._sets.items()},
+            {i: p.clone() for i, p in self._policies.items()},
+            _replace(self.stats),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a :meth:`snapshot` (contents, policies and statistics)."""
+        sets, policies, stats = snap
+        self._sets = {i: dict(s) for i, s in sets.items()}
+        self._policies = {i: p.clone() for i, p in policies.items()}
+        self.stats = _replace(stats)
 
     # -- introspection --------------------------------------------------------
     @property
@@ -173,12 +213,12 @@ class Cache:
     def resident_lines(self) -> List[int]:
         """All resident line addresses (mainly for tests/invariants)."""
         out: List[int] = []
-        for cset in self._sets:
+        for cset in self._sets.values():
             out.extend(cset.keys())
         return out
 
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets.values())
 
     def __contains__(self, addr: int) -> bool:
         return self.contains(addr)

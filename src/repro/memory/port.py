@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class PortStats:
     accesses: int = 0
     stall_cycles: int = 0  #: cycles requests had to wait for the port

@@ -32,6 +32,10 @@ class ReplacementPolicy(ABC):
     def victim(self, resident: List[Hashable]) -> Hashable:
         """Choose which of ``resident`` tags to replace."""
 
+    @abstractmethod
+    def clone(self) -> "ReplacementPolicy":
+        """Independent copy with identical state (for cache snapshots)."""
+
 
 class LRUPolicy(ReplacementPolicy):
     """Least-recently-used replacement."""
@@ -55,6 +59,12 @@ class LRUPolicy(ReplacementPolicy):
 
     def victim(self, resident: List[Hashable]) -> Hashable:
         return min(resident, key=lambda t: self._stamp.get(t, -1))
+
+    def clone(self) -> "LRUPolicy":
+        new = LRUPolicy()
+        new._stamp = dict(self._stamp)
+        new._clock = self._clock
+        return new
 
     def age_rank(self, resident: List[Hashable]) -> List[Hashable]:
         """Resident tags sorted oldest-first (exposed for the prestage
@@ -82,6 +92,12 @@ class FIFOPolicy(ReplacementPolicy):
     def victim(self, resident: List[Hashable]) -> Hashable:
         return min(resident, key=lambda t: self._order.get(t, -1))
 
+    def clone(self) -> "FIFOPolicy":
+        new = FIFOPolicy()
+        new._order = dict(self._order)
+        new._clock = self._clock
+        return new
+
 
 class RandomPolicy(ReplacementPolicy):
     """Uniform random replacement (seeded for reproducibility)."""
@@ -100,6 +116,11 @@ class RandomPolicy(ReplacementPolicy):
 
     def victim(self, resident: List[Hashable]) -> Hashable:
         return self._rng.choice(list(resident))
+
+    def clone(self) -> "RandomPolicy":
+        new = RandomPolicy()
+        new._rng.setstate(self._rng.getstate())
+        return new
 
 
 _POLICY_FACTORIES = {

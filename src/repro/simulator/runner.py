@@ -5,10 +5,17 @@ a set of benchmarks (and usually over L1 cache sizes).  This module
 provides those loops, a workload cache so each synthetic program is built
 only once per process, and simple helpers used by the benchmark harness
 and the examples.
+
+Sweeps are embarrassingly parallel (one process per simulation), so the
+multi-run entry points accept ``jobs=N`` to fan out over a
+``multiprocessing`` pool; each worker process keeps its own workload
+cache, so a benchmark's synthetic program is built at most once per
+worker.  ``jobs=1`` (the default) runs inline with identical results.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -93,26 +100,69 @@ def run_single(
     return Simulator(config, workload).run(max_instructions)
 
 
+def _run_task(task) -> SimulationResult:
+    """Pool worker: run one (config, benchmark, max_instructions) task.
+
+    Top-level function so it pickles; the workload cache is the worker
+    process's own module-global, so each worker builds a given synthetic
+    program at most once no matter how many tasks it serves.
+    """
+    config, benchmark, max_instructions = task
+    return run_single(config, benchmark, max_instructions)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument: ``None``/0 -> all cores, negative ->
+    ValueError, otherwise the value itself."""
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError("jobs must be >= 1 (or None/0 for all cores)")
+    return jobs
+
+
+def run_tasks(
+    tasks: Sequence[tuple],
+    jobs: int = 1,
+) -> List[SimulationResult]:
+    """Run ``(config, benchmark, max_instructions)`` tasks, optionally on a
+    process pool.  Results keep task order regardless of ``jobs``."""
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        return [_run_task(task) for task in tasks]
+    # chunksize=1: simulation tasks are coarse (>> pool overhead) and may
+    # have very uneven durations across configurations.
+    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(_run_task, tasks, chunksize=1)
+
+
 def run_benchmarks(
     config: SimulationConfig,
     benchmarks: Iterable[str],
     max_instructions: Optional[int] = None,
+    jobs: int = 1,
 ) -> List[SimulationResult]:
-    """Run one configuration across several benchmarks."""
-    return [run_single(config, name, max_instructions) for name in benchmarks]
+    """Run one configuration across several benchmarks.
+
+    ``jobs>1`` distributes the runs over worker processes (``None``/0 uses
+    every core); results are identical to the serial order.
+    """
+    tasks = [(config, name, max_instructions) for name in benchmarks]
+    return run_tasks(tasks, jobs=jobs)
 
 
 def run_mix(
     config: SimulationConfig,
     benchmarks: Optional[Iterable[str]] = None,
     max_instructions: Optional[int] = None,
+    jobs: int = 1,
 ) -> Dict[str, object]:
     """Run a configuration on a benchmark mix and aggregate.
 
     Returns ``{"results": [...], "hmean_ipc": float}``.
     """
     names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
-    results = run_benchmarks(config, names, max_instructions)
+    results = run_benchmarks(config, names, max_instructions, jobs=jobs)
     return {"results": results, "hmean_ipc": harmonic_mean_ipc(results)}
 
 
@@ -120,20 +170,32 @@ def sweep_l1_sizes(
     configs_by_size,
     benchmarks: Optional[Iterable[str]] = None,
     max_instructions: Optional[int] = None,
+    jobs: int = 1,
 ) -> Dict[int, Dict[str, object]]:
     """Run ``{size: config}`` (or ``{size: [configs]}``) over a benchmark mix.
 
     Returns ``{size: {label: {"results": [...], "hmean_ipc": float}}}``.
+    With ``jobs>1`` every (size, config, benchmark) simulation of the sweep
+    is fanned out over one shared process pool.
     """
     names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
-    out: Dict[int, Dict[str, object]] = {}
+    plan: List[tuple] = []          # (size, label) in insertion order
+    tasks: List[tuple] = []
     for size, configs in configs_by_size.items():
         if isinstance(configs, SimulationConfig):
             configs = [configs]
-        per_size: Dict[str, object] = {}
         for config in configs:
-            per_size[config.derived_label()] = run_mix(
-                config, names, max_instructions
-            )
-        out[size] = per_size
+            plan.append((size, config.derived_label()))
+            for name in names:
+                tasks.append((config, name, max_instructions))
+    flat = run_tasks(tasks, jobs=jobs)
+    out: Dict[int, Dict[str, object]] = {}
+    cursor = 0
+    for size, label in plan:
+        results = flat[cursor:cursor + len(names)]
+        cursor += len(names)
+        out.setdefault(size, {})[label] = {
+            "results": results,
+            "hmean_ipc": harmonic_mean_ipc(results),
+        }
     return out

@@ -1,4 +1,4 @@
-"""Top-level cycle-driven simulator.
+"""Top-level cycle-driven simulator with event-driven cycle skipping.
 
 Wires together the workload, the decoupled prediction unit, one of the
 fetch engines, the memory hierarchy + bus, and the simplified back-end,
@@ -13,6 +13,22 @@ Per-cycle ordering (see DESIGN.md section 6):
 3. prefetcher: issue prefetches (FDP / CLGP),
 4. prediction: insert one new fetch block into the FTQ / CLTQ,
 5. bus: grant one queued L2 request (demand beats prefetch).
+
+Event-driven fast-forwarding
+----------------------------
+
+Most simulated cycles during a long-latency instruction or data miss are
+*provably idle*: the fetch head is waiting out a known access latency, the
+decoupling queue is full (so prediction is stalled), the prefetcher has
+nothing issuable, the bus is empty, and the back-end cannot commit before a
+known completion cycle.  In that state every component tick is a pure wait
+whose only effect is incrementing per-cycle stall counters, so the loop in
+:meth:`Simulator.run` jumps ``self.cycle`` straight to the next interesting
+cycle (head-line ready, RUU-head completion, branch resolution) and replays
+the skipped stall counters in bulk.  The result -- every field of
+:class:`~repro.simulator.stats.SimulationResult` -- is bit-identical to the
+straight per-cycle loop (``loop="cycle"``), which is kept both as a
+fallback and as the reference for the determinism regression test.
 """
 
 from __future__ import annotations
@@ -105,6 +121,7 @@ class Simulator:
         self.backend.set_l2_data_miss_rate(self.workload.profile.l2_data_miss_rate)
         self.cycle = 0
         self._warmed = False
+        self._bus = self.hierarchy.bus   # hot-path alias for the event loop
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -156,18 +173,155 @@ class Simulator:
         self.prediction.predictor = apply_warmup(artifacts, self.hierarchy)
         return artifacts.instructions
 
-    def run(self, max_instructions: Optional[int] = None) -> SimulationResult:
+    def run(
+        self,
+        max_instructions: Optional[int] = None,
+        loop: Optional[str] = None,
+    ) -> SimulationResult:
         """Run until ``max_instructions`` correct-path instructions commit
-        (or the safety cycle limit is hit) and return the results."""
+        (or the safety cycle limit is hit) and return the results.
+
+        ``loop`` selects the simulation loop: ``"event"`` (default, from
+        ``config.sim_loop``) fast-forwards across provably-idle stretches;
+        ``"cycle"`` ticks every cycle.  Both produce bit-identical results.
+        """
         self.warm_up()
         target = max_instructions or self.config.max_instructions
         limit = self.config.max_cycles or target * _DEFAULT_MAX_CPI
-        while (
-            self.backend.stats.committed_instructions < target
-            and self.cycle < limit
-        ):
-            self.step()
+        mode = loop if loop is not None else self.config.sim_loop
+        if mode not in ("event", "cycle"):
+            raise ValueError(f"unknown simulation loop {mode!r}")
+        # The loop below is `step()` unrolled with pre-bound methods: at a
+        # few microseconds per simulated cycle, attribute chasing is a
+        # measurable fraction of the whole simulation.
+        backend = self.backend
+        engine = self.engine
+        backend_stats = backend.stats
+        backend_tick = backend.tick
+        fetch_tick = engine.fetch_tick
+        prefetch_tick = engine.prefetch_tick
+        # Baselines inherit the no-op prefetch_tick; skip the call entirely.
+        has_prefetcher = type(engine).prefetch_tick is not FetchEngine.prefetch_tick
+        can_accept = engine.can_accept_block
+        prediction_tick = self.prediction.tick
+        bus = self.hierarchy.bus
+        bus_queue = bus._queue   # stable list identity; truthiness = pending
+        bus_tick = bus.tick
+        fast_forward = self._fast_forward if mode == "event" else None
+        while backend_stats.committed_instructions < target and self.cycle < limit:
+            cycle = self.cycle
+            backend_tick(cycle)
+            fetch_tick(cycle, backend)
+            if has_prefetcher:
+                prefetch_tick(cycle)
+            if can_accept():
+                prediction_tick(cycle, engine)
+            if bus_queue:
+                bus_tick(cycle)
+            self.cycle = cycle + 1
+            if fast_forward is not None:
+                fast_forward(limit)
         return self._collect_results()
+
+    # ------------------------------------------------------------------
+    def _fast_forward(self, limit: int) -> int:
+        """Skip ``self.cycle`` over a provably-idle stretch.
+
+        A stretch of cycles is idle when every per-cycle tick would be a
+        pure wait: the bus has nothing to grant, the fetch head is waiting
+        out a known latency (or is blocked on a full RUU), the fetch stage
+        cannot start a new line access, prediction is stalled on a full
+        queue, the prefetcher is quiescent, and the back-end cannot commit
+        or redirect yet.  All of those conditions depend only on state that
+        changes at *events* (bus grants, deliveries, commits, redirects),
+        so once they hold they keep holding until the earliest upcoming
+        event.  The per-cycle stall counters that would have been bumped in
+        each skipped cycle are replayed in bulk so statistics stay
+        bit-identical to the per-cycle loop.
+
+        Returns the number of skipped cycles (0 when not provably idle).
+        """
+        # 1. The bus must be empty: a queued request is granted every cycle.
+        if self._bus._live:
+            return 0
+        cycle = self.cycle
+        if cycle >= limit:
+            return 0
+        engine = self.engine
+        # 2. The fetch stage must have a head line that is purely waiting.
+        inflight = engine._inflight
+        if not inflight:
+            return 0
+        head = inflight[0]
+        ready = head.ready_cycle
+        if ready is None:
+            # Demand miss in flight (bus busy -- excluded above) or waiting
+            # on an in-flight prefetch that may resolve next tick.
+            return 0
+        # 3. Prediction must be stalled on a full decoupling queue,
+        #    otherwise it deposits a new fetch block every cycle.
+        if engine.can_accept_block():
+            return 0
+        # 4. The fetch stage must not be able to start another line access.
+        if len(inflight) < engine.config.fetch_lookahead:
+            upcoming = engine._peek_next_line()
+            if upcoming is not None and engine._line_on_fast_path(upcoming.line_addr):
+                return 0
+        # 5. The prefetcher must be provably quiescent.
+        prefetch_stalls = engine._prefetch_quiescent()
+        if prefetch_stalls is None:
+            return 0
+        # 6. The back-end must have no commit/redirect before the target.
+        backend = self.backend
+        redirect = backend.pending_redirect_cycle
+        events = []
+        if redirect is not None:
+            events.append(redirect)
+        ruu_head = backend.ruu_head()
+        if ruu_head is not None:
+            if ruu_head.wrong_path:
+                if redirect is None:
+                    return 0   # cannot prove when the squash happens
+            else:
+                completion = ruu_head.completion_cycle
+                if completion is None or completion <= cycle:
+                    return 0   # commit possible next tick
+                events.append(completion)
+        # 7. Classify the fetch-head wait and its per-cycle stall counter.
+        backend_blocked = False
+        if ready > cycle:
+            events.append(ready)
+            stall_cause = head.source
+        else:
+            # Head line ready: delivery happens unless the RUU is full.
+            if backend.free_slots() > 0:
+                return 0
+            backend_blocked = True
+            stall_cause = "backend-full"
+        if not events:
+            return 0
+        target_cycle = min(events)
+        if target_cycle > limit:
+            target_cycle = limit
+        skipped = target_cycle - cycle
+        if skipped <= 0:
+            return 0
+        # -- replay the counters the per-cycle loop would have produced ----
+        stats = engine.stats
+        backend.stats.commit_stall_cycles += skipped
+        stats.stall_cycles[stall_cause] = (
+            stats.stall_cycles.get(stall_cause, 0) + skipped
+        )
+        if backend_blocked and head.delivered == 0:
+            # The per-cycle loop re-enters _deliver each blocked cycle and
+            # re-accounts the head line until the first instruction goes
+            # through; replayed verbatim to stay bit-identical.
+            stats.lines_fetched += skipped
+            stats.fetch_source_lines[head.source] += skipped
+        if prefetch_stalls:
+            stats.prefetch_buffer_stalls += prefetch_stalls * skipped
+        self.cycle = target_cycle
+        return skipped
 
     # ------------------------------------------------------------------
     def _collect_results(self) -> SimulationResult:

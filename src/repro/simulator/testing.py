@@ -1,0 +1,25 @@
+"""Shared test/benchmark helpers for building fast simulation configs.
+
+Lives in the package (rather than in a conftest) so the test suite, the
+benchmark harness and ad-hoc scripts can all import it unambiguously --
+``from conftest import ...`` resolves to whichever conftest pytest imported
+first, which broke collection when both ``tests/`` and ``benchmarks/``
+defined one.
+"""
+
+from __future__ import annotations
+
+from .config import SimulationConfig
+
+
+def make_sim_config(**overrides) -> SimulationConfig:
+    """A fast simulation configuration for integration tests."""
+    base = dict(
+        engine="baseline",
+        technology="0.045um",
+        l1_size_bytes=4096,
+        max_instructions=2000,
+        warmup_instructions=5000,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)

@@ -24,7 +24,7 @@ whatever bytes live there.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from .cfg import BasicBlock, ControlFlowGraph
 from .isa import INSTRUCTION_BYTES, BranchKind, InstrClass
@@ -70,6 +70,14 @@ class BasicBlockDictionary:
 
     def __init__(self, cfg: ControlFlowGraph):
         self._cfg = cfg
+        # The CFG is immutable and views are frozen, so both lookups are
+        # memoized: the front-end resolves the same handful of addresses
+        # millions of times across a sweep.
+        self._view_cache: Dict[int, StaticBlockView] = {}
+        self._classes_cache: Dict[Tuple[int, int], tuple] = {}
+        #: Wrong-path walk results, shared by every prediction unit built on
+        #: this dictionary (see PredictionUnit._wrong_path_block).
+        self.wrong_path_cache: Dict[Tuple[int, int], tuple] = {}
 
     def view_at(self, addr: int) -> StaticBlockView:
         """Static view of the code starting at ``addr``.
@@ -79,6 +87,14 @@ class BasicBlockDictionary:
         fabricated (marked ``synthetic=True``).
         """
         addr = addr - (addr % INSTRUCTION_BYTES)
+        cached = self._view_cache.get(addr)
+        if cached is not None:
+            return cached
+        view = self._view_at_uncached(addr)
+        self._view_cache[addr] = view
+        return view
+
+    def _view_at_uncached(self, addr: int) -> StaticBlockView:
         block = self._cfg.block_containing(addr)
         if block is None:
             return StaticBlockView(
@@ -101,6 +117,24 @@ class BasicBlockDictionary:
             instr_classes=tuple(block.instr_classes[offset:]),
             synthetic=False,
         )
+
+    def classes_for(self, start: int, length: int) -> tuple:
+        """Instruction classes of the ``length`` instructions at ``start``
+        (walking across basic blocks), memoized across fetch blocks."""
+        key = (start, length)
+        cached = self._classes_cache.get(key)
+        if cached is not None:
+            return cached
+        classes = []
+        addr = start
+        while len(classes) < length:
+            view = self.view_at(addr)
+            take = min(view.size, length - len(classes))
+            classes.extend(view.instr_classes[:take])
+            addr = view.start + take * INSTRUCTION_BYTES
+        result = tuple(classes[:length])
+        self._classes_cache[key] = result
+        return result
 
     def block_at(self, addr: int) -> Optional[BasicBlock]:
         """The real block starting exactly at ``addr`` (None if absent)."""

@@ -39,7 +39,7 @@ MAX_CALL_DEPTH = 64
 MAX_STREAM_INSTRUCTIONS = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DynamicBlock:
     """One dynamic execution of a basic block on the correct path."""
 
@@ -55,7 +55,7 @@ class DynamicBlock:
         return self.addr + self.size * INSTRUCTION_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActualStream:
     """The true upcoming fetch stream on the correct path.
 
@@ -96,8 +96,30 @@ class ProgramWalker:
     def blocks_executed(self) -> int:
         return self._blocks_executed
 
+    def snapshot(self) -> tuple:
+        """Capture the walker state so an identical continuation can be
+        forked later (used by BlockStream's bounded shared prefix)."""
+        return (
+            self._pc,
+            tuple(self._call_stack),
+            self._rng.getstate(),
+            self._blocks_executed,
+            self._instructions_executed,
+        )
+
+    @classmethod
+    def from_snapshot(cls, cfg: ControlFlowGraph, state: tuple) -> "ProgramWalker":
+        """A new walker that continues exactly where ``snapshot`` was taken."""
+        walker = cls(cfg)
+        walker._pc = state[0]
+        walker._call_stack = list(state[1])
+        walker._rng.setstate(state[2])
+        walker._blocks_executed = state[3]
+        walker._instructions_executed = state[4]
+        return walker
+
     def next_block(self) -> DynamicBlock:
-        """Execute one basic block and return its dynamic record."""
+        """Execute one dynamic basic block and return its record."""
         block = self._cfg.block_at(self._pc)
         if block is None:
             # The PC should always land on block starts during correct-path
@@ -146,38 +168,111 @@ class ProgramWalker:
         return record
 
 
+class BlockStream:
+    """Lazily-materialised dynamic block sequence with a bounded prefix.
+
+    The correct-path walk is deterministic per profile seed, so the block
+    sequence can be computed once and *shared* between every oracle of a
+    workload (each simulation run, the warm-up walk, ...).  Sharing turns
+    the per-run walker cost (RNG draws, CFG lookups, block construction)
+    into a one-time cost per workload.
+
+    Only the first ``shared_limit`` blocks are retained (enough for the
+    warm-up walk plus typical runs); memory stays bounded no matter how
+    many instructions a run simulates.  Beyond the limit, :meth:`get`
+    returns ``None`` and the caller continues on a private walker forked
+    from :meth:`fork_tail_walker` -- the continuation is bit-identical to
+    simply walking further.
+    """
+
+    #: Retained blocks (~5 instructions each, so ~330k instructions).
+    DEFAULT_SHARED_LIMIT = 1 << 16
+
+    def __init__(self, walker: ProgramWalker,
+                 shared_limit: int = DEFAULT_SHARED_LIMIT):
+        self._walker = walker
+        self._blocks: List[DynamicBlock] = []
+        self.shared_limit = shared_limit
+        self._tail_state: Optional[tuple] = None
+
+    def get(self, index: int) -> Optional[DynamicBlock]:
+        """Block at ``index``, or ``None`` when past the shared prefix."""
+        blocks = self._blocks
+        if index < len(blocks):
+            return blocks[index]
+        if index >= self.shared_limit:
+            self._materialise(self.shared_limit)
+            return None
+        self._materialise(index + 1)
+        return blocks[index]
+
+    def _materialise(self, count: int) -> None:
+        blocks = self._blocks
+        next_block = self._walker.next_block
+        while len(blocks) < count:
+            blocks.append(next_block())
+        if len(blocks) >= self.shared_limit and self._tail_state is None:
+            self._tail_state = self._walker.snapshot()
+
+    def fork_tail_walker(self) -> ProgramWalker:
+        """A private walker positioned right after the shared prefix."""
+        self._materialise(self.shared_limit)
+        return ProgramWalker.from_snapshot(self._walker._cfg, self._tail_state)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
 class CorrectPathOracle:
     """Buffered cursor over the correct-path dynamic block stream.
 
     The front-end uses it to (a) learn what the correct path actually does
     (for comparing against branch predictions and for training the
     predictor) and (b) know where to resume after a misprediction
-    resolves.  Internally it materialises dynamic blocks lazily into a
-    window; the cursor is a ``(window index, instruction offset)`` pair so
-    the front-end can stop mid-block when a predicted stream is shorter
-    than the actual one.
+    resolves.  The cursor is a ``(block index, instruction offset)`` pair
+    into a (possibly shared) :class:`BlockStream`, so the front-end can
+    stop mid-block when a predicted stream is shorter than the actual one.
     """
 
-    def __init__(self, walker: ProgramWalker,
+    def __init__(self, source,
                  max_stream_instructions: int = MAX_STREAM_INSTRUCTIONS):
-        self._walker = walker
-        self._window: List[DynamicBlock] = []
-        self._index = 0          # index of the current block within the window
+        if isinstance(source, BlockStream):
+            self._stream = source
+        else:   # a ProgramWalker (the historical constructor signature)
+            self._stream = BlockStream(source)
+        self._index = 0          # index of the current block in the stream
         self._offset = 0         # instruction offset within the current block
         self._consumed_instructions = 0
         self.max_stream_instructions = max_stream_instructions
+        # Private continuation past the stream's bounded shared prefix: a
+        # forked walker plus a compacted window (memory stays O(window)
+        # however long the run is).
+        self._tail_walker: Optional[ProgramWalker] = None
+        self._tail_base = 0
+        self._tail_window: List[DynamicBlock] = []
 
     # -- materialisation helpers ---------------------------------------
     def _ensure(self, index: int) -> DynamicBlock:
-        while len(self._window) <= index:
-            self._window.append(self._walker.next_block())
-        return self._window[index]
+        block = self._stream.get(index)
+        if block is not None:
+            return block
+        if self._tail_walker is None:
+            self._tail_walker = self._stream.fork_tail_walker()
+            self._tail_base = self._stream.shared_limit
+        relative = index - self._tail_base
+        window = self._tail_window
+        next_block = self._tail_walker.next_block
+        while len(window) <= relative:
+            window.append(next_block())
+        return window[relative]
 
-    def _compact(self) -> None:
-        """Drop fully-consumed blocks from the front of the window."""
-        if self._index > 64:
-            del self._window[: self._index]
-            self._index = 0
+    def _compact_tail(self) -> None:
+        """Drop fully-consumed blocks from the private continuation window."""
+        consumed = self._index - self._tail_base
+        if consumed > 128:
+            drop = consumed - 64
+            del self._tail_window[:drop]
+            self._tail_base += drop
 
     # -- public API ------------------------------------------------------
     @property
@@ -250,7 +345,8 @@ class CorrectPathOracle:
                 self._index += 1
                 self._offset = 0
         self._consumed_instructions += n_instructions
-        self._compact()
+        if self._tail_walker is not None:
+            self._compact_tail()
 
 
 @dataclass
@@ -260,12 +356,18 @@ class Workload:
     profile: WorkloadProfile
     cfg: ControlFlowGraph
     bbdict: BasicBlockDictionary
+    #: Shared correct-path block stream, materialised lazily and reused by
+    #: every oracle (the walk is deterministic per seed).
+    _block_stream: Optional[BlockStream] = None
 
     def new_oracle(self) -> CorrectPathOracle:
         """A fresh correct-path oracle (identical stream for identical
         profile seeds, regardless of simulator configuration)."""
-        walker = ProgramWalker(self.cfg, seed=self.profile.seed)
-        return CorrectPathOracle(walker)
+        if self._block_stream is None:
+            self._block_stream = BlockStream(
+                ProgramWalker(self.cfg, seed=self.profile.seed)
+            )
+        return CorrectPathOracle(self._block_stream)
 
     @property
     def name(self) -> str:

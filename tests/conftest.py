@@ -12,7 +12,7 @@ import pytest
 
 from repro.core.engine import FetchEngineConfig
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
-from repro.simulator.config import SimulationConfig
+from repro.simulator.testing import make_sim_config
 from repro.workloads.generator import WorkloadProfile
 from repro.workloads.trace import Workload, build_workload
 
@@ -76,19 +76,6 @@ def hierarchy_l0() -> MemoryHierarchy:
 @pytest.fixture
 def engine_config() -> FetchEngineConfig:
     return FetchEngineConfig(prebuffer_entries=4)
-
-
-def make_sim_config(**overrides) -> SimulationConfig:
-    """A fast simulation configuration for integration tests."""
-    base = dict(
-        engine="baseline",
-        technology="0.045um",
-        l1_size_bytes=4096,
-        max_instructions=2000,
-        warmup_instructions=5000,
-    )
-    base.update(overrides)
-    return SimulationConfig(**base)
 
 
 @pytest.fixture

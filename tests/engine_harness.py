@@ -22,6 +22,9 @@ class RecordingBackend:
     def has_space(self) -> bool:
         return len(self.instructions) < self.capacity
 
+    def free_slots(self) -> int:
+        return self.capacity - len(self.instructions)
+
     def dispatch(self, instr: FetchedInstruction, cycle: int) -> bool:
         if not self.has_space():
             return False

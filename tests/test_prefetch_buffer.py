@@ -110,3 +110,33 @@ class TestLookupAndStats:
         buffer.clear()
         assert len(buffer) == 0
         assert buffer.has_free_entry()
+
+
+class TestVictimEquivalence:
+    """allocate() evicts via the O(n) _victim scan; replaceable_entries()
+    remains the report-facing ordering.  They must agree on the preferred
+    victim in every state mix."""
+
+    def _mixed_buffer(self, seed: int) -> PrefetchBuffer:
+        import random
+        rng = random.Random(seed)
+        buffer = PrefetchBuffer(entries=8)
+        for i in range(8):
+            entry = buffer.allocate(0x1000 * (i + 1))
+            if rng.random() < 0.7:
+                entry.mark_arrived(cycle=i, source="ul2")
+            if rng.random() < 0.5:
+                buffer.mark_used(entry)
+            if rng.random() < 0.4:
+                buffer.touch(entry)
+        return buffer
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_victim_matches_replaceable_head(self, seed):
+        buffer = self._mixed_buffer(seed)
+        candidates = buffer.replaceable_entries()
+        victim = buffer._victim()
+        if not candidates:
+            assert victim is None
+        else:
+            assert victim is candidates[0]

@@ -108,3 +108,34 @@ class TestInvariants:
         buffer = PrestageBuffer(entries=16, latency=3, pipelined=True)
         assert buffer.port.pipelined
         assert buffer.port.latency == 3
+
+
+class TestVictimEquivalence:
+    """The prestage buffer's _victim fast path must always pick the same
+    entry as replaceable_entries()[0] (LRU among consumers==0)."""
+
+    def _mixed_buffer(self, seed: int) -> PrestageBuffer:
+        import random
+        rng = random.Random(seed)
+        buffer = PrestageBuffer(entries=8)
+        for i in range(8):
+            entry = buffer.allocate_for_prefetch(0x1000 * (i + 1))
+            if rng.random() < 0.7:
+                entry.mark_arrived(cycle=i, source="ul2")
+            if rng.random() < 0.6:
+                buffer.consume(entry)          # consumers -> 0
+            if rng.random() < 0.3:
+                buffer.add_consumer(entry)
+            if rng.random() < 0.4:
+                buffer.touch(entry)
+        return buffer
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_victim_matches_replaceable_head(self, seed):
+        buffer = self._mixed_buffer(seed)
+        candidates = buffer.replaceable_entries()
+        victim = buffer._victim()
+        if not candidates:
+            assert victim is None
+        else:
+            assert victim is candidates[0]

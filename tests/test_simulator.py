@@ -4,8 +4,7 @@ import pytest
 
 from repro.simulator.config import SimulationConfig
 from repro.simulator.simulator import Simulator, simulate
-
-from conftest import make_sim_config
+from repro.simulator.testing import make_sim_config
 
 
 class TestBasicRuns:
