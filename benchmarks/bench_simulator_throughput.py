@@ -5,22 +5,35 @@ cycle loop for the three main engines so performance regressions in the
 simulator itself are visible.  pytest-benchmark runs these with its normal
 statistics (multiple rounds) because a single run is fast.
 
-Two dimensions are tracked:
+Three dimensions are tracked:
 
 * per-engine single-run throughput (the event-driven loop is the default;
   ``simulated_instructions_per_second`` is recorded in ``extra_info`` so
   the bench trajectory captures the headline metric directly),
 * multi-benchmark sweep throughput with the parallel runner
   (``run_benchmarks(..., jobs=N)``), which is how the figure sweeps
-  actually consume the simulator.
+  actually consume the simulator,
+* sampled-vs-full comparison: the SimPoint-style sampled runner against
+  the full run at the REPRO_BENCH instruction budget, recording the
+  wall-clock speedup and the IPC relative error in ``extra_info`` so the
+  accuracy/speed trade-off of the sampling subsystem stays on the bench
+  trajectory.
 """
 
 import os
+import time
 
 import pytest
 
+from repro.sampling import run_sampled
+from repro.sampling.checkpoint import clear_checkpoint_store
 from repro.simulator.presets import paper_config
-from repro.simulator.runner import get_workload, run_benchmarks
+from repro.simulator.runner import (
+    bench_instruction_budget,
+    get_workload,
+    run_benchmarks,
+    run_single,
+)
 from repro.simulator.simulator import Simulator
 
 INSTRUCTIONS = 2000
@@ -74,4 +87,60 @@ def test_sweep_throughput(benchmark, jobs):
     benchmark.extra_info["jobs"] = jobs
     benchmark.extra_info["simulated_instructions_per_second"] = (
         simulated / benchmark.stats.stats.min
+    )
+
+
+@pytest.mark.parametrize("scheme", ["CLGP+L0", "base-pipelined"])
+def test_sampled_vs_full(benchmark, scheme):
+    """Sampled-run speedup and IPC error versus the full run.
+
+    Uses the REPRO_BENCH instruction budget (default 20k -- sampling is
+    pointless below a few thousand instructions) over the default mix.
+    The benchmark measures the *sampled* runs; the full-run baseline is
+    timed once alongside and both the wall-clock ratio and the
+    per-benchmark worst IPC relative error land in ``extra_info``.
+    """
+    instructions = bench_instruction_budget()
+    names = SWEEP_BENCHMARKS
+    config = paper_config(scheme, l1_size_bytes=4096, technology="0.045um",
+                          max_instructions=instructions)
+    # Prime every per-process cache (workloads, warm-up artifacts) with an
+    # untimed full pass so the full baseline is measured as warm as the
+    # sampled rounds (whose own one-time costs land in the discarded
+    # pedantic warm-up round).
+    for name in names:
+        get_workload(name)
+        run_single(config, name, instructions)
+
+    full_seconds = 0.0
+    full_results = {}
+    for name in names:
+        start = time.perf_counter()
+        full_results[name] = run_single(config, name, instructions)
+        full_seconds += time.perf_counter() - start
+
+    def run_sampled_mix():
+        # Per-process caches (selections, functional profiles) persist
+        # between rounds -- exactly how a sweep uses the sampled runner.
+        return {name: run_sampled(config, name, instructions)
+                for name in names}
+
+    clear_checkpoint_store()
+    sampled = benchmark.pedantic(run_sampled_mix, rounds=2, iterations=1,
+                                 warmup_rounds=1)
+    sampled_seconds = benchmark.stats.stats.min
+    errors = {
+        name: sampled[name].ipc / full_results[name].ipc - 1.0
+        for name in names
+    }
+    benchmark.extra_info["instructions"] = instructions
+    benchmark.extra_info["full_seconds"] = round(full_seconds, 4)
+    benchmark.extra_info["sampled_speedup"] = (
+        round(full_seconds / sampled_seconds, 3) if sampled_seconds else 0.0
+    )
+    benchmark.extra_info["ipc_relative_error"] = {
+        name: round(err, 5) for name, err in errors.items()
+    }
+    benchmark.extra_info["worst_abs_ipc_error"] = round(
+        max(abs(e) for e in errors.values()), 5
     )

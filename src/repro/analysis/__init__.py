@@ -16,6 +16,7 @@ from .metrics import (
     budget_equivalent_size,
     crossover_size,
     harmonic_mean,
+    sampling_error_report,
     speedup,
     speedup_table,
 )
@@ -24,6 +25,7 @@ from .report import (
     format_key_value_table,
     format_latency_table,
     format_per_benchmark,
+    format_sampling_errors,
     format_source_distribution,
     format_speedups,
 )
@@ -45,10 +47,12 @@ __all__ = [
     "format_key_value_table",
     "format_latency_table",
     "format_per_benchmark",
+    "format_sampling_errors",
     "format_source_distribution",
     "format_speedups",
     "harmonic_mean",
     "headline_speedups",
+    "sampling_error_report",
     "speedup",
     "speedup_table",
     "table1",

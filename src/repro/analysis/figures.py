@@ -1,8 +1,11 @@
 """Data-series builders for every figure in the paper's evaluation.
 
-Each ``figureN_series`` function runs the required simulations and returns
-plain dictionaries (no plotting dependencies) shaped like the corresponding
-figure:
+Each ``figureN_series`` function declares the simulations it needs as a
+flat :class:`~repro.simulator.plan.ExperimentPlan` of typed tasks, runs
+the plan through the one executor (``jobs=N`` fans the whole grid out
+over a process pool; ``sampled=True`` switches every task to SimPoint
+style sampled simulation), and regroups the results into plain
+dictionaries shaped like the corresponding figure:
 
 * Figures 1, 2(b), 4(b), 5(a), 5(b): ``{scheme: {l1_size: hmean_ipc}}``
 * Figure 6: ``{benchmark: {scheme: ipc}}``
@@ -17,16 +20,15 @@ overrides so the pure-Python simulation cost can be tuned.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from ..memory.latency import L1_SIZES_BYTES
+from ..simulator.plan import ExperimentPlan
 from ..simulator.presets import (
     FIGURE1_SCHEMES,
     FIGURE5_SCHEMES,
     FIGURE6_SCHEMES,
     paper_config,
 )
-from ..simulator.runner import run_benchmarks, run_single
 from ..simulator.stats import (
     aggregate_fetch_sources,
     aggregate_prefetch_sources,
@@ -39,16 +41,19 @@ from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES
 DEFAULT_SWEEP_SIZES: Sequence[int] = (256, 1024, 4096, 16384, 65536)
 
 
-def _scheme_sweep(
+def _scheme_size_plan(
+    name: str,
     schemes: Sequence[str],
     technology: object,
     l1_sizes: Sequence[int],
     benchmarks: Sequence[str],
     max_instructions: int,
+    sampled: bool = False,
+    sampling=None,
     **config_overrides,
-) -> Dict[str, Dict[int, float]]:
-    """Harmonic-mean IPC for each scheme at each L1 size."""
-    series: Dict[str, Dict[int, float]] = {scheme: {} for scheme in schemes}
+) -> ExperimentPlan:
+    """Flat (scheme x size x benchmark) task grid keyed by (scheme, size)."""
+    plan = ExperimentPlan(name)
     for scheme in schemes:
         for size in l1_sizes:
             config = paper_config(
@@ -58,8 +63,33 @@ def _scheme_sweep(
                 max_instructions=max_instructions,
                 **config_overrides,
             )
-            results = run_benchmarks(config, benchmarks, max_instructions)
-            series[scheme][size] = harmonic_mean_ipc(results)
+            for benchmark in benchmarks:
+                plan.add(config, benchmark, max_instructions,
+                         key=(scheme, size),
+                         sampled=sampled, sampling=sampling)
+    return plan
+
+
+def _scheme_sweep(
+    name: str,
+    schemes: Sequence[str],
+    technology: object,
+    l1_sizes: Sequence[int],
+    benchmarks: Sequence[str],
+    max_instructions: int,
+    jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
+    **config_overrides,
+) -> Dict[str, Dict[int, float]]:
+    """Harmonic-mean IPC for each scheme at each L1 size."""
+    plan = _scheme_size_plan(
+        name, schemes, technology, l1_sizes, benchmarks, max_instructions,
+        sampled=sampled, sampling=sampling, **config_overrides,
+    )
+    series: Dict[str, Dict[int, float]] = {scheme: {} for scheme in schemes}
+    for (scheme, size), hmean in plan.run(jobs=jobs).hmean_by_key().items():
+        series[scheme][size] = hmean
     return series
 
 
@@ -71,13 +101,18 @@ def figure1_series(
     l1_sizes: Optional[Sequence[int]] = None,
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 20_000,
+    jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[str, Dict[int, float]]:
     return _scheme_sweep(
+        "figure1",
         FIGURE1_SCHEMES,
         technology,
         list(l1_sizes or DEFAULT_SWEEP_SIZES),
         list(benchmarks or DEFAULT_MIX),
         max_instructions,
+        jobs=jobs, sampled=sampled, sampling=sampling,
     )
 
 
@@ -89,13 +124,18 @@ def figure2_series(
     l1_sizes: Optional[Sequence[int]] = None,
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 20_000,
+    jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[str, Dict[int, float]]:
     return _scheme_sweep(
+        "figure2",
         ("FDP", "FDP+L0"),
         technology,
         list(l1_sizes or DEFAULT_SWEEP_SIZES),
         list(benchmarks or DEFAULT_MIX),
         max_instructions,
+        jobs=jobs, sampled=sampled, sampling=sampling,
     )
 
 
@@ -107,13 +147,18 @@ def figure4_series(
     l1_sizes: Optional[Sequence[int]] = None,
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 20_000,
+    jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[str, Dict[int, float]]:
     return _scheme_sweep(
+        "figure4",
         ("CLGP", "CLGP+L0"),
         technology,
         list(l1_sizes or DEFAULT_SWEEP_SIZES),
         list(benchmarks or DEFAULT_MIX),
         max_instructions,
+        jobs=jobs, sampled=sampled, sampling=sampling,
     )
 
 
@@ -125,13 +170,18 @@ def figure5_series(
     l1_sizes: Optional[Sequence[int]] = None,
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 20_000,
+    jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[str, Dict[int, float]]:
     return _scheme_sweep(
+        "figure5",
         FIGURE5_SCHEMES,
         technology,
         list(l1_sizes or DEFAULT_SWEEP_SIZES),
         list(benchmarks or DEFAULT_MIX),
         max_instructions,
+        jobs=jobs, sampled=sampled, sampling=sampling,
     )
 
 
@@ -143,10 +193,12 @@ def figure6_series(
     l1_size_bytes: int = 8192,
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 20_000,
+    jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[str, Dict[str, float]]:
     names = list(benchmarks or SPECINT2000_NAMES)
-    out: Dict[str, Dict[str, float]] = {name: {} for name in names}
-    hmean: Dict[str, float] = {}
+    plan = ExperimentPlan("figure6")
     for scheme in FIGURE6_SCHEMES:
         config = paper_config(
             scheme,
@@ -154,7 +206,12 @@ def figure6_series(
             technology=technology,
             max_instructions=max_instructions,
         )
-        results = run_benchmarks(config, names, max_instructions)
+        for benchmark in names:
+            plan.add(config, benchmark, max_instructions, key=(scheme,),
+                     sampled=sampled, sampling=sampling)
+    out: Dict[str, Dict[str, float]] = {name: {} for name in names}
+    hmean: Dict[str, float] = {}
+    for (scheme,), results in plan.run(jobs=jobs).by_key().items():
         for result in results:
             out[result.workload][scheme] = result.ipc
         hmean[scheme] = harmonic_mean_ipc(results)
@@ -171,19 +228,22 @@ def figure7_series(
     l1_sizes: Optional[Sequence[int]] = None,
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 20_000,
+    jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     schemes = ("FDP+L0", "CLGP+L0") if with_l0 else ("FDP", "CLGP")
-    sizes = list(l1_sizes or DEFAULT_SWEEP_SIZES)
-    names = list(benchmarks or DEFAULT_MIX)
+    plan = _scheme_size_plan(
+        "figure7",
+        schemes, technology,
+        list(l1_sizes or DEFAULT_SWEEP_SIZES),
+        list(benchmarks or DEFAULT_MIX),
+        max_instructions,
+        sampled=sampled, sampling=sampling,
+    )
     out: Dict[str, Dict[int, Dict[str, float]]] = {s: {} for s in schemes}
-    for scheme in schemes:
-        for size in sizes:
-            config = paper_config(
-                scheme, l1_size_bytes=size, technology=technology,
-                max_instructions=max_instructions,
-            )
-            results = run_benchmarks(config, names, max_instructions)
-            out[scheme][size] = aggregate_fetch_sources(results)
+    for (scheme, size), results in plan.run(jobs=jobs).by_key().items():
+        out[scheme][size] = aggregate_fetch_sources(results)
     return out
 
 
@@ -195,19 +255,22 @@ def figure8_series(
     l1_sizes: Optional[Sequence[int]] = None,
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 20_000,
+    jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     schemes = ("FDP", "CLGP")
-    sizes = list(l1_sizes or DEFAULT_SWEEP_SIZES)
-    names = list(benchmarks or DEFAULT_MIX)
+    plan = _scheme_size_plan(
+        "figure8",
+        schemes, technology,
+        list(l1_sizes or DEFAULT_SWEEP_SIZES),
+        list(benchmarks or DEFAULT_MIX),
+        max_instructions,
+        sampled=sampled, sampling=sampling,
+    )
     out: Dict[str, Dict[int, Dict[str, float]]] = {s: {} for s in schemes}
-    for scheme in schemes:
-        for size in sizes:
-            config = paper_config(
-                scheme, l1_size_bytes=size, technology=technology,
-                max_instructions=max_instructions,
-            )
-            results = run_benchmarks(config, names, max_instructions)
-            out[scheme][size] = aggregate_prefetch_sources(results)
+    for (scheme, size), results in plan.run(jobs=jobs).by_key().items():
+        out[scheme][size] = aggregate_prefetch_sources(results)
     return out
 
 
@@ -218,6 +281,9 @@ def headline_speedups(
     l1_size_bytes: int = 4096,
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 20_000,
+    jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[str, Dict[str, float]]:
     """CLGP-vs-FDP and CLGP-vs-pipelined-baseline speedups at both nodes.
 
@@ -225,17 +291,24 @@ def headline_speedups(
     "ipc": {scheme: ipc}}}``.
     """
     names = list(benchmarks or DEFAULT_MIX)
-    out: Dict[str, Dict[str, float]] = {}
+    plan = ExperimentPlan("headline-speedups")
     for technology in ("0.09um", "0.045um"):
-        ipc: Dict[str, float] = {}
         for scheme in ("CLGP+L0+PB16", "FDP+L0+PB16", "base-pipelined"):
             config = paper_config(
                 scheme, l1_size_bytes=l1_size_bytes, technology=technology,
                 max_instructions=max_instructions,
             )
-            ipc[scheme] = harmonic_mean_ipc(
-                run_benchmarks(config, names, max_instructions)
-            )
+            for benchmark in names:
+                plan.add(config, benchmark, max_instructions,
+                         key=(technology, scheme),
+                         sampled=sampled, sampling=sampling)
+    ipc_by_key = plan.run(jobs=jobs).hmean_by_key()
+    out: Dict[str, Dict[str, float]] = {}
+    for technology in ("0.09um", "0.045um"):
+        ipc = {
+            scheme: ipc_by_key[(technology, scheme)]
+            for scheme in ("CLGP+L0+PB16", "FDP+L0+PB16", "base-pipelined")
+        }
         out[technology] = {
             "clgp_over_fdp": ipc["CLGP+L0+PB16"] / ipc["FDP+L0+PB16"] - 1.0
             if ipc["FDP+L0+PB16"] else 0.0,
@@ -254,6 +327,7 @@ def ablation_series(
     l1_size_bytes: int = 4096,
     benchmarks: Optional[Sequence[str]] = None,
     max_instructions: int = 20_000,
+    jobs: int = 1,
 ) -> Dict[str, float]:
     """Harmonic-mean IPC of CLGP+L0 with individual design choices reverted."""
     names = list(benchmarks or DEFAULT_MIX)
@@ -264,7 +338,7 @@ def ablation_series(
         "CLGP+L0 with filtering": {"clgp_use_filtering": True},
         "FDP+L0 (reference)": None,
     }
-    out: Dict[str, float] = {}
+    plan = ExperimentPlan("ablations")
     for label, overrides in variants.items():
         if overrides is None:
             config = paper_config(
@@ -276,7 +350,9 @@ def ablation_series(
                 "CLGP+L0", l1_size_bytes=l1_size_bytes, technology=technology,
                 max_instructions=max_instructions, **overrides,
             )
-        out[label] = harmonic_mean_ipc(
-            run_benchmarks(config, names, max_instructions)
-        )
-    return out
+        for benchmark in names:
+            plan.add(config, benchmark, max_instructions, key=(label,))
+    return {
+        key[0]: hmean
+        for key, hmean in plan.run(jobs=jobs).hmean_by_key().items()
+    }

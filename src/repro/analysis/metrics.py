@@ -8,6 +8,7 @@ from ..simulator.stats import SimulationResult, harmonic_mean, speedup
 
 __all__ = [
     "harmonic_mean",
+    "sampling_error_report",
     "speedup",
     "speedup_table",
     "crossover_size",
@@ -38,6 +39,39 @@ def crossover_size(
         if series_a[size] >= series_b[size]:
             return size
     return None
+
+
+def sampling_error_report(
+    full_series: Mapping[str, Mapping[int, float]],
+    sampled_series: Mapping[str, Mapping[int, float]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-scheme accuracy of a sampled figure sweep versus the full sweep.
+
+    Both inputs are figure-shaped ``{scheme: {l1_size: hmean_ipc}}``
+    mappings (e.g. :func:`~repro.analysis.figures.figure5_series` run with
+    and without ``sampled=True``).  For each scheme the report gives the
+    signed relative error per common size plus summary statistics::
+
+        {scheme: {"mean_abs_rel_error": ..., "max_abs_rel_error": ...,
+                  "per_size": {size: rel_error}}}
+    """
+    report: Dict[str, Dict[str, float]] = {}
+    for scheme, full_row in full_series.items():
+        sampled_row = sampled_series.get(scheme, {})
+        per_size: Dict[int, float] = {}
+        for size, full_ipc in full_row.items():
+            if size not in sampled_row or not full_ipc:
+                continue
+            per_size[size] = sampled_row[size] / full_ipc - 1.0
+        if not per_size:
+            continue
+        abs_errors = [abs(e) for e in per_size.values()]
+        report[scheme] = {
+            "mean_abs_rel_error": sum(abs_errors) / len(abs_errors),
+            "max_abs_rel_error": max(abs_errors),
+            "per_size": per_size,
+        }
+    return report
 
 
 def budget_equivalent_size(

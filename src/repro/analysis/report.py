@@ -95,6 +95,32 @@ def format_latency_table(
     return "\n".join(lines)
 
 
+def format_sampling_errors(
+    report: Mapping[str, Mapping[str, object]],
+    title: str = "Sampled-vs-full accuracy (hmean IPC relative error)",
+) -> str:
+    """Format :func:`repro.analysis.metrics.sampling_error_report` output."""
+    sizes = sorted({
+        size for row in report.values() for size in row["per_size"]
+    })
+    header = (f"{'configuration':>22s} | " +
+              " ".join(f"{_size_label(s):>8s}" for s in sizes) +
+              f" | {'mean':>7s} {'max':>7s}")
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for scheme, row in report.items():
+        per_size = row["per_size"]
+        cells = " ".join(
+            f"{100 * per_size[s]:+7.2f}%" if s in per_size else " " * 8
+            for s in sizes
+        )
+        lines.append(
+            f"{scheme:>22s} | {cells} | "
+            f"{100 * row['mean_abs_rel_error']:6.2f}% "
+            f"{100 * row['max_abs_rel_error']:6.2f}%"
+        )
+    return "\n".join(lines)
+
+
 def format_speedups(headline: Mapping[str, Mapping[str, object]]) -> str:
     """Format the headline speedups produced by
     :func:`repro.analysis.figures.headline_speedups`."""

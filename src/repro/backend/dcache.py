@@ -62,6 +62,18 @@ class DataCacheModel:
         self.stats = DataCacheStats()
         self._load_index = 0
 
+    def skip_loads(self, count: int) -> None:
+        """Advance the dynamic load index without issuing accesses.
+
+        Sampled simulation functionally fast-forwards past a correct-path
+        prefix; the miss decisions are a pure hash of the load index, so
+        advancing the index keeps every subsequent decision identical to
+        the full run's decision at the same dynamic position.
+        """
+        if count < 0:
+            raise ValueError("cannot skip a negative number of loads")
+        self._load_index += count
+
     def access(
         self,
         cycle: int,

@@ -5,13 +5,22 @@ Subcommands:
 * ``run``      -- simulate one configuration on one or more benchmarks,
 * ``figure``   -- regenerate the data of a paper figure (1, 2, 4, 5, 6, 7, 8),
 * ``tables``   -- print Tables 1, 2 and 3,
-* ``speedups`` -- print the headline CLGP-vs-FDP / CLGP-vs-baseline speedups.
+* ``speedups`` -- print the headline CLGP-vs-FDP / CLGP-vs-baseline speedups,
+* ``sample``   -- profile a benchmark, select representative intervals, and
+  (optionally) compare a sampled run against the full run.
+
+``run``, ``figure`` and ``speedups`` accept ``--jobs N`` (0 = all cores)
+-- the experiment layer plans each sweep as a flat task list, so the
+whole grid fans out over one process pool.  ``figure`` and ``speedups``
+also accept ``--sampled`` to run every simulation in SimPoint-style
+sampled mode.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .analysis import (
@@ -33,26 +42,69 @@ from .analysis import (
     table2,
     table3,
 )
-from .simulator import paper_config, run_benchmarks, harmonic_mean_ipc
+from .sampling import SamplingSpec, get_selection, run_sampled
+from .simulator import (
+    harmonic_mean_ipc,
+    paper_config,
+    resolve_jobs,
+    run_benchmarks,
+    run_single,
+)
 from .simulator.presets import SCHEMES
+from .simulator.runner import get_workload
 from .workloads import DEFAULT_MIX, SPECINT2000_NAMES
+from .workloads.spec2000 import profile_for
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+class _CliError(Exception):
+    """Bad command-line input; reported as ``error: ...`` with exit 2."""
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--technology", default="0.045um",
                         help="technology node (0.09um or 0.045um)")
     parser.add_argument("--l1-size", type=int, default=4096,
                         help="L1 I-cache size in bytes")
     parser.add_argument("--instructions", type=int, default=20000,
                         help="correct-path instructions to simulate per run")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    _add_config_args(parser)
     parser.add_argument("--benchmarks", default=",".join(DEFAULT_MIX),
                         help="comma-separated benchmark names, or 'all'")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation grid "
+                             "(0 = all cores)")
+
+
+def _add_sampling(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sampled", action="store_true",
+                        help="estimate every run from representative "
+                             "intervals instead of simulating in full")
+
+
+def _validate_benchmark(name: str) -> str:
+    try:
+        profile_for(name)
+    except KeyError as exc:
+        raise _CliError(exc.args[0]) from exc
+    return name
 
 
 def _benchmarks(arg: str) -> List[str]:
     if arg.strip().lower() == "all":
         return list(SPECINT2000_NAMES)
-    return [b.strip() for b in arg.split(",") if b.strip()]
+    return [_validate_benchmark(b.strip())
+            for b in arg.split(",") if b.strip()]
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    """Validate ``--jobs`` through the runner's one resolver."""
+    try:
+        return resolve_jobs(args.jobs)
+    except ValueError as exc:
+        raise _CliError(str(exc)) from exc
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -61,10 +113,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_instructions=args.instructions,
     )
     names = _benchmarks(args.benchmarks)
-    if args.jobs < 0:
-        print("error: --jobs must be >= 1 (or 0 for all cores)", file=sys.stderr)
-        return 2
-    results = run_benchmarks(config, names, args.instructions, jobs=args.jobs)
+    results = run_benchmarks(config, names, args.instructions,
+                             jobs=_jobs(args))
     for result in results:
         print(result.summary())
     print(f"{'HMEAN IPC':>18s} : {harmonic_mean_ipc(results):.3f}")
@@ -77,33 +127,44 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         technology=args.technology,
         benchmarks=names,
         max_instructions=args.instructions,
+        jobs=_jobs(args),
+        sampled=args.sampled,
     )
+    suffix = " [sampled]" if args.sampled else ""
     fig = args.number
     if fig == "1":
-        print(format_ipc_sweep(figure1_series(**kwargs), "Figure 1: IPC vs L1 size"))
+        print(format_ipc_sweep(figure1_series(**kwargs),
+                               f"Figure 1: IPC vs L1 size{suffix}"))
     elif fig == "2":
-        print(format_ipc_sweep(figure2_series(**kwargs), "Figure 2(b): FDP vs FDP+L0"))
+        print(format_ipc_sweep(figure2_series(**kwargs),
+                               f"Figure 2(b): FDP vs FDP+L0{suffix}"))
     elif fig == "4":
-        print(format_ipc_sweep(figure4_series(**kwargs), "Figure 4(b): CLGP vs CLGP+L0"))
+        print(format_ipc_sweep(figure4_series(**kwargs),
+                               f"Figure 4(b): CLGP vs CLGP+L0{suffix}"))
     elif fig == "5":
-        print(format_ipc_sweep(figure5_series(**kwargs), "Figure 5: main comparison"))
+        print(format_ipc_sweep(figure5_series(**kwargs),
+                               f"Figure 5: main comparison{suffix}"))
     elif fig == "6":
         series = figure6_series(
             technology=args.technology, l1_size_bytes=args.l1_size,
-            benchmarks=names if args.benchmarks != ",".join(DEFAULT_MIX) else None,
+            benchmarks=names if names != list(DEFAULT_MIX) else None,
             max_instructions=args.instructions,
+            jobs=kwargs["jobs"], sampled=args.sampled,
         )
-        print(format_per_benchmark(series, "Figure 6: per-benchmark IPC"))
+        print(format_per_benchmark(series,
+                                   f"Figure 6: per-benchmark IPC{suffix}"))
     elif fig == "7":
         for with_l0 in (False, True):
             series = figure7_series(with_l0=with_l0, **kwargs)
             label = "with L0" if with_l0 else "without L0"
             print(format_source_distribution(
-                series, f"Figure 7: fetch source distribution ({label})"
+                series,
+                f"Figure 7: fetch source distribution ({label}){suffix}"
             ))
     elif fig == "8":
         print(format_source_distribution(
-            figure8_series(**kwargs), "Figure 8: prefetch source distribution"
+            figure8_series(**kwargs),
+            f"Figure 8: prefetch source distribution{suffix}"
         ))
     else:
         print(f"unknown figure {fig!r}", file=sys.stderr)
@@ -127,8 +188,58 @@ def _cmd_speedups(args: argparse.Namespace) -> int:
     data = headline_speedups(
         l1_size_bytes=args.l1_size, benchmarks=names,
         max_instructions=args.instructions,
+        jobs=_jobs(args), sampled=args.sampled,
     )
     print(format_speedups(data))
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    try:
+        spec = SamplingSpec(
+            interval_length=args.interval_length,
+            max_intervals=args.intervals,
+            method=args.method,
+        )
+    except ValueError as exc:
+        raise _CliError(str(exc)) from exc
+    config = paper_config(
+        args.scheme, l1_size_bytes=args.l1_size, technology=args.technology,
+        max_instructions=args.instructions,
+    )
+    workload = get_workload(_validate_benchmark(args.benchmark))
+    selection = get_selection(workload, args.instructions, spec,
+                              config=config)
+    print(f"Interval selection for {args.benchmark} "
+          f"({args.instructions} instructions, "
+          f"interval {selection.interval_length}, method {args.method})")
+    header = (f"{'idx':>5s} {'start':>8s} {'length':>7s} {'weight':>7s} "
+              f"{'cluster':>7s} {'proxy':>9s}")
+    print(header)
+    print("-" * len(header))
+    for interval in selection.intervals:
+        proxy = f"{interval.proxy:9.0f}" if interval.proxy else f"{'-':>9s}"
+        print(f"{interval.index:>5d} {interval.start_instruction:>8d} "
+              f"{interval.length:>7d} {interval.weight:>6.1%} "
+              f"{interval.cluster_size:>7d} {proxy}")
+    print(f"coverage: {selection.coverage():.1%} "
+          f"({selection.sampled_instructions} of "
+          f"{selection.total_instructions} instructions)")
+
+    start = time.perf_counter()
+    sampled = run_sampled(config, workload, args.instructions, spec=spec)
+    sampled_seconds = time.perf_counter() - start
+    print(f"\nSampled run ({args.scheme}): IPC {sampled.ipc:.3f} "
+          f"[{sampled_seconds:.2f}s]")
+    if args.compare:
+        start = time.perf_counter()
+        full = run_single(config, args.benchmark, args.instructions)
+        full_seconds = time.perf_counter() - start
+        error = sampled.ipc / full.ipc - 1.0 if full.ipc else 0.0
+        ratio = full_seconds / sampled_seconds if sampled_seconds else 0.0
+        print(f"Full run    ({args.scheme}): IPC {full.ipc:.3f} "
+              f"[{full_seconds:.2f}s]")
+        print(f"relative IPC error {error:+.2%}, speedup {ratio:.1f}x")
     return 0
 
 
@@ -142,17 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate one configuration")
     p_run.add_argument("scheme", choices=SCHEMES)
     _add_common(p_run)
-    # Only `run` drives run_benchmarks directly; the figure/speedups series
-    # builders do not take a jobs parameter (yet), so the flag is scoped
-    # here rather than silently ignored elsewhere.
-    p_run.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for multi-benchmark runs "
-                            "(0 = all cores)")
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure's data")
     p_fig.add_argument("number", choices=["1", "2", "4", "5", "6", "7", "8"])
     _add_common(p_fig)
+    _add_sampling(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_tab = sub.add_parser("tables", help="print Tables 1-3")
@@ -160,7 +266,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_speed = sub.add_parser("speedups", help="print the headline speedups")
     _add_common(p_speed)
+    _add_sampling(p_speed)
     p_speed.set_defaults(func=_cmd_speedups)
+
+    p_sample = sub.add_parser(
+        "sample",
+        help="profile a benchmark and select representative intervals",
+    )
+    p_sample.add_argument("benchmark")
+    p_sample.add_argument("--scheme", default="CLGP+L0", choices=SCHEMES)
+    p_sample.add_argument("--intervals", type=int, default=4,
+                          help="representative intervals to select (K)")
+    p_sample.add_argument("--interval-length", type=int, default=None,
+                          help="instructions per interval "
+                               "(default: derived from the budget)")
+    p_sample.add_argument("--method", default="stratified",
+                          choices=["stratified", "kmeans"],
+                          help="interval selection method")
+    p_sample.add_argument("--compare", action="store_true",
+                          help="also run the full simulation and report "
+                               "the sampled run's error and speedup")
+    _add_config_args(p_sample)
+    p_sample.set_defaults(func=_cmd_sample)
 
     return parser
 
@@ -168,7 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -236,6 +236,14 @@ class StreamPredictor:
         new.table_misses = self.table_misses
         return new
 
+    def __deepcopy__(self, memo: dict) -> "StreamPredictor":
+        """Simulator checkpoints deep-copy the machine; route the predictor
+        (thousands of table entries) through :meth:`clone` instead of the
+        generic -- much slower -- ``copy.deepcopy`` walk."""
+        new = self.clone()
+        memo[id(self)] = new
+        return new
+
     # ------------------------------------------------------------------
     @staticmethod
     def fold_history(history: int, next_addr: int, taken: bool,

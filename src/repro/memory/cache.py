@@ -205,6 +205,30 @@ class Cache:
         self._policies = {i: p.clone() for i, p in policies.items()}
         self.stats = _replace(stats)
 
+    def __deepcopy__(self, memo: dict) -> "Cache":
+        """Fast deep copy via the snapshot machinery.
+
+        Simulator checkpoints deep-copy whole machines; the caches are by
+        far the largest objects involved, and the generic ``copy.deepcopy``
+        walk over thousands of per-set dict entries dominates checkpoint
+        cost.  Contents, replacement state and statistics are copied; the
+        geometry scalars are immutable and shared.
+        """
+        new = object.__new__(Cache)
+        new.name = self.name
+        new.size_bytes = self.size_bytes
+        new.line_size = self.line_size
+        new._line_mask = self._line_mask
+        new.associativity = self.associativity
+        new.num_sets = self.num_sets
+        new.policy_name = self.policy_name
+        new._policy_seed = self._policy_seed
+        new._sets = {i: dict(s) for i, s in self._sets.items()}
+        new._policies = {i: p.clone() for i, p in self._policies.items()}
+        new.stats = _replace(self.stats)
+        memo[id(self)] = new
+        return new
+
     # -- introspection --------------------------------------------------------
     @property
     def num_lines(self) -> int:

@@ -1,0 +1,253 @@
+"""Sampled simulation: run K representative intervals instead of everything.
+
+``run_sampled`` is the sampled counterpart of
+:func:`repro.simulator.runner.run_single` and produces the same
+:class:`~repro.simulator.stats.SimulationResult` shape, so figure builders
+and reports work unchanged.  The flow per (configuration, benchmark):
+
+1. profile the workload's correct path into basic-block vectors and pick
+   K representative intervals with weights (cached per benchmark),
+2. build one simulator, warm it up once, checkpoint it (cached per
+   configuration x benchmark),
+3. for each selected interval, in start order: restore the previous
+   checkpoint, functionally fast-forward to the interval start
+   (:meth:`Simulator.skip_to` -- predictor keeps training, caches keep
+   filling), checkpoint again so the next interval only skips the delta,
+   then run the interval timed,
+4. combine the per-interval results into one weighted estimate
+   (:func:`repro.simulator.stats.weighted_aggregate`).
+
+Everything is deterministic: same workload seed, same sampling spec ->
+same selection, same per-interval results, same estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..simulator.config import SimulationConfig
+from ..simulator.simulator import Simulator
+from ..simulator.stats import SimulationResult, result_delta, weighted_aggregate
+from ..workloads.trace import Workload
+from .bbv import DEFAULT_PROJECTION_DIM
+from .checkpoint import DEFAULT_STORE, CheckpointStore
+from .proxy import proxy_cycles
+from .simpoint import IntervalSelection, select_stratified
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """Parameters of a sampled run (hashable, picklable, deterministic).
+
+    ``interval_length=None`` derives the interval size from the run's
+    instruction budget so short smoke runs and long sweeps both end up
+    with a sensible number of intervals to choose from.
+
+    ``method`` selects how representatives are chosen:
+
+    * ``"stratified"`` (default): functional cost proxies stratify the
+      intervals and a per-stratum ratio estimator corrects the cycle
+      estimate (accurate even when BBVs barely differ across intervals,
+      as with the statistically-stationary synthetic workloads),
+    * ``"kmeans"``: classic SimPoint -- k-means over projected BBVs,
+      cluster-mass weights, no proxy correction.
+    """
+
+    interval_length: Optional[int] = None
+    max_intervals: int = 5              #: K representative intervals
+    method: str = "stratified"
+    projection_dim: int = DEFAULT_PROJECTION_DIM
+    seed: int = 1
+    kmeans_iterations: int = 30
+    #: Floor for derived interval lengths; intervals much shorter than
+    #: this are dominated by the per-interval pipeline-fill transient.
+    min_interval_length: int = 500
+    #: Timed-but-discarded instructions simulated in front of a measured
+    #: interval that was *jumped to* (checkpoint restore + functional
+    #: skip).  Restoring leaves the pipeline and queues empty, so the
+    #: first ~hundreds of instructions run below steady-state IPC;
+    #: measuring differentially after this stretch removes that bias.
+    #: Intervals measured contiguously need no warm stretch.
+    detail_warmup: int = 500
+
+    def __post_init__(self) -> None:
+        if self.method not in ("stratified", "kmeans"):
+            raise ValueError(
+                f"unknown sampling method {self.method!r}; "
+                "choose 'stratified' or 'kmeans'"
+            )
+        if self.max_intervals < 1:
+            raise ValueError("max_intervals must be >= 1")
+        if self.interval_length is not None and self.interval_length <= 0:
+            raise ValueError("interval_length must be positive")
+
+    def resolved_interval_length(self, total_instructions: int) -> int:
+        """Interval size for a run of ``total_instructions``."""
+        if self.interval_length is not None:
+            if self.interval_length <= 0:
+                raise ValueError("interval_length must be positive")
+            return self.interval_length
+        # Aim for ~20 candidate intervals so the selector has spread to
+        # work with, while keeping each interval long enough to measure.
+        derived = max(self.min_interval_length, total_instructions // 20)
+        return min(derived, max(1, total_instructions))
+
+
+#: Spec used when a sampled task does not carry its own.
+DEFAULT_SPEC = SamplingSpec()
+
+
+def get_selection(
+    workload: Workload,
+    total_instructions: int,
+    spec: SamplingSpec = DEFAULT_SPEC,
+    store: CheckpointStore = DEFAULT_STORE,
+    config: Optional[SimulationConfig] = None,
+) -> IntervalSelection:
+    """The (cached) interval selection for a workload under ``spec``.
+
+    The stratified method needs a configuration (its functional features
+    depend on cache/predictor geometry); the k-means method is purely a
+    property of the workload.
+    """
+    interval_length = spec.resolved_interval_length(total_instructions)
+    if spec.method == "stratified":
+        if config is None:
+            raise ValueError("stratified selection needs a configuration")
+        profile = store.functional_profile(
+            config, workload, total_instructions, interval_length
+        )
+        return select_stratified(
+            profile, proxy_cycles(profile, config), spec.max_intervals
+        )
+    return store.selection(
+        workload,
+        total_instructions,
+        interval_length=interval_length,
+        max_intervals=spec.max_intervals,
+        projection_dim=spec.projection_dim,
+        seed=spec.seed,
+        iterations=spec.kmeans_iterations,
+    )
+
+
+def run_sampled(
+    config: SimulationConfig,
+    workload: Union[Workload, str],
+    max_instructions: Optional[int] = None,
+    spec: Optional[SamplingSpec] = None,
+    store: CheckpointStore = DEFAULT_STORE,
+) -> SimulationResult:
+    """Sampled run of one configuration on one benchmark.
+
+    Returns a :class:`SimulationResult` whose counters estimate the full
+    ``max_instructions`` run from the K selected intervals; ``extras``
+    records the sampling metadata (``sampled``, ``sampling_intervals``,
+    ``sampled_instructions``).
+    """
+    if spec is None:
+        spec = DEFAULT_SPEC
+    if isinstance(workload, str):
+        # Imported lazily: the runner imports this module for dispatch.
+        from ..simulator.runner import get_workload
+
+        workload = get_workload(workload)
+    total = max_instructions or config.max_instructions
+    selection = get_selection(workload, total, spec, store=store,
+                              config=config)
+
+    simulator = Simulator(config, workload)
+    cursor = None        # jump base: a checkpoint at the furthest warm point
+    interval_results: List[SimulationResult] = []
+    weights: List[float] = []
+    position: Optional[int] = None   # correct-path offset simulated so far
+    segment_after: Optional[SimulationResult] = None
+    segment_target = 0               # cumulative run target in this segment
+    intervals = selection.intervals              # sorted by start
+    # A "jump" is any interval that does not continue the previous timed
+    # segment; checkpoints are only worth taking when another jump will
+    # come back for them.
+    jump_flags = [
+        i == 0 and interval.start_instruction != 0
+        or i > 0 and interval.start_instruction
+        != intervals[i - 1].start_instruction + intervals[i - 1].length
+        for i, interval in enumerate(intervals)
+    ]
+    for i, interval in enumerate(intervals):
+        if position is not None and interval.start_instruction == position:
+            # Adjacent to the previous measured interval: keep the timed
+            # run going -- no checkpoint restore, no discarded warm-up,
+            # and the machine state is the exact full-run state.
+            before = segment_after
+            segment_target += interval.length
+            after = simulator.run(segment_target)
+        elif position is None and interval.start_instruction == 0:
+            # First interval at the very beginning (always true for
+            # stratified selections: interval 0 represents itself):
+            # plain warm-up, exactly like a full run starts.
+            simulator.warm_up()
+            before = None
+            segment_target = interval.length
+            after = simulator.run(segment_target)
+        else:
+            # Jump: reset to warm state, functionally fast-forward to
+            # just before the interval, and refill the pipeline with a
+            # timed-but-discarded warm stretch.
+            if cursor is not None:
+                simulator.restore(cursor)
+            else:
+                cursor = store.warm_checkpoint_if_revisited(config, workload)
+                if cursor is not None:
+                    simulator.restore(cursor)
+                elif position is None:
+                    # Nothing measured yet: the simulator is pristine.
+                    simulator.warm_up()
+                else:
+                    # Nothing cached: a fresh warmed simulator is the
+                    # same state, minus the cost of snapshotting state
+                    # this one-shot run would never restore again.
+                    simulator = Simulator(config, workload)
+                    simulator.warm_up()
+            warm_len = min(spec.detail_warmup, interval.start_instruction)
+            simulator.skip_to(interval.start_instruction - warm_len)
+            if any(jump_flags[i + 1:]):
+                # Checkpoint ahead of the interval: the next jump
+                # restores here and only skips the delta, so the whole
+                # run fast-forwards the prefix once however many
+                # intervals are selected.
+                cursor = simulator.snapshot()
+            before = simulator.run(warm_len) if warm_len else None
+            segment_target = warm_len + interval.length
+            after = simulator.run(segment_target)
+        interval_results.append(result_delta(after, before))
+        weights.append(interval.weight)
+        segment_after = after
+        position = interval.start_instruction + interval.length
+
+    result = weighted_aggregate(
+        interval_results, weights, total_instructions=total
+    )
+    if spec.method == "stratified":
+        # Ratio-corrected cycle estimate: each stratum's summed proxy,
+        # scaled by its representative's measured/proxy cycle ratio.
+        # Exact whenever the proxy is proportional to true cycles within
+        # a stratum; absolute proxy calibration divides out.
+        estimated = sum(
+            interval.cluster_proxy_mass
+            * measured.cycles / interval.proxy
+            for interval, measured in zip(
+                selection.intervals, interval_results
+            )
+            if interval.proxy > 0
+        )
+        if estimated > 0:
+            result.cycles = max(1, round(estimated))
+    result.extras.update(
+        sampled=1.0,
+        sampling_intervals=float(selection.k),
+        sampling_interval_length=float(selection.interval_length),
+        sampled_instructions=float(selection.sampled_instructions),
+        sampling_coverage=selection.coverage(),
+    )
+    return result

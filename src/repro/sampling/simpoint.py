@@ -1,0 +1,274 @@
+"""SimPoint-style representative-interval selection (dependency-free k-means).
+
+Given a :class:`~repro.sampling.bbv.BBVProfile`, cluster the projected
+interval vectors with k-means (deterministic k-means++ seeding from a
+fixed RNG seed, Lloyd iterations, lowest-index tie-breaking) and pick, per
+cluster, the interval closest to the centroid as its representative.  The
+representative's weight is the fraction of profiled *instructions* its
+cluster covers, so a sampled run reproduces the full run as the
+weight-averaged behaviour of K intervals instead of simulating everything.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .bbv import DEFAULT_PROJECTION_DIM, BBVProfile
+
+
+@dataclass(frozen=True)
+class SelectedInterval:
+    """One representative interval plus the cluster weight it stands for."""
+
+    index: int                  #: interval number in the profile
+    start_instruction: int      #: absolute offset of its first instruction
+    length: int                 #: instructions to simulate
+    weight: float               #: fraction of the full run it represents
+    cluster_size: int           #: intervals in its cluster
+    #: Functional cost proxy of this interval and the summed proxy of its
+    #: cluster/stratum (zero when selection ran without proxies); used by
+    #: the sampled runner's ratio estimator.
+    proxy: float = 0.0
+    cluster_proxy_mass: float = 0.0
+
+
+@dataclass(frozen=True)
+class IntervalSelection:
+    """The outcome of interval selection for one workload."""
+
+    workload: str
+    seed: int                   #: workload profile seed
+    interval_length: int
+    total_instructions: int
+    intervals: Tuple[SelectedInterval, ...]    #: sorted by start
+
+    @property
+    def k(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def sampled_instructions(self) -> int:
+        """Instructions actually simulated by a sampled run."""
+        return sum(ivl.length for ivl in self.intervals)
+
+    def coverage(self) -> float:
+        """Sampled fraction of the full instruction budget."""
+        if not self.total_instructions:
+            return 0.0
+        return self.sampled_instructions / self.total_instructions
+
+
+def _squared_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
+
+
+def _kmeans_pp_seeds(
+    vectors: List[List[float]], k: int, rng: random.Random
+) -> List[List[float]]:
+    """k-means++ initial centroids (deterministic given the RNG state)."""
+    centers = [list(vectors[rng.randrange(len(vectors))])]
+    while len(centers) < k:
+        dists = [
+            min(_squared_distance(v, c) for c in centers) for v in vectors
+        ]
+        total = sum(dists)
+        if total <= 0.0:
+            # All remaining points coincide with a center; any choice works.
+            centers.append(list(vectors[rng.randrange(len(vectors))]))
+            continue
+        pick = rng.random() * total
+        acc = 0.0
+        chosen = len(vectors) - 1
+        for i, d in enumerate(dists):
+            acc += d
+            if acc >= pick:
+                chosen = i
+                break
+        centers.append(list(vectors[chosen]))
+    return centers
+
+
+def kmeans(
+    vectors: List[List[float]],
+    k: int,
+    seed: int = 1,
+    iterations: int = 30,
+) -> List[int]:
+    """Cluster ``vectors`` into ``k`` groups; returns per-vector labels.
+
+    Plain Lloyd's algorithm with k-means++ seeding.  Fully deterministic
+    for a given ``seed``: the RNG is private, ties in assignment go to the
+    lowest cluster index, and empty clusters are re-seeded with the point
+    farthest from its centroid.
+    """
+    n = len(vectors)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if n == 0:
+        return []
+    k = min(k, n)
+    rng = random.Random(seed ^ 0x53494D50)   # 'SIMP'
+    centers = _kmeans_pp_seeds(vectors, k, rng)
+    labels = [0] * n
+    for _ in range(max(1, iterations)):
+        # Assignment step.
+        changed = False
+        farthest = (-1.0, 0)        # (distance, index) for empty-cluster fix
+        for i, vector in enumerate(vectors):
+            best, best_d = 0, _squared_distance(vector, centers[0])
+            for c in range(1, k):
+                d = _squared_distance(vector, centers[c])
+                if d < best_d:
+                    best, best_d = c, d
+            if labels[i] != best:
+                labels[i] = best
+                changed = True
+            if best_d > farthest[0]:
+                farthest = (best_d, i)
+        # Update step.
+        dim = len(vectors[0])
+        sums = [[0.0] * dim for _ in range(k)]
+        counts = [0] * k
+        for label, vector in zip(labels, vectors):
+            counts[label] += 1
+            target = sums[label]
+            for d in range(dim):
+                target[d] += vector[d]
+        for c in range(k):
+            if counts[c]:
+                centers[c] = [value / counts[c] for value in sums[c]]
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                centers[c] = list(vectors[farthest[1]])
+                changed = True
+        if not changed:
+            break
+    return labels
+
+
+def select_intervals(
+    profile: BBVProfile,
+    max_intervals: int = 5,
+    projection_dim: int = DEFAULT_PROJECTION_DIM,
+    seed: int = 1,
+    iterations: int = 30,
+) -> IntervalSelection:
+    """Pick up to ``max_intervals`` representative intervals + weights."""
+    n = len(profile.intervals)
+    if n == 0:
+        raise ValueError("profile has no intervals to select from")
+    k = min(max_intervals, n)
+    vectors = profile.vectors(dim=projection_dim, seed=seed)
+    labels = kmeans(vectors, k, seed=seed, iterations=iterations)
+
+    # Centroids of the final labelling (kmeans returns labels only).
+    members: List[List[int]] = [[] for _ in range(k)]
+    for i, label in enumerate(labels):
+        members[label].append(i)
+    total_instructions = profile.total_instructions or 1
+
+    selected: List[SelectedInterval] = []
+    for cluster in members:
+        if not cluster:
+            continue
+        dim = len(vectors[0])
+        centroid = [
+            sum(vectors[i][d] for i in cluster) / len(cluster)
+            for d in range(dim)
+        ]
+        representative = min(
+            cluster,
+            key=lambda i: (_squared_distance(vectors[i], centroid), i),
+        )
+        cluster_instructions = sum(
+            profile.intervals[i].length for i in cluster
+        )
+        record = profile.intervals[representative]
+        selected.append(SelectedInterval(
+            index=record.index,
+            start_instruction=record.start_instruction,
+            length=record.length,
+            weight=cluster_instructions / total_instructions,
+            cluster_size=len(cluster),
+        ))
+    selected.sort(key=lambda ivl: ivl.start_instruction)
+    return IntervalSelection(
+        workload=profile.workload,
+        seed=profile.seed,
+        interval_length=profile.interval_length,
+        total_instructions=profile.total_instructions,
+        intervals=tuple(selected),
+    )
+
+
+def select_stratified(
+    profile,
+    proxies: Sequence[float],
+    max_intervals: int = 5,
+) -> IntervalSelection:
+    """Proxy-stratified selection (the default for sampled runs).
+
+    ``profile`` is a :class:`~repro.sampling.proxy.FunctionalProfile` (or
+    anything with ``workload``/``seed``/``interval_length``/
+    ``total_instructions`` and per-interval ``features`` lengths).  Sorts
+    the intervals by their functional cost proxy, splits the order into
+    ``max_intervals`` strata of near-equal population, and picks each
+    stratum's *earliest* interval as its representative.  Deterministic,
+    and -- unlike k-means on near-identical BBVs -- guarantees the
+    measured intervals span the cost range, which is what the ratio
+    estimator needs.  Under ratio correction any stratum member is an
+    equally valid representative, so the earliest is chosen: the measured
+    set then clusters at the front of the run, where the sampled runner
+    can measure adjacent intervals in one continuous timed stretch (no
+    checkpoint restore, no discarded warm-up, exact machine state) and
+    functional skips stay short.  The recorded ``cluster_proxy_mass`` is
+    the stratum's summed proxy; the sampled runner scales it by the
+    representative's measured/proxy cycle ratio.
+    """
+    lengths = [f.length for f in profile.features]
+    n = len(lengths)
+    if n == 0:
+        raise ValueError("profile has no intervals to select from")
+    if len(proxies) != n:
+        raise ValueError("need exactly one proxy value per interval")
+    k = min(max_intervals, n)
+    interval_length = profile.interval_length
+    total_instructions = profile.total_instructions or 1
+    # Interval 0 is a singleton stratum: it carries the run's one-time
+    # start-up transient (L0 / pre-buffer still filling), so its measured
+    # cycles must count exactly once and never be extrapolated to warmer
+    # intervals.  The remaining intervals are stratified by proxy.
+    strata: List[List[int]] = [[0]] if n > 1 else [list(range(n))]
+    if n > 1:
+        rest = list(range(1, n))
+        order = sorted(rest, key=lambda i: (proxies[i], i))
+        k_rest = max(1, k - 1)
+        bounds = [round(j * len(order) / k_rest) for j in range(k_rest + 1)]
+        strata.extend(
+            order[bounds[j]:bounds[j + 1]] for j in range(k_rest)
+        )
+    selected: List[SelectedInterval] = []
+    for stratum in strata:
+        if not stratum:
+            continue
+        representative = min(stratum)
+        stratum_instructions = sum(lengths[i] for i in stratum)
+        selected.append(SelectedInterval(
+            index=representative,
+            start_instruction=representative * interval_length,
+            length=lengths[representative],
+            weight=stratum_instructions / total_instructions,
+            cluster_size=len(stratum),
+            proxy=proxies[representative],
+            cluster_proxy_mass=sum(proxies[i] for i in stratum),
+        ))
+    selected.sort(key=lambda ivl: ivl.start_instruction)
+    return IntervalSelection(
+        workload=profile.workload,
+        seed=profile.seed,
+        interval_length=profile.interval_length,
+        total_instructions=profile.total_instructions,
+        intervals=tuple(selected),
+    )

@@ -1,0 +1,129 @@
+"""Declarative experiment plans: typed simulation tasks, one executor.
+
+Every paper experiment is some grid of (configuration x benchmark), run
+either in full or sampled, and then regrouped into a figure-shaped
+mapping.  Instead of each figure builder hand-rolling its own nested
+loops (which kept ``jobs=N`` from working anywhere but ``repro-clgp
+run``), builders append typed :class:`SimTask` entries to an
+:class:`ExperimentPlan` and call :meth:`ExperimentPlan.run`; the plan
+hands the flat task list to the one executor in
+:mod:`repro.simulator.runner`, which runs it inline or over the shared
+multiprocessing pool.  Results come back in task order regardless of
+``jobs`` and are regrouped by each task's ``key``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .config import SimulationConfig
+from .stats import SimulationResult, harmonic_mean_ipc
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One simulation to run: a configuration on a benchmark.
+
+    ``key`` is an arbitrary grouping key chosen by the plan builder (for
+    example ``(scheme, l1_size)``); :meth:`PlanResults.by_key` groups the
+    executed results by it in insertion order.  ``sampled`` selects
+    SimPoint-style sampled simulation (see :mod:`repro.sampling`), with
+    ``sampling`` optionally overriding the default
+    :class:`~repro.sampling.sampled.SamplingSpec`.
+    """
+
+    config: SimulationConfig
+    benchmark: str
+    max_instructions: Optional[int] = None
+    sampled: bool = False
+    sampling: Optional[object] = None
+    key: Tuple = ()
+
+
+@dataclass
+class PlanResults:
+    """Executed plan: tasks and their results, aligned and in task order."""
+
+    tasks: List[SimTask]
+    results: List[SimulationResult]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def by_key(self) -> Dict[Tuple, List[SimulationResult]]:
+        """Results grouped by task key, keys in first-insertion order."""
+        grouped: Dict[Tuple, List[SimulationResult]] = {}
+        for task, result in zip(self.tasks, self.results):
+            grouped.setdefault(task.key, []).append(result)
+        return grouped
+
+    def hmean_by_key(self) -> Dict[Tuple, float]:
+        """Harmonic-mean IPC per task key (the paper's HMEAN bars)."""
+        return {
+            key: harmonic_mean_ipc(results)
+            for key, results in self.by_key().items()
+        }
+
+
+@dataclass
+class ExperimentPlan:
+    """A flat, ordered list of :class:`SimTask` plus the run entry point."""
+
+    name: str = ""
+    tasks: List[SimTask] = field(default_factory=list)
+
+    def add(
+        self,
+        config: SimulationConfig,
+        benchmark: str,
+        max_instructions: Optional[int] = None,
+        key: Tuple = (),
+        sampled: bool = False,
+        sampling: Optional[object] = None,
+    ) -> SimTask:
+        """Append one task and return it."""
+        task = SimTask(
+            config=config,
+            benchmark=benchmark,
+            max_instructions=max_instructions,
+            sampled=sampled,
+            sampling=sampling,
+            key=key,
+        )
+        self.tasks.append(task)
+        return task
+
+    def add_grid(
+        self,
+        configs_by_key: Dict[Tuple, SimulationConfig],
+        benchmarks,
+        max_instructions: Optional[int] = None,
+        sampled: bool = False,
+        sampling: Optional[object] = None,
+    ) -> None:
+        """Append the cross product of ``{key: config}`` x ``benchmarks``."""
+        for key, config in configs_by_key.items():
+            for benchmark in benchmarks:
+                self.add(
+                    config, benchmark, max_instructions,
+                    key=key, sampled=sampled, sampling=sampling,
+                )
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def run(self, jobs: int = 1) -> PlanResults:
+        """Execute every task (inline, or fanned out when ``jobs != 1``).
+
+        Result order always matches task order.
+        """
+        from .runner import run_tasks   # runner imports this module
+
+        return PlanResults(
+            tasks=list(self.tasks),
+            results=run_tasks(self.tasks, jobs=jobs),
+        )

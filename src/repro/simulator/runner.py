@@ -1,27 +1,32 @@
-"""Experiment runner: multi-benchmark, multi-configuration sweeps.
+"""Experiment runner: the one executor behind every sweep.
 
 The paper's figures are produced by sweeping a set of configurations over
-a set of benchmarks (and usually over L1 cache sizes).  This module
-provides those loops, a workload cache so each synthetic program is built
-only once per process, and simple helpers used by the benchmark harness
-and the examples.
+a set of benchmarks (and usually over L1 cache sizes).  Those sweeps are
+declared as flat lists of typed :class:`~repro.simulator.plan.SimTask`
+(see :mod:`repro.simulator.plan`); this module provides the executor that
+runs them -- inline or over a ``multiprocessing`` pool -- plus a workload
+cache so each synthetic program is built only once per process, and the
+environment-controlled defaults used by the benchmark harness.
 
-Sweeps are embarrassingly parallel (one process per simulation), so the
-multi-run entry points accept ``jobs=N`` to fan out over a
-``multiprocessing`` pool; each worker process keeps its own workload
-cache, so a benchmark's synthetic program is built at most once per
-worker.  ``jobs=1`` (the default) runs inline with identical results.
+Sweeps are embarrassingly parallel (one process per simulation), so
+``run_tasks`` accepts ``jobs=N`` to fan out over a pool; each worker
+process keeps its own workload cache, so a benchmark's synthetic program
+is built at most once per worker.  ``jobs=1`` (the default) runs inline
+with identical results and identical ordering.  Tasks flagged
+``sampled=True`` dispatch to the sampled-simulation runner in
+:mod:`repro.sampling` instead of a full run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES, profile_for
 from ..workloads.trace import Workload, build_workload
 from .config import SimulationConfig
+from .plan import ExperimentPlan, SimTask
 from .simulator import Simulator
 from .stats import SimulationResult, harmonic_mean_ipc
 
@@ -100,13 +105,27 @@ def run_single(
     return Simulator(config, workload).run(max_instructions)
 
 
-def _run_task(task) -> SimulationResult:
-    """Pool worker: run one (config, benchmark, max_instructions) task.
+def _run_task(task: Union[SimTask, tuple]) -> SimulationResult:
+    """Pool worker: run one :class:`SimTask` (or legacy task tuple).
 
     Top-level function so it pickles; the workload cache is the worker
     process's own module-global, so each worker builds a given synthetic
-    program at most once no matter how many tasks it serves.
+    program at most once no matter how many tasks it serves.  Sampled
+    tasks dispatch to :func:`repro.sampling.sampled.run_sampled`, whose
+    per-process checkpoint/selection caches play the same role for the
+    warm-up and profiling passes.
     """
+    if isinstance(task, SimTask):
+        if task.sampled:
+            # Imported lazily: repro.sampling imports this module.
+            from ..sampling.sampled import run_sampled
+
+            return run_sampled(
+                task.config, task.benchmark,
+                max_instructions=task.max_instructions,
+                spec=task.sampling,
+            )
+        return run_single(task.config, task.benchmark, task.max_instructions)
     config, benchmark, max_instructions = task
     return run_single(config, benchmark, max_instructions)
 
@@ -122,11 +141,12 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def run_tasks(
-    tasks: Sequence[tuple],
+    tasks: Sequence[Union[SimTask, tuple]],
     jobs: int = 1,
 ) -> List[SimulationResult]:
-    """Run ``(config, benchmark, max_instructions)`` tasks, optionally on a
-    process pool.  Results keep task order regardless of ``jobs``."""
+    """Run :class:`SimTask` entries (or legacy ``(config, benchmark,
+    max_instructions)`` tuples), optionally on a process pool.  Results
+    keep task order regardless of ``jobs``."""
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(tasks) <= 1:
         return [_run_task(task) for task in tasks]
@@ -141,14 +161,20 @@ def run_benchmarks(
     benchmarks: Iterable[str],
     max_instructions: Optional[int] = None,
     jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> List[SimulationResult]:
     """Run one configuration across several benchmarks.
 
     ``jobs>1`` distributes the runs over worker processes (``None``/0 uses
-    every core); results are identical to the serial order.
+    every core); results are identical to the serial order.  ``sampled``
+    runs each benchmark through SimPoint-style sampled simulation.
     """
-    tasks = [(config, name, max_instructions) for name in benchmarks]
-    return run_tasks(tasks, jobs=jobs)
+    plan = ExperimentPlan("run-benchmarks")
+    for name in benchmarks:
+        plan.add(config, name, max_instructions,
+                 sampled=sampled, sampling=sampling)
+    return plan.run(jobs=jobs).results
 
 
 def run_mix(
@@ -156,13 +182,16 @@ def run_mix(
     benchmarks: Optional[Iterable[str]] = None,
     max_instructions: Optional[int] = None,
     jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[str, object]:
     """Run a configuration on a benchmark mix and aggregate.
 
     Returns ``{"results": [...], "hmean_ipc": float}``.
     """
     names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
-    results = run_benchmarks(config, names, max_instructions, jobs=jobs)
+    results = run_benchmarks(config, names, max_instructions, jobs=jobs,
+                             sampled=sampled, sampling=sampling)
     return {"results": results, "hmean_ipc": harmonic_mean_ipc(results)}
 
 
@@ -171,6 +200,8 @@ def sweep_l1_sizes(
     benchmarks: Optional[Iterable[str]] = None,
     max_instructions: Optional[int] = None,
     jobs: int = 1,
+    sampled: bool = False,
+    sampling=None,
 ) -> Dict[int, Dict[str, object]]:
     """Run ``{size: config}`` (or ``{size: [configs]}``) over a benchmark mix.
 
@@ -179,21 +210,24 @@ def sweep_l1_sizes(
     is fanned out over one shared process pool.
     """
     names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
-    plan: List[tuple] = []          # (size, label) in insertion order
-    tasks: List[tuple] = []
+    plan = ExperimentPlan("sweep-l1-sizes")
+    occurrences: Dict[tuple, int] = {}
     for size, configs in configs_by_size.items():
         if isinstance(configs, SimulationConfig):
             configs = [configs]
         for config in configs:
-            plan.append((size, config.derived_label()))
+            label = config.derived_label()
+            # Configs that share a label at one size stay separate task
+            # groups; the output keeps the last one (label collisions can
+            # only surface one entry in the returned mapping anyway).
+            occurrence = occurrences.get((size, label), 0)
+            occurrences[(size, label)] = occurrence + 1
             for name in names:
-                tasks.append((config, name, max_instructions))
-    flat = run_tasks(tasks, jobs=jobs)
+                plan.add(config, name, max_instructions,
+                         key=(size, label, occurrence),
+                         sampled=sampled, sampling=sampling)
     out: Dict[int, Dict[str, object]] = {}
-    cursor = 0
-    for size, label in plan:
-        results = flat[cursor:cursor + len(names)]
-        cursor += len(names)
+    for (size, label, _), results in plan.run(jobs=jobs).by_key().items():
         out.setdefault(size, {})[label] = {
             "results": results,
             "hmean_ipc": harmonic_mean_ipc(results),

@@ -33,6 +33,7 @@ fallback and as the reference for the determinism regression test.
 
 from __future__ import annotations
 
+import copy
 from typing import Optional, Union
 
 from ..backend.dcache import DataCacheModel
@@ -50,10 +51,37 @@ from ..workloads.spec2000 import profile_for
 from ..workloads.trace import Workload, build_workload
 from .config import SimulationConfig
 from .stats import SimulationResult
-from .warming import apply_warmup, get_warmup_artifacts
+from .warming import apply_warmup, functional_advance, get_warmup_artifacts
 
 #: Safety factor for the default cycle limit (cycles per instruction).
 _DEFAULT_MAX_CPI = 400
+
+
+class SimulatorCheckpoint:
+    """Opaque snapshot of a :class:`Simulator`'s mutable state.
+
+    Produced by :meth:`Simulator.snapshot` and consumed by
+    :meth:`Simulator.restore`.  The checkpoint owns deep copies of every
+    timed structure (caches, queues, predictor, back-end, RNGs) but shares
+    the immutable workload objects (CFG, basic-block dictionary, the
+    memoised correct-path block stream), so it is cheap relative to
+    rebuilding and re-warming a simulator and can be restored any number
+    of times -- each restore yields a bit-identical continuation.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: dict) -> None:
+        self._state = state
+
+    @property
+    def cycle(self) -> int:
+        return self._state["cycle"]
+
+    @property
+    def consumed_instructions(self) -> int:
+        """Correct-path instructions the checkpointed front-end has consumed."""
+        return self._state["prediction"].oracle.consumed_instructions
 
 
 def _build_engine(
@@ -172,6 +200,85 @@ class Simulator:
         )
         self.prediction.predictor = apply_warmup(artifacts, self.hierarchy)
         return artifacts.instructions
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (sampled simulation)
+    # ------------------------------------------------------------------
+    def _snapshot_memo(self) -> dict:
+        """Deepcopy memo pre-seeded with the objects a checkpoint must
+        *share* rather than copy: the workload and everything hanging off
+        it is immutable-or-memoised (append-only, deterministic), and the
+        simulator itself so the deepcopy never descends into it through
+        the back-end's bound redirect callback."""
+        workload = self.workload
+        shared = [self, self.config, workload, workload.profile,
+                  workload.cfg, workload.bbdict]
+        if workload._block_stream is not None:
+            shared.append(workload._block_stream)
+        return {id(obj): obj for obj in shared}
+
+    def snapshot(self) -> SimulatorCheckpoint:
+        """Capture the complete mutable state of the machine.
+
+        The checkpoint can be :meth:`restore`\\ d repeatedly; every restore
+        continues bit-identically (same ``SimulationResult`` fields, same
+        stall breakdown) to a run that never checkpointed.  Sampled sweeps
+        snapshot once after :meth:`warm_up` and restore per interval, so a
+        single warm-up pass serves every interval of a benchmark.
+        """
+        state = {
+            "cycle": self.cycle,
+            "warmed": self._warmed,
+            "hierarchy": self.hierarchy,
+            "engine": self.engine,
+            "prediction": self.prediction,
+            "backend": self.backend,
+        }
+        state = copy.deepcopy(state, self._snapshot_memo())
+        # The redirect callback is bound to the simulator that built the
+        # checkpoint; null it in the stored copy so the checkpoint holds
+        # no live machine references (restore rebinds it onto whichever
+        # simulator restores).
+        state["backend"].on_redirect = None
+        return SimulatorCheckpoint(state)
+
+    def restore(self, checkpoint: SimulatorCheckpoint) -> None:
+        """Reset the machine to ``checkpoint`` -- taken on this simulator or
+        on another simulator of the same configuration and the same
+        workload instance.  The checkpoint itself is left untouched so it
+        can be restored again."""
+        state = copy.deepcopy(checkpoint._state, self._snapshot_memo())
+        self.cycle = state["cycle"]
+        self._warmed = state["warmed"]
+        self.hierarchy = state["hierarchy"]
+        self.engine = state["engine"]
+        self.prediction = state["prediction"]
+        self.backend = state["backend"]
+        self.backend.on_redirect = self._handle_redirect
+        self._bus = self.hierarchy.bus
+
+    def skip_to(self, instruction_offset: int) -> int:
+        """Functionally fast-forward to ``instruction_offset`` correct-path
+        instructions (absolute position) without simulating timing.
+
+        The stream predictor keeps training, RAS/path history track the
+        skipped path, the instruction caches are filled with every touched
+        line, and the data-cache model's dynamic load index advances past
+        the skipped loads (its miss decisions hash that index, so a
+        sampled interval draws exactly the miss pattern the full run draws
+        at the same position) -- the machine ends up positioned at an
+        interval start as if it had executed the prefix, at oracle-walk
+        cost rather than timed-simulation cost.  Only callable between
+        runs while the front-end is on the correct path.  Returns the
+        instructions skipped.
+        """
+        if self.prediction.awaiting_redirect:
+            raise RuntimeError("cannot skip while a misprediction is pending")
+        skipped, loads = functional_advance(
+            self.prediction, self.hierarchy, instruction_offset,
+        )
+        self.backend.dcache.skip_loads(loads)
+        return skipped
 
     def run(
         self,

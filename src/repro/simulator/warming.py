@@ -165,6 +165,60 @@ def apply_warmup(
     return predictor
 
 
+def functional_advance(
+    prediction,
+    hierarchy: Optional[MemoryHierarchy],
+    target_instructions: int,
+    warm_caches: bool = True,
+) -> Tuple[int, int]:
+    """Functionally fast-forward a prediction unit's correct path.
+
+    Advances ``prediction``'s oracle until ``target_instructions``
+    correct-path instructions have been consumed *in total* (the count is
+    absolute, not relative), keeping the unit's predictor, RAS and path
+    history trained exactly as :func:`compute_warmup` would, and filling
+    the instruction caches with every touched line.  No timing state is
+    touched, so this is the "skip" part of sampled simulation: position
+    the machine at an interval start as if it had executed the prefix.
+
+    The final stream may straddle the target; it is consumed only up to
+    the target so the oracle lands exactly on the requested instruction
+    (possibly mid-block), which keeps interval boundaries deterministic.
+    Returns ``(instructions skipped, correct-path loads skipped)``; the
+    load count lets the caller keep the data-cache model's positional
+    miss hashing aligned with a full run (its decisions are a function of
+    the dynamic load index).
+    """
+    oracle = prediction.oracle
+    predictor = prediction.predictor
+    loads_for = prediction.bbdict.loads_for
+    start = oracle.consumed_instructions
+    loads = 0
+    line_size = hierarchy.line_size if hierarchy is not None else 64
+    fill_caches = warm_caches and hierarchy is not None
+    if fill_caches:
+        l1_fill, l2_fill = hierarchy.l1.fill, hierarchy.l2.fill
+    while oracle.consumed_instructions < target_instructions:
+        addr = oracle.current_address()
+        actual = oracle.peek_stream(prediction.max_stream)
+        predictor.train(addr, prediction.history, actual)
+        remaining = target_instructions - oracle.consumed_instructions
+        take = min(actual.length, remaining)
+        loads += loads_for(addr, take)
+        if fill_caches:
+            for line in span_lines(addr, take, line_size):
+                l2_fill(line)
+                l1_fill(line)
+        if actual.length <= remaining:
+            oracle.advance(actual.length)
+            # Full stream consumed: apply its terminator to RAS/history,
+            # exactly as a correctly-predicted stream would.
+            prediction._apply_terminator(actual)
+        else:
+            oracle.advance(remaining)
+    return oracle.consumed_instructions - start, loads
+
+
 def functional_warmup(
     workload: Workload,
     predictor: StreamPredictor,

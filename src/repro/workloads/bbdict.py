@@ -75,6 +75,7 @@ class BasicBlockDictionary:
         # millions of times across a sweep.
         self._view_cache: Dict[int, StaticBlockView] = {}
         self._classes_cache: Dict[Tuple[int, int], tuple] = {}
+        self._load_probs_cache: Dict[Tuple[int, int], tuple] = {}
         #: Wrong-path walk results, shared by every prediction unit built on
         #: this dictionary (see PredictionUnit._wrong_path_block).
         self.wrong_path_cache: Dict[Tuple[int, int], tuple] = {}
@@ -135,6 +136,36 @@ class BasicBlockDictionary:
         result = tuple(classes[:length])
         self._classes_cache[key] = result
         return result
+
+    def load_miss_probs(self, start: int, length: int) -> tuple:
+        """Per-load L1-D miss probabilities within the span, in order.
+
+        One entry per LOAD-class instruction among the ``length``
+        instructions at ``start``.  Memoized: the sampling layer's
+        functional passes (load counting during skips, exact miss-hash
+        replay during profiling) ask about the same loop-body spans
+        millions of times.
+        """
+        key = (start, length)
+        cached = self._load_probs_cache.get(key)
+        if cached is not None:
+            return cached
+        probs = []
+        for offset, cls in enumerate(self.classes_for(start, length)):
+            if cls is InstrClass.LOAD:
+                block = self._cfg.block_containing(
+                    start + offset * INSTRUCTION_BYTES
+                )
+                probs.append(
+                    block.load_miss_probability if block is not None else 0.0
+                )
+        result = tuple(probs)
+        self._load_probs_cache[key] = result
+        return result
+
+    def loads_for(self, start: int, length: int) -> int:
+        """Number of LOAD-class instructions in the span (memoized)."""
+        return len(self.load_miss_probs(start, length))
 
     def block_at(self, addr: int) -> Optional[BasicBlock]:
         """The real block starting exactly at ``addr`` (None if absent)."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from .bbdict import BasicBlockDictionary
 from .cfg import ControlFlowGraph
@@ -166,6 +166,67 @@ class ProgramWalker:
         self._blocks_executed += 1
         self._instructions_executed += block.size
         return record
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalRecord:
+    """One fixed-length slice of the dynamic instruction stream.
+
+    ``block_counts`` maps basic-block start address to the number of
+    instructions that block contributed to this interval -- the raw basic
+    block vector (BBV) used by SimPoint-style interval selection.  A block
+    execution that straddles an interval boundary is split exactly, so
+    every interval except possibly the last holds ``length`` instructions.
+    """
+
+    index: int                  #: interval number (0-based)
+    start_instruction: int      #: absolute offset of the first instruction
+    length: int                 #: instructions in this interval
+    block_counts: Dict[int, int]
+
+
+def iter_intervals(
+    walker: ProgramWalker,
+    interval_length: int,
+    total_instructions: int,
+) -> Iterator[IntervalRecord]:
+    """Walk the correct path and yield per-interval basic-block vectors.
+
+    The walk is the same deterministic correct path every simulation of
+    the workload executes, so interval ``i`` of the profile corresponds
+    exactly to instructions ``[i*L, (i+1)*L)`` of a timed run.  The final
+    interval may be shorter when ``total_instructions`` is not a multiple
+    of ``interval_length``.
+    """
+    if interval_length <= 0:
+        raise ValueError("interval_length must be positive")
+    if total_instructions <= 0:
+        return
+    emitted = 0
+    fill = 0
+    index = 0
+    counts: Dict[int, int] = {}
+    while emitted < total_instructions:
+        block = walker.next_block()
+        addr = block.addr
+        size = block.size
+        while size > 0 and emitted < total_instructions:
+            take = min(size, interval_length - fill,
+                       total_instructions - emitted)
+            counts[addr] = counts.get(addr, 0) + take
+            fill += take
+            emitted += take
+            size -= take
+            if fill == interval_length or emitted == total_instructions:
+                yield IntervalRecord(
+                    index=index,
+                    start_instruction=emitted - fill,
+                    length=fill,
+                    block_counts=counts,
+                )
+                index += 1
+                counts = {}
+                fill = 0
 
 
 class BlockStream:
@@ -368,6 +429,17 @@ class Workload:
                 ProgramWalker(self.cfg, seed=self.profile.seed)
             )
         return CorrectPathOracle(self._block_stream)
+
+    def iter_intervals(
+        self, interval_length: int, total_instructions: int
+    ) -> Iterator[IntervalRecord]:
+        """Per-interval basic-block vectors of this workload's correct path.
+
+        Uses a private walker (same seed as every simulation run), so the
+        shared block stream's memory stays untouched by profiling.
+        """
+        walker = ProgramWalker(self.cfg, seed=self.profile.seed)
+        return iter_intervals(walker, interval_length, total_instructions)
 
     @property
     def name(self) -> str:

@@ -1,0 +1,179 @@
+"""Determinism guard for simulator checkpoints (snapshot / restore / skip).
+
+Analogous to ``tests/test_event_loop.py``: the core contract is that a
+``snapshot()``/``restore()`` round trip is *bit-identical* -- every field
+of ``SimulationResult`` of a run that checkpointed and restored mid-way
+must equal the uninterrupted run's, for every engine, and a checkpoint
+must be restorable any number of times (and into other simulators of the
+same configuration) with identical continuations.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sampling.checkpoint import CheckpointStore
+from repro.simulator.simulator import Simulator
+from repro.simulator.testing import make_sim_config
+
+ENGINES = ["baseline", "fdp", "clgp", "next-line", "target-line"]
+
+
+def _assert_identical(a, b):
+    if a == b:
+        return
+    diffs = [
+        f"{f.name}: a={getattr(a, f.name)!r} b={getattr(b, f.name)!r}"
+        for f in dataclasses.fields(a)
+        if getattr(a, f.name) != getattr(b, f.name)
+    ]
+    raise AssertionError("checkpoint round-trip diverged:\n  "
+                         + "\n  ".join(diffs))
+
+
+class TestSnapshotRestoreRoundTrip:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_mid_run_round_trip_is_bit_identical(self, medium_workload, engine):
+        config = make_sim_config(engine=engine, max_instructions=2500)
+        reference = Simulator(config, medium_workload).run()
+
+        sim = Simulator(config, medium_workload)
+        sim.run(1000)
+        checkpoint = sim.snapshot()
+        sim.restore(checkpoint)
+        _assert_identical(sim.run(2500), reference)
+
+    def test_checkpoint_restorable_many_times(self, medium_workload):
+        config = make_sim_config(engine="clgp", max_instructions=2000)
+        sim = Simulator(config, medium_workload)
+        sim.warm_up()
+        checkpoint = sim.snapshot()
+        first = sim.run(2000)
+        for _ in range(2):
+            sim.restore(checkpoint)
+            _assert_identical(sim.run(2000), first)
+
+    def test_restore_into_fresh_simulator(self, medium_workload):
+        config = make_sim_config(engine="fdp", max_instructions=2000)
+        sim = Simulator(config, medium_workload)
+        sim.warm_up()
+        checkpoint = sim.snapshot()
+        result = sim.run(2000)
+
+        other = Simulator(config, medium_workload)
+        other.restore(checkpoint)
+        _assert_identical(other.run(2000), result)
+
+    def test_checkpoint_properties(self, medium_workload):
+        config = make_sim_config(max_instructions=1500)
+        sim = Simulator(config, medium_workload)
+        sim.run(500)
+        checkpoint = sim.snapshot()
+        assert checkpoint.cycle == sim.cycle
+        assert (checkpoint.consumed_instructions
+                == sim.prediction.oracle.consumed_instructions)
+
+    def test_restore_resets_cycle_and_stats(self, medium_workload):
+        config = make_sim_config(max_instructions=2000)
+        sim = Simulator(config, medium_workload)
+        sim.warm_up()
+        checkpoint = sim.snapshot()
+        sim.run(1200)
+        assert sim.cycle > 0
+        sim.restore(checkpoint)
+        assert sim.cycle == 0
+        assert sim.backend.stats.committed_instructions == 0
+
+
+class TestSkipTo:
+    def test_skip_is_deterministic(self, medium_workload):
+        config = make_sim_config(engine="clgp", max_instructions=1500)
+        results = []
+        for _ in range(2):
+            sim = Simulator(config, medium_workload)
+            sim.warm_up()
+            sim.skip_to(4000)
+            results.append(sim.run(1500))
+        _assert_identical(results[0], results[1])
+
+    def test_skip_positions_the_oracle_exactly(self, medium_workload):
+        config = make_sim_config(max_instructions=1000)
+        sim = Simulator(config, medium_workload)
+        sim.warm_up()
+        skipped = sim.skip_to(3210)
+        assert skipped == 3210
+        assert sim.prediction.oracle.consumed_instructions == 3210
+        # Absolute target: a second call to the same offset is a no-op.
+        assert sim.skip_to(3210) == 0
+
+    def test_skip_advances_dcache_load_index(self, medium_workload):
+        config = make_sim_config(max_instructions=1000)
+        sim = Simulator(config, medium_workload)
+        sim.warm_up()
+        sim.skip_to(5000)
+        assert sim.backend.dcache._load_index > 0
+
+    def test_skip_does_not_touch_timing(self, medium_workload):
+        config = make_sim_config(max_instructions=1000)
+        sim = Simulator(config, medium_workload)
+        sim.warm_up()
+        sim.skip_to(2000)
+        assert sim.cycle == 0
+        assert sim.backend.stats.committed_instructions == 0
+
+
+class TestCheckpointStore:
+    def test_warm_checkpoint_cached(self, medium_workload):
+        store = CheckpointStore()
+        config = make_sim_config(max_instructions=1000)
+        a = store.warm_checkpoint(config, medium_workload)
+        b = store.warm_checkpoint(config, medium_workload)
+        assert a is b
+
+    def test_peek_does_not_build(self, medium_workload):
+        store = CheckpointStore()
+        config = make_sim_config(max_instructions=1000)
+        assert store.peek_warm_checkpoint(config, medium_workload) is None
+        built = store.warm_checkpoint(config, medium_workload)
+        assert store.peek_warm_checkpoint(config, medium_workload) is built
+
+    def test_revisit_builds_on_second_request(self, medium_workload):
+        store = CheckpointStore()
+        config = make_sim_config(max_instructions=1000)
+        assert store.warm_checkpoint_if_revisited(
+            config, medium_workload) is None
+        second = store.warm_checkpoint_if_revisited(config, medium_workload)
+        assert second is not None
+        assert store.warm_checkpoint_if_revisited(
+            config, medium_workload) is second
+
+    def test_distinct_configs_get_distinct_checkpoints(self, medium_workload):
+        store = CheckpointStore()
+        a = store.warm_checkpoint(
+            make_sim_config(max_instructions=1000), medium_workload)
+        b = store.warm_checkpoint(
+            make_sim_config(max_instructions=1000, l1_size_bytes=1024),
+            medium_workload)
+        assert a is not b
+
+    def test_clear(self, medium_workload):
+        store = CheckpointStore()
+        store.warm_checkpoint(make_sim_config(max_instructions=1000),
+                              medium_workload)
+        assert len(store) > 0
+        store.clear()
+        assert len(store) == 0
+
+    def test_warm_checkpoint_matches_plain_warm_up(self, medium_workload):
+        """Restoring the store's warm checkpoint must continue exactly like
+        a freshly warmed simulator (the sampled runner relies on the two
+        states being interchangeable)."""
+        store = CheckpointStore()
+        config = make_sim_config(engine="fdp", max_instructions=1500)
+        fresh = Simulator(config, medium_workload)
+        fresh.warm_up()
+        expected = fresh.run(1500)
+
+        restored = Simulator(config, medium_workload)
+        restored.restore(store.warm_checkpoint(config, medium_workload))
+        _assert_identical(restored.run(1500), expected)

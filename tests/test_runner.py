@@ -3,15 +3,18 @@
 import pytest
 
 from repro.simulator.config import SimulationConfig
+from repro.simulator.plan import ExperimentPlan, SimTask
 from repro.simulator.runner import (
     bench_benchmark_names,
     bench_instruction_budget,
     bench_l1_sizes,
     clear_workload_cache,
     get_workload,
+    resolve_jobs,
     run_benchmarks,
     run_mix,
     run_single,
+    run_tasks,
     sweep_l1_sizes,
 )
 
@@ -99,3 +102,81 @@ class TestRunning:
         for per_size in out.values():
             for data in per_size.values():
                 assert data["hmean_ipc"] > 0
+
+
+class TestResolveJobs:
+    def test_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cores(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) == resolve_jobs(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestExperimentPlan:
+    def test_tasks_keep_insertion_order_and_keys(self):
+        plan = ExperimentPlan("t")
+        config = fast_config()
+        plan.add(config, "gzip", 500, key=("a",))
+        plan.add(config, "mcf", 500, key=("b",))
+        results = plan.run()
+        assert [r.workload for r in results] == ["gzip", "mcf"]
+        grouped = results.by_key()
+        assert list(grouped) == [("a",), ("b",)]
+        assert grouped[("a",)][0].workload == "gzip"
+
+    def test_hmean_by_key(self):
+        plan = ExperimentPlan("t")
+        config = fast_config()
+        for name in ("gzip", "mcf"):
+            plan.add(config, name, 500, key=("mix",))
+        hmeans = plan.run().hmean_by_key()
+        assert set(hmeans) == {("mix",)}
+        assert hmeans[("mix",)] > 0
+
+    def test_run_tasks_accepts_simtasks_and_tuples(self):
+        config = fast_config()
+        mixed = [
+            SimTask(config=config, benchmark="gzip", max_instructions=500),
+            (config, "gzip", 500),
+        ]
+        a, b = run_tasks(mixed)
+        assert a == b
+
+    def test_sampled_task_dispatches_to_sampled_runner(self):
+        config = fast_config(max_instructions=4000)
+        task = SimTask(config=config, benchmark="gzip",
+                       max_instructions=4000, sampled=True)
+        (result,) = run_tasks([task])
+        assert result.extras.get("sampled") == 1.0
+
+
+class TestParallelOrdering:
+    def test_sweep_results_identical_to_serial(self):
+        """jobs>1 must reproduce the serial sweep exactly: same sizes, same
+        labels, same per-benchmark result ordering, same numbers."""
+        configs = {
+            1024: [fast_config(l1_size_bytes=1024),
+                   fast_config(l1_size_bytes=1024, engine="fdp")],
+            4096: fast_config(l1_size_bytes=4096),
+        }
+        serial = sweep_l1_sizes(configs, ["gzip", "mcf"], 500, jobs=1)
+        parallel = sweep_l1_sizes(configs, ["gzip", "mcf"], 500, jobs=2)
+        assert list(serial) == list(parallel)
+        for size in serial:
+            assert list(serial[size]) == list(parallel[size])   # label order
+            for label in serial[size]:
+                s, p = serial[size][label], parallel[size][label]
+                assert s["hmean_ipc"] == p["hmean_ipc"]
+                assert [r.workload for r in s["results"]] == \
+                       [r.workload for r in p["results"]]
+                assert s["results"] == p["results"]
+
+    def test_run_benchmarks_parallel_order(self):
+        results = run_benchmarks(fast_config(), ["mcf", "gzip", "eon"], 500,
+                                 jobs=2)
+        assert [r.workload for r in results] == ["mcf", "gzip", "eon"]

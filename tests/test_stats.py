@@ -8,7 +8,9 @@ from repro.simulator.stats import (
     aggregate_prefetch_sources,
     harmonic_mean,
     harmonic_mean_ipc,
+    result_delta,
     speedup,
+    weighted_aggregate,
 )
 
 
@@ -84,3 +86,75 @@ class TestAggregation:
     def test_speedup(self):
         assert speedup(1.2, 1.0) == pytest.approx(0.2)
         assert speedup(1.0, 0.0) == 0.0
+
+
+class TestWeightedAggregate:
+    """The SimPoint-style combination used by sampled simulation."""
+
+    def test_equal_intervals_reproduce_themselves(self):
+        r = result((1000, 2000), l1_hits=100, loads=40,
+                   fetch_source_lines={"il1": 10})
+        combined = weighted_aggregate([r, r], [0.5, 0.5],
+                                      total_instructions=2000)
+        assert combined.committed_instructions == 2000
+        assert combined.cycles == 4000
+        assert combined.ipc == pytest.approx(r.ipc)
+        assert combined.l1_hits == 200
+        assert combined.loads == 80
+        assert combined.fetch_source_lines == {"il1": 20}
+
+    def test_ipc_is_weighted_harmonic_mean(self):
+        fast = result((1000, 500))     # IPC 2.0
+        slow = result((1000, 2000))    # IPC 0.5
+        combined = weighted_aggregate([fast, slow], [0.5, 0.5],
+                                      total_instructions=10_000)
+        # CPI = 0.5*0.5 + 0.5*2.0 = 1.25 -> IPC 0.8
+        assert combined.ipc == pytest.approx(0.8)
+        assert combined.cycles == 12_500
+
+    def test_weights_are_normalised(self):
+        r = result((1000, 1000))
+        a = weighted_aggregate([r, r], [1.0, 1.0], total_instructions=4000)
+        b = weighted_aggregate([r, r], [0.5, 0.5], total_instructions=4000)
+        assert a == b
+
+    def test_non_additive_extras_preserved(self):
+        a = result((1000, 1000), extras={"l1_latency": 3, "ruu_full_stalls": 8})
+        b = result((1000, 1000), extras={"l1_latency": 3, "ruu_full_stalls": 2})
+        combined = weighted_aggregate([a, b], [0.5, 0.5],
+                                      total_instructions=4000)
+        assert combined.extras["l1_latency"] == 3
+        assert combined.extras["ruu_full_stalls"] == pytest.approx(20)
+
+    def test_validation(self):
+        r = result()
+        with pytest.raises(ValueError):
+            weighted_aggregate([], [])
+        with pytest.raises(ValueError):
+            weighted_aggregate([r], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            weighted_aggregate([r], [-1.0])
+        with pytest.raises(ValueError):
+            weighted_aggregate([r, r], [0.0, 0.0])
+
+
+class TestResultDelta:
+    def test_difference_of_cumulative_results(self):
+        before = result((1000, 1500), l1_hits=50, loads=10,
+                        fetch_source_lines={"il1": 5},
+                        extras={"l1_latency": 3, "commit_stall_cycles": 40})
+        after = result((2500, 4000), l1_hits=140, loads=35,
+                       fetch_source_lines={"il1": 12, "PB": 4},
+                       extras={"l1_latency": 3, "commit_stall_cycles": 90})
+        delta = result_delta(after, before)
+        assert delta.committed_instructions == 1500
+        assert delta.cycles == 2500
+        assert delta.l1_hits == 90
+        assert delta.loads == 25
+        assert delta.fetch_source_lines == {"il1": 7, "PB": 4}
+        assert delta.extras["commit_stall_cycles"] == 50
+        assert delta.extras["l1_latency"] == 3
+
+    def test_none_before_returns_after(self):
+        r = result()
+        assert result_delta(r, None) is r
