@@ -5,7 +5,9 @@ cycle loop for the three main engines so performance regressions in the
 simulator itself are visible.  pytest-benchmark runs these with its normal
 statistics (multiple rounds) because a single run is fast.
 
-Three dimensions are tracked:
+Four dimensions are tracked (each also lands in the session-level
+``bench_metrics`` mapping, flushed to the top-level
+``BENCH_throughput.json`` so the perf trajectory is recorded per PR):
 
 * per-engine single-run throughput (the event-driven loop is the default;
   ``simulated_instructions_per_second`` is recorded in ``extra_info`` so
@@ -17,7 +19,11 @@ Three dimensions are tracked:
   the full run at the REPRO_BENCH instruction budget, recording the
   wall-clock speedup and the IPC relative error in ``extra_info`` so the
   accuracy/speed trade-off of the sampling subsystem stays on the bench
-  trajectory.
+  trajectory (run with the persistent cache disabled, so it measures the
+  sampling subsystem itself, not artifact replay),
+* cold-vs-warm artifact cache: the same sampled mix against an empty and
+  a populated ``repro.cache`` store, with in-memory caches cleared
+  between runs so the warm number models a fresh CLI invocation.
 """
 
 import os
@@ -25,11 +31,13 @@ import time
 
 import pytest
 
+from repro.cache import temporary_cache_dir
 from repro.sampling import run_sampled
 from repro.sampling.checkpoint import clear_checkpoint_store
 from repro.simulator.presets import paper_config
 from repro.simulator.runner import (
     bench_instruction_budget,
+    clear_process_caches,
     get_workload,
     run_benchmarks,
     run_single,
@@ -45,7 +53,7 @@ SWEEP_BENCHMARKS = ("gzip", "gcc", "eon", "mcf")
 
 
 @pytest.mark.parametrize("scheme", ["base-pipelined", "FDP+L0", "CLGP+L0"])
-def test_simulation_throughput(benchmark, scheme):
+def test_simulation_throughput(benchmark, scheme, bench_metrics):
     workload = get_workload("gcc")
     config = paper_config(scheme, l1_size_bytes=4096, technology="0.045um",
                           max_instructions=INSTRUCTIONS,
@@ -59,14 +67,20 @@ def test_simulation_throughput(benchmark, scheme):
     result = benchmark.pedantic(run_once_, rounds=5, iterations=1,
                                 warmup_rounds=1)
     assert result.committed_instructions >= INSTRUCTIONS
-    benchmark.extra_info["simulated_instructions_per_second"] = (
+    instructions_per_second = (
         result.committed_instructions / benchmark.stats.stats.min
     )
+    benchmark.extra_info["simulated_instructions_per_second"] = (
+        instructions_per_second
+    )
     benchmark.extra_info["sim_loop"] = config.sim_loop
+    bench_metrics.setdefault("instructions_per_second", {})[scheme] = round(
+        instructions_per_second
+    )
 
 
 @pytest.mark.parametrize("jobs", [1, SWEEP_JOBS])
-def test_sweep_throughput(benchmark, jobs):
+def test_sweep_throughput(benchmark, jobs, bench_metrics):
     """Multi-benchmark sweep throughput with the `jobs=` runner knob."""
     config = paper_config("CLGP+L0", l1_size_bytes=4096, technology="0.045um",
                           max_instructions=INSTRUCTIONS,
@@ -84,14 +98,18 @@ def test_sweep_throughput(benchmark, jobs):
                                  warmup_rounds=1)
     simulated = sum(r.committed_instructions for r in results)
     assert simulated >= INSTRUCTIONS * len(SWEEP_BENCHMARKS)
+    instructions_per_second = simulated / benchmark.stats.stats.min
     benchmark.extra_info["jobs"] = jobs
     benchmark.extra_info["simulated_instructions_per_second"] = (
-        simulated / benchmark.stats.stats.min
+        instructions_per_second
     )
+    bench_metrics.setdefault("sweep_instructions_per_second", {})[
+        f"jobs={jobs}"
+    ] = round(instructions_per_second)
 
 
 @pytest.mark.parametrize("scheme", ["CLGP+L0", "base-pipelined"])
-def test_sampled_vs_full(benchmark, scheme):
+def test_sampled_vs_full(benchmark, scheme, bench_metrics, tmp_path_factory):
     """Sampled-run speedup and IPC error versus the full run.
 
     Uses the REPRO_BENCH instruction budget (default 20k -- sampling is
@@ -99,48 +117,115 @@ def test_sampled_vs_full(benchmark, scheme):
     The benchmark measures the *sampled* runs; the full-run baseline is
     timed once alongside and both the wall-clock ratio and the
     per-benchmark worst IPC relative error land in ``extra_info``.
+    The persistent artifact cache is disabled for the whole test: with it
+    enabled the sampled rounds would replay measurement artifacts instead
+    of simulating, and this bench tracks the sampling subsystem itself
+    (the cache's own effect is tracked by
+    :func:`test_artifact_cache_cold_vs_warm`).
     """
     instructions = bench_instruction_budget()
     names = SWEEP_BENCHMARKS
     config = paper_config(scheme, l1_size_bytes=4096, technology="0.045um",
                           max_instructions=instructions)
-    # Prime every per-process cache (workloads, warm-up artifacts) with an
-    # untimed full pass so the full baseline is measured as warm as the
-    # sampled rounds (whose own one-time costs land in the discarded
-    # pedantic warm-up round).
-    for name in names:
-        get_workload(name)
-        run_single(config, name, instructions)
+    with temporary_cache_dir(tmp_path_factory.mktemp("unused"),
+                             enabled=False):
+        # Drop per-process caches first: earlier tests may have attached
+        # compiled traces to the cached workloads, and this comparison
+        # must measure the walker-backed regime regardless of test order.
+        clear_process_caches()
+        # Prime every per-process cache (workloads, warm-up artifacts)
+        # with an untimed full pass so the full baseline is measured as
+        # warm as the sampled rounds (whose own one-time costs land in
+        # the discarded pedantic warm-up round).
+        for name in names:
+            get_workload(name)
+            run_single(config, name, instructions)
 
-    full_seconds = 0.0
-    full_results = {}
-    for name in names:
-        start = time.perf_counter()
-        full_results[name] = run_single(config, name, instructions)
-        full_seconds += time.perf_counter() - start
+        full_seconds = 0.0
+        full_results = {}
+        for name in names:
+            start = time.perf_counter()
+            full_results[name] = run_single(config, name, instructions)
+            full_seconds += time.perf_counter() - start
 
-    def run_sampled_mix():
-        # Per-process caches (selections, functional profiles) persist
-        # between rounds -- exactly how a sweep uses the sampled runner.
-        return {name: run_sampled(config, name, instructions)
-                for name in names}
+        def run_sampled_mix():
+            # Per-process caches (selections, functional profiles)
+            # persist between rounds -- exactly how a sweep uses the
+            # sampled runner.
+            return {name: run_sampled(config, name, instructions)
+                    for name in names}
 
-    clear_checkpoint_store()
-    sampled = benchmark.pedantic(run_sampled_mix, rounds=2, iterations=1,
-                                 warmup_rounds=1)
+        clear_checkpoint_store()
+        sampled = benchmark.pedantic(run_sampled_mix, rounds=2, iterations=1,
+                                     warmup_rounds=1)
     sampled_seconds = benchmark.stats.stats.min
     errors = {
         name: sampled[name].ipc / full_results[name].ipc - 1.0
         for name in names
     }
-    benchmark.extra_info["instructions"] = instructions
-    benchmark.extra_info["full_seconds"] = round(full_seconds, 4)
-    benchmark.extra_info["sampled_speedup"] = (
+    sampled_speedup = (
         round(full_seconds / sampled_seconds, 3) if sampled_seconds else 0.0
     )
+    worst_abs_error = round(max(abs(e) for e in errors.values()), 5)
+    benchmark.extra_info["instructions"] = instructions
+    benchmark.extra_info["full_seconds"] = round(full_seconds, 4)
+    benchmark.extra_info["sampled_speedup"] = sampled_speedup
     benchmark.extra_info["ipc_relative_error"] = {
         name: round(err, 5) for name, err in errors.items()
     }
-    benchmark.extra_info["worst_abs_ipc_error"] = round(
-        max(abs(e) for e in errors.values()), 5
-    )
+    benchmark.extra_info["worst_abs_ipc_error"] = worst_abs_error
+    bench_metrics.setdefault("sampled", {})[scheme] = {
+        "instructions": instructions,
+        "speedup": sampled_speedup,
+        "worst_abs_ipc_error": worst_abs_error,
+    }
+
+
+def test_artifact_cache_cold_vs_warm(benchmark, bench_metrics,
+                                     tmp_path_factory):
+    """Cold-vs-warm persistent-cache timings for a sampled mix.
+
+    Cold: empty artifact store, empty in-memory caches -- every compiled
+    trace, profile, selection and interval measurement is computed and
+    published.  Warm: the same work with in-memory caches cleared before
+    every round, so all reuse comes from the on-disk store alone (the
+    fresh-CLI-invocation model).  Results must be bit-identical.
+    """
+    instructions = bench_instruction_budget()
+    names = SWEEP_BENCHMARKS
+    config = paper_config("CLGP+L0", l1_size_bytes=4096,
+                          technology="0.045um",
+                          max_instructions=instructions)
+
+    def sampled_mix():
+        return {name: run_sampled(config, name, instructions)
+                for name in names}
+
+    cache_dir = tmp_path_factory.mktemp("artifact-cache")
+    with temporary_cache_dir(cache_dir):
+        clear_process_caches()
+        start = time.perf_counter()
+        cold = sampled_mix()
+        cold_seconds = time.perf_counter() - start
+
+        def warm_run():
+            clear_process_caches()
+            return sampled_mix()
+
+        warm = benchmark.pedantic(warm_run, rounds=3, iterations=1,
+                                  warmup_rounds=0)
+    clear_process_caches()
+    assert warm == cold, "warm-cache results diverged from cold"
+    warm_seconds = benchmark.stats.stats.min
+    speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    benchmark.extra_info["instructions"] = instructions
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["cache_speedup"] = round(speedup, 2)
+    bench_metrics["artifact_cache"] = {
+        "instructions": instructions,
+        "benchmarks": len(names),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 2),
+    }

@@ -1,0 +1,47 @@
+"""Persistent artifact cache for expensive derived simulation artifacts.
+
+Public surface:
+
+* :func:`repro.cache.store.active_store` / :func:`configure` /
+  :data:`SCHEMA_VERSION` -- the content-addressed on-disk store,
+* :func:`repro.cache.keys.content_key` / :func:`stable_repr` -- stable,
+  process-independent artifact keys,
+* :func:`repro.cache.traces.ensure_compiled_trace` -- compiled
+  correct-path traces,
+* :mod:`repro.cache.shared` -- workload-aware checkpoint pickling.
+"""
+
+from .keys import content_key, stable_repr
+from .store import (
+    DEFAULT_CACHE_DIR,
+    ENV_CACHE_DIR,
+    ENV_CACHE_DISABLE,
+    SCHEMA_VERSION,
+    ArtifactStore,
+    active_store,
+    cache_enabled,
+    configure,
+    get_store,
+    reset_configuration,
+    temporary_cache_dir,
+)
+from .traces import clear_trace_cache, ensure_compiled_trace, trace_bucket
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_CACHE_DIR",
+    "ENV_CACHE_DIR",
+    "ENV_CACHE_DISABLE",
+    "SCHEMA_VERSION",
+    "active_store",
+    "cache_enabled",
+    "clear_trace_cache",
+    "configure",
+    "content_key",
+    "ensure_compiled_trace",
+    "get_store",
+    "reset_configuration",
+    "stable_repr",
+    "temporary_cache_dir",
+    "trace_bucket",
+]

@@ -1,0 +1,83 @@
+"""Stable content keys for on-disk artifacts.
+
+Artifacts are addressed by a SHA-256 digest of a *canonical textual
+serialization* of their key material.  The serialization is designed to
+be stable where it matters for a cache that outlives processes:
+
+* independent of ``PYTHONHASHSEED`` (no use of ``hash()``, no reliance
+  on set/dict iteration order -- mappings and sets are sorted),
+* independent of dataclass *field order* (fields are serialized as
+  sorted ``name=value`` pairs, so reordering a configuration dataclass
+  does not silently alias old artifacts),
+* sensitive to dataclass identity and every field value, so any config
+  evolution that changes content produces a different key, and
+* restricted to plain data (dataclasses, mappings, sequences, sets,
+  enums, scalars) -- anything else raises ``TypeError`` instead of
+  falling back to an unstable ``repr``.
+
+Schema-level evolution (new artifact formats, changed pickling) is
+handled separately by :data:`repro.cache.store.SCHEMA_VERSION`, which
+versions the on-disk directory layout; these keys only need to identify
+*content* within one schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+
+#: Separator between the parts of a composite key (unit separator: it
+#: cannot appear in the canonical token of any supported value).
+_PART_SEPARATOR = "\x1f"
+
+
+def stable_repr(value: object) -> str:
+    """Canonical, process-independent textual form of ``value``."""
+    if isinstance(value, enum.Enum):
+        return f"enum:{type(value).__qualname__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        fields = ",".join(
+            f"{name}={token}"
+            for name, token in sorted(
+                (f.name, stable_repr(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            )
+        )
+        return f"dc:{cls.__module__}.{cls.__qualname__}{{{fields}}}"
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{k}:{v}"
+            for k, v in sorted(
+                (stable_repr(key), stable_repr(val))
+                for key, val in value.items()
+            )
+        )
+        return f"{{{items}}}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(stable_repr(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "s[" + ",".join(sorted(stable_repr(v) for v in value)) + "]"
+    if isinstance(value, bool) or value is None:
+        return repr(value)
+    if isinstance(value, int):
+        return f"i{value}"
+    if isinstance(value, float):
+        # repr() of a float is the shortest round-tripping decimal form,
+        # identical across processes and platforms for equal values.
+        return f"f{value!r}"
+    if isinstance(value, str):
+        return "u" + repr(value)
+    if isinstance(value, bytes):
+        return "b" + repr(value)
+    raise TypeError(
+        f"cannot build a stable cache key from {type(value).__name__!r} "
+        f"value {value!r}"
+    )
+
+
+def content_key(*parts: object) -> str:
+    """SHA-256 hex digest of the canonical serialization of ``parts``."""
+    canonical = _PART_SEPARATOR.join(stable_repr(part) for part in parts)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,278 @@
+"""Content-addressed, versioned on-disk artifact store.
+
+Every expensive derived artifact of the toolkit -- compiled correct-path
+traces, BBV profiles, interval selections, functional proxy profiles,
+warm-up artifacts, warm simulator checkpoints, sampled interval
+measurements -- is deterministic given its key material, so it can be
+computed once and replayed by every later process.  This module provides
+the store those artifacts live in:
+
+* **Layout** -- ``<root>/v<SCHEMA_VERSION>/<kind>/<sha256>.pkl``.  The
+  schema version is baked into the directory name, so bumping
+  :data:`SCHEMA_VERSION` (changed artifact formats, changed pickling)
+  orphans old artifacts instead of misreading them: a version mismatch
+  is simply a cache miss followed by a recompute.
+* **Addressing** -- keys are SHA-256 digests of a canonical
+  serialization of the key material (see :mod:`repro.cache.keys`);
+  artifacts with equal content keys are interchangeable.
+* **Robustness** -- writes are atomic (temp file + ``os.replace``) so a
+  killed process never publishes a torn artifact; unreadable or
+  corrupted files are treated as misses, deleted, and recomputed.
+* **Configuration** -- the default root is ``.repro-cache/`` in the
+  working directory, overridable with ``REPRO_CACHE_DIR`` or
+  :func:`configure` (the CLI's ``--cache-dir``); caching is disabled
+  entirely with ``REPRO_CACHE_DISABLE=1`` or ``configure(enabled=False)``
+  (the CLI's ``--no-cache``), in which case :func:`active_store` returns
+  ``None`` and every caller falls back to plain recomputation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import shutil
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Version of the on-disk artifact schema.  Bump whenever the format of
+#: any persisted artifact changes incompatibly (new columnar layout,
+#: different checkpoint pickling, changed measurement payloads); old
+#: versions' directories are ignored and reclaimed by ``cache clear``.
+SCHEMA_VERSION = 1
+
+#: Default store root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment overrides (the CLI flags map onto :func:`configure`).
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+@dataclass
+class StoreStats:
+    """Per-process counters of store traffic (tests assert reuse on them)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+
+class ArtifactStore:
+    """One on-disk artifact store rooted at ``root``."""
+
+    def __init__(self, root, version: int = SCHEMA_VERSION) -> None:
+        self.root = Path(root)
+        self.version = version
+        self.stats = StoreStats()
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def versioned_root(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path_for(self, kind: str, key: str) -> Path:
+        return self.versioned_root / kind / f"{key}.pkl"
+
+    # -- raw bytes ------------------------------------------------------
+    def get_bytes(self, kind: str, key: str) -> Optional[bytes]:
+        """The stored payload, or ``None`` on a miss / unreadable or
+        corrupted file (corrupted files are deleted and recomputed)."""
+        path = self.path_for(kind, key)
+        try:
+            compressed = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            data = zlib.decompress(compressed)
+        except zlib.error:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self.discard(kind, key)
+            return None
+        self.stats.hits += 1
+        return data
+
+    #: zlib level 3: checkpoint pickles shrink ~10x while staying well
+    #: under the cost of recomputing anything the store holds.
+    _COMPRESSION_LEVEL = 3
+
+    def put_bytes(self, kind: str, key: str, data: bytes) -> None:
+        """Atomically publish ``data``; concurrent writers are safe (all
+        produce identical content for one key, and ``os.replace`` is
+        atomic), so pool workers may publish the same artifact freely."""
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        tmp.write_bytes(zlib.compress(data, self._COMPRESSION_LEVEL))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def discard(self, kind: str, key: str) -> None:
+        """Drop one artifact (used when a payload fails to deserialize)."""
+        with contextlib.suppress(OSError):
+            self.path_for(kind, key).unlink()
+
+    # -- pickled objects ------------------------------------------------
+    def get(self, kind: str, key: str):
+        """Unpickle the stored artifact; corrupted files become misses."""
+        data = self.get_bytes(kind, key)
+        if data is None:
+            return None
+        try:
+            return pickle.loads(data)
+        except Exception:
+            # Torn write, truncation, or an incompatible pickle that
+            # escaped the schema version: drop it and recompute.
+            self.stats.corrupt += 1
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self.discard(kind, key)
+            return None
+
+    def put(self, kind: str, key: str, obj) -> None:
+        self.put_bytes(
+            kind, key, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    # -- maintenance ----------------------------------------------------
+    def entries(self) -> Iterator[Tuple[str, Path]]:
+        """Yield ``(kind, path)`` for every artifact of this schema version."""
+        base = self.versioned_root
+        if not base.is_dir():
+            return
+        for kind_dir in sorted(p for p in base.iterdir() if p.is_dir()):
+            for path in sorted(kind_dir.glob("*.pkl")):
+                yield kind_dir.name, path
+
+    def describe(self) -> Dict[str, Tuple[int, int]]:
+        """Per-kind ``(file count, total bytes)`` for the current schema."""
+        summary: Dict[str, List[int]] = {}
+        for kind, path in self.entries():
+            entry = summary.setdefault(kind, [0, 0])
+            entry[0] += 1
+            entry[1] += path.stat().st_size
+        return {kind: (count, size) for kind, (count, size) in summary.items()}
+
+    def _version_dirs(self) -> List[Path]:
+        """The store's ``v<N>`` schema directories (and nothing else: the
+        root may be a pre-existing directory full of unrelated files --
+        ``--cache-dir .`` must never make ``clear`` destructive)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path for path in self.root.iterdir()
+            if path.is_dir() and path.name.startswith("v")
+            and path.name[1:].isdigit()
+        )
+
+    def clear(self) -> int:
+        """Empty the store (every schema version); returns files removed.
+
+        Only the store's own ``v<N>`` directories are touched; unrelated
+        content of the root directory is left alone.
+        """
+        removed = 0
+        for version_dir in self._version_dirs():
+            removed += sum(1 for _ in version_dir.rglob("*.pkl"))
+            shutil.rmtree(version_dir, ignore_errors=True)
+        return removed
+
+    def orphaned(self) -> Tuple[int, int]:
+        """``(files, bytes)`` held by *other* schema versions' directories
+        (left behind by a SCHEMA_VERSION bump; reclaimed by :meth:`clear`)."""
+        files = size = 0
+        for version_dir in self._version_dirs():
+            if version_dir.name == f"v{self.version}":
+                continue
+            for path in version_dir.rglob("*.pkl"):
+                files += 1
+                size += path.stat().st_size
+        return files, size
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def __bool__(self) -> bool:
+        """Always truthy: an *empty* store is still a store (len() would
+        otherwise make ``if store:`` silently mean ``if non-empty``, at
+        the cost of a directory walk)."""
+        return True
+
+
+# ----------------------------------------------------------------------
+# process-wide store resolution
+# ----------------------------------------------------------------------
+_override_dir: Optional[str] = None
+_override_enabled: Optional[bool] = None
+_active: Optional[ArtifactStore] = None
+
+
+def configure(cache_dir: Optional[str] = None,
+              enabled: Optional[bool] = None) -> None:
+    """Set process-wide overrides (the CLI's ``--cache-dir``/``--no-cache``).
+
+    ``None`` leaves the respective setting untouched (environment
+    variables and defaults keep deciding).
+    """
+    global _override_dir, _override_enabled, _active
+    if cache_dir is not None:
+        _override_dir = str(cache_dir)
+        _active = None
+    if enabled is not None:
+        _override_enabled = enabled
+
+
+def reset_configuration() -> None:
+    """Drop every override (tests; environment/defaults apply again)."""
+    global _override_dir, _override_enabled, _active
+    _override_dir = None
+    _override_enabled = None
+    _active = None
+
+
+def cache_enabled() -> bool:
+    if _override_enabled is not None:
+        return _override_enabled
+    return os.environ.get(ENV_CACHE_DISABLE, "").strip().lower() not in _TRUTHY
+
+
+def resolved_cache_dir() -> str:
+    return _override_dir or os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+
+
+def get_store() -> ArtifactStore:
+    """The store at the currently-configured root (even when disabled --
+    ``cache path``/``cache clear`` still need to address it)."""
+    global _active
+    root = resolved_cache_dir()
+    if _active is None or str(_active.root) != root:
+        _active = ArtifactStore(root)
+    return _active
+
+
+def active_store() -> Optional[ArtifactStore]:
+    """The store to read/write artifacts through, or ``None`` when caching
+    is disabled (callers then recompute everything in-process)."""
+    return get_store() if cache_enabled() else None
+
+
+@contextlib.contextmanager
+def temporary_cache_dir(path, enabled: bool = True):
+    """Context manager routing the process-wide store at ``path`` (tests
+    and the cold-vs-warm benchmark)."""
+    global _override_dir, _override_enabled, _active
+    saved = (_override_dir, _override_enabled, _active)
+    _override_dir = str(path)
+    _override_enabled = enabled
+    _active = None
+    try:
+        yield get_store()
+    finally:
+        _override_dir, _override_enabled, _active = saved

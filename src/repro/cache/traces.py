@@ -1,0 +1,77 @@
+"""Persistence glue for compiled correct-path traces.
+
+Budgets are rounded up to power-of-two buckets so a workload accumulates
+a handful of trace artifacts at most (one per magnitude), not one per
+exact instruction budget; the bucket floor comfortably covers the
+default functional warm-up (<= 200k instructions), which is the deepest
+any single oracle of a typical run reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..workloads.trace import CompiledTrace, Workload, compile_trace
+from .keys import content_key
+from .store import active_store
+
+#: Instructions beyond the requested budget compiled into the prefix, so
+#: a final stream that straddles the budget stays inside the arrays.
+TRACE_MARGIN = 4096
+
+#: Smallest trace bucket (2**18 = 262144 instructions: the default
+#: warm-up budget cap of 200k plus margin fits in the floor bucket).
+MIN_TRACE_BUCKET = 1 << 18
+
+#: Per-process compiled traces, keyed by (workload name, seed, bucket) --
+#: one load/compile per process however many tasks share the workload.
+_TRACES: Dict[Tuple[str, int, int], CompiledTrace] = {}
+
+
+def trace_bucket(instructions: int) -> int:
+    """Power-of-two bucket covering ``instructions`` plus the margin."""
+    needed = instructions + TRACE_MARGIN
+    bucket = MIN_TRACE_BUCKET
+    while bucket < needed:
+        bucket <<= 1
+    return bucket
+
+
+def ensure_compiled_trace(
+    workload: Workload, instructions: int
+) -> Optional[CompiledTrace]:
+    """Attach a compiled trace covering ``instructions`` to ``workload``.
+
+    No-op (returns ``None``) when caching is disabled.  Otherwise the
+    trace is taken from the per-process cache, loaded from the artifact
+    store, or compiled once and published for every later process.
+    """
+    store = active_store()
+    if store is None:
+        return None
+    existing = workload._compiled_trace
+    if (existing is not None
+            and existing.compiled_instructions >= instructions + TRACE_MARGIN):
+        return existing
+    bucket = trace_bucket(instructions)
+    memo_key = (workload.profile.name, workload.profile.seed, bucket)
+    trace = _TRACES.get(memo_key)
+    if trace is None:
+        key = content_key(
+            "compiled-trace",
+            workload.profile.name, workload.profile.seed, bucket,
+        )
+        trace = store.get("trace", key)
+        if (not isinstance(trace, CompiledTrace)
+                or (trace.name, trace.seed) != memo_key[:2]
+                or trace.compiled_instructions < bucket):
+            trace = compile_trace(workload, bucket)
+            store.put("trace", key, trace)
+        _TRACES[memo_key] = trace
+    workload.attach_compiled_trace(trace)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop the per-process compiled-trace cache (tests, benchmarks)."""
+    _TRACES.clear()

@@ -3,17 +3,23 @@
 Subcommands:
 
 * ``run``      -- simulate one configuration on one or more benchmarks,
-* ``figure``   -- regenerate the data of a paper figure (1, 2, 4, 5, 6, 7, 8),
+* ``figure``   -- regenerate the data of a paper figure (1, 2, 4, 5, 6,
+  7, 8, or ``all`` for every figure in sequence),
 * ``tables``   -- print Tables 1, 2 and 3,
 * ``speedups`` -- print the headline CLGP-vs-FDP / CLGP-vs-baseline speedups,
 * ``sample``   -- profile a benchmark, select representative intervals, and
-  (optionally) compare a sampled run against the full run.
+  (optionally) compare a sampled run against the full run,
+* ``cache``    -- inspect (``ls``), locate (``path``) or empty (``clear``)
+  the persistent artifact cache.
 
 ``run``, ``figure`` and ``speedups`` accept ``--jobs N`` (0 = all cores)
 -- the experiment layer plans each sweep as a flat task list, so the
-whole grid fans out over one process pool.  ``figure`` and ``speedups``
-also accept ``--sampled`` to run every simulation in SimPoint-style
-sampled mode.
+whole grid fans out over one workload-affine process pool that is reused
+across the figures of a ``figure all`` invocation.  ``figure`` and
+``speedups`` also accept ``--sampled`` to run every simulation in
+SimPoint-style sampled mode.  Simulation commands accept ``--cache-dir``
+(default ``.repro-cache/``, env ``REPRO_CACHE_DIR``) and ``--no-cache``
+(env ``REPRO_CACHE_DISABLE=1``) to steer the artifact cache.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from .analysis import (
     table2,
     table3,
 )
+from .cache import cache_enabled, configure, get_store
 from .sampling import SamplingSpec, get_selection, run_sampled
 from .simulator import (
     harmonic_mean_ipc,
@@ -60,6 +67,23 @@ class _CliError(Exception):
     """Bad command-line input; reported as ``error: ...`` with exit 2."""
 
 
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="persistent artifact cache directory "
+                             "(default: .repro-cache/, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent artifact cache "
+                             "(recompute everything in-process)")
+
+
+def _configure_cache(args: argparse.Namespace) -> None:
+    """Apply --cache-dir / --no-cache before any simulation work runs."""
+    configure(
+        cache_dir=getattr(args, "cache_dir", None),
+        enabled=False if getattr(args, "no_cache", False) else None,
+    )
+
+
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--technology", default="0.045um",
                         help="technology node (0.09um or 0.045um)")
@@ -71,6 +95,7 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     _add_config_args(parser)
+    _add_cache_args(parser)
     parser.add_argument("--benchmarks", default=",".join(DEFAULT_MIX),
                         help="comma-separated benchmark names, or 'all'")
     parser.add_argument("--jobs", type=int, default=1,
@@ -121,7 +146,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Figures renderable by ``repro-clgp figure`` (``all`` runs them all).
+FIGURE_NUMBERS = ("1", "2", "4", "5", "6", "7", "8")
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == "all":
+        # One invocation, one shared worker pool, one artifact cache:
+        # later figures reuse every workload/trace/profile artifact the
+        # earlier ones computed (in memory with jobs=1, in the pool
+        # workers' caches with jobs>1).
+        for number in FIGURE_NUMBERS:
+            code = _render_figure(number, args)
+            if code:
+                return code
+            print()
+        return 0
+    return _render_figure(args.number, args)
+
+
+def _render_figure(fig: str, args: argparse.Namespace) -> int:
     names = _benchmarks(args.benchmarks)
     kwargs = dict(
         technology=args.technology,
@@ -131,7 +175,6 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         sampled=args.sampled,
     )
     suffix = " [sampled]" if args.sampled else ""
-    fig = args.number
     if fig == "1":
         print(format_ipc_sweep(figure1_series(**kwargs),
                                f"Figure 1: IPC vs L1 size{suffix}"))
@@ -169,6 +212,39 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     else:
         print(f"unknown figure {fig!r}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = get_store()
+    if args.action == "path":
+        print(store.root)
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifact file(s) from {store.root}")
+        return 0
+    # ls
+    status = "enabled" if cache_enabled() else "disabled"
+    print(f"artifact cache at {store.root} "
+          f"(schema v{store.version}, {status})")
+    summary = store.describe()
+    orphaned_files, orphaned_bytes = store.orphaned()
+    if not summary and not orphaned_files:
+        print("  (empty)")
+        return 0
+    total_files = total_bytes = 0
+    for kind in sorted(summary):
+        count, size = summary[kind]
+        total_files += count
+        total_bytes += size
+        print(f"  {kind:>12s} : {count:>5d} file(s) {size / 1024:>10.1f} KiB")
+    print(f"  {'total':>12s} : {total_files:>5d} file(s) "
+          f"{total_bytes / 1024:>10.1f} KiB")
+    if orphaned_files:
+        print(f"  plus {orphaned_files} file(s) "
+              f"({orphaned_bytes / 1024:.1f} KiB) from other schema "
+              f"versions (reclaim with `repro-clgp cache clear`)")
     return 0
 
 
@@ -256,7 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure's data")
-    p_fig.add_argument("number", choices=["1", "2", "4", "5", "6", "7", "8"])
+    p_fig.add_argument("number", choices=list(FIGURE_NUMBERS) + ["all"])
     _add_common(p_fig)
     _add_sampling(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
@@ -287,7 +363,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also run the full simulation and report "
                                "the sampled run's error and speedup")
     _add_config_args(p_sample)
+    _add_cache_args(p_sample)
     p_sample.set_defaults(func=_cmd_sample)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache")
+    p_cache.add_argument("action", choices=["ls", "clear", "path"],
+                         nargs="?", default="ls")
+    _add_cache_args(p_cache)
+    p_cache.set_defaults(func=_cmd_cache)
 
     return parser
 
@@ -295,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_cache(args)
     try:
         return args.func(args)
     except _CliError as exc:

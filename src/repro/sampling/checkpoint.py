@@ -3,61 +3,146 @@
 A sampled run restarts timing from warm architectural state once per
 selected interval, and a sweep restarts from it once per configuration.
 Re-running the functional warm-up (and re-building the simulator) each
-time would swamp the savings, so this per-process store caches
+time would swamp the savings, so this store caches
 
 * the warmed-simulator checkpoint per (configuration, workload) -- built
   on first use with :meth:`Simulator.warm_up` + :meth:`Simulator.snapshot`
   (which itself reuses :mod:`repro.simulator.warming`'s cached artifacts
-  across configurations that share cache/predictor geometry), and
-* the interval selection per (workload, sampling parameters) -- the BBV
-  profiling pass and k-means run once per benchmark no matter how many
-  configurations a sweep evaluates.
+  across configurations that share cache/predictor geometry),
+* the interval selection (and the BBV profile behind it) per (workload,
+  sampling parameters) -- the profiling pass and k-means run once per
+  benchmark no matter how many configurations a sweep evaluates, and
+* the per-interval functional proxy profile per (workload, geometry).
+
+Each cache layer is two-tier: a per-process dictionary in front of the
+persistent artifact store (:mod:`repro.cache`), so artifacts survive the
+process and every later CLI invocation, CI job or pool worker replays
+them from disk instead of recomputing.  Warm checkpoints cross the
+process boundary with workload-aware pickling
+(:mod:`repro.cache.shared`): the immutable workload objects stay shared
+with the live process instead of being duplicated into every artifact.
 
 Everything here is deterministic, so pool workers that rebuild these
-caches independently produce identical results.
+caches independently -- or load them from disk -- produce identical
+results.  Keys are derived from a stable serialization of the dataclass
+fields (:func:`repro.cache.keys.stable_repr`): independent of process
+hash randomization and of dataclass field order, and automatically
+distinct for any content-changing config evolution; incompatible
+*format* evolution is handled by the store's schema version, which turns
+old artifacts into plain cache misses.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
+from ..cache.keys import content_key, stable_repr
+from ..cache.shared import (
+    SharedObjectUnavailable,
+    dumps_with_workload,
+    loads_with_workload,
+)
+from ..cache.store import ArtifactStore, active_store
 from ..simulator.config import SimulationConfig
 from ..simulator.simulator import Simulator, SimulatorCheckpoint
 from ..workloads.trace import Workload
-from .bbv import profile_workload
+from .bbv import BBVProfile, profile_workload
 from .proxy import FunctionalProfile, feature_key, functional_profile
 from .simpoint import IntervalSelection, select_intervals
 
 
-def _config_key(config: SimulationConfig) -> Tuple:
-    """Hashable identity of a configuration (flat dataclass of scalars)."""
-    return tuple(
-        getattr(config, f.name) for f in dataclasses.fields(config)
-    )
+def _config_key(config: SimulationConfig) -> str:
+    """Stable, process-independent identity of a configuration.
+
+    A canonical serialization of every dataclass field (sorted by field
+    name), not a bare value tuple: reordering fields cannot silently
+    alias two configurations, adding a field changes the key, and the
+    string is identical across processes regardless of hash
+    randomization.
+    """
+    return stable_repr(config)
 
 
 class CheckpointStore:
-    """Per-process cache of warm checkpoints and interval selections."""
+    """Cache of warm checkpoints, selections and profiles.
 
-    def __init__(self) -> None:
+    ``artifacts`` selects the persistent tier: the default resolves
+    :func:`repro.cache.store.active_store` at each use (so the CLI's
+    ``--no-cache``/``--cache-dir`` apply), an explicit
+    :class:`~repro.cache.store.ArtifactStore` pins one, and ``None``
+    keeps the store memory-only (the pre-persistence behaviour).
+    """
+
+    _DEFAULT = object()
+
+    def __init__(
+        self, artifacts: Union[ArtifactStore, None, object] = _DEFAULT
+    ) -> None:
+        self._artifacts = artifacts
         self._checkpoints: Dict[Tuple, SimulatorCheckpoint] = {}
         self._selections: Dict[Tuple, IntervalSelection] = {}
         self._profiles: Dict[Tuple, FunctionalProfile] = {}
+        self._bbv_profiles: Dict[Tuple, BBVProfile] = {}
         self._requested: set = set()
+
+    def artifact_store(self) -> Optional[ArtifactStore]:
+        """The persistent tier in effect, or ``None`` (memory only)."""
+        if self._artifacts is CheckpointStore._DEFAULT:
+            return active_store()
+        return self._artifacts
 
     # -- warm simulator state ------------------------------------------
     def warm_checkpoint(
         self, config: SimulationConfig, workload: Workload
     ) -> SimulatorCheckpoint:
-        """The post-warm-up checkpoint for (config, workload), cached."""
+        """The post-warm-up checkpoint for (config, workload), cached.
+
+        Misses fall through to the artifact store before building: a
+        checkpoint published by any earlier process restores into a
+        state bit-identical to a fresh ``Simulator`` + ``warm_up()``.
+        """
         key = (_config_key(config), workload.name, workload.profile.seed)
         checkpoint = self._checkpoints.get(key)
-        if checkpoint is None:
-            simulator = Simulator(config, workload)
-            simulator.warm_up()
-            checkpoint = simulator.snapshot()
-            self._checkpoints[key] = checkpoint
+        if checkpoint is not None:
+            return checkpoint
+        checkpoint = self._load_persisted_checkpoint(key, workload)
+        if checkpoint is not None:
+            return checkpoint
+        simulator = Simulator(config, workload)
+        simulator.warm_up()
+        checkpoint = simulator.snapshot()
+        self._checkpoints[key] = checkpoint
+        disk = self.artifact_store()
+        if disk is not None:
+            disk.put_bytes(
+                "checkpoint", content_key("warm-checkpoint", *key),
+                dumps_with_workload(checkpoint._state, workload),
+            )
+        return checkpoint
+
+    def _load_persisted_checkpoint(
+        self, key: Tuple, workload: Workload
+    ) -> Optional[SimulatorCheckpoint]:
+        """The persisted warm checkpoint for ``key``, or ``None``."""
+        disk = self.artifact_store()
+        if disk is None:
+            return None
+        disk_key = content_key("warm-checkpoint", *key)
+        data = disk.get_bytes("checkpoint", disk_key)
+        if data is None:
+            return None
+        try:
+            state = loads_with_workload(data, workload)
+        except SharedObjectUnavailable:
+            # References a compiled trace this process lacks: still
+            # usable by other processes, so leave it on disk.
+            return None
+        except Exception:
+            disk.stats.corrupt += 1
+            disk.discard("checkpoint", disk_key)
+            return None
+        checkpoint = SimulatorCheckpoint(state)
+        self._checkpoints[key] = checkpoint
         return checkpoint
 
     def peek_warm_checkpoint(
@@ -85,6 +170,8 @@ class CheckpointStore:
         returns -- the cached checkpoint, so repeated sampled runs of the
         same configuration (bench comparisons, interactive exploration)
         restore one shared warm-up instead of re-warming per jump.
+        This tier is memory-only; the persistence-aware entry point is
+        :meth:`jump_base_checkpoint`.
         """
         key = (_config_key(config), workload.name, workload.profile.seed)
         checkpoint = self._checkpoints.get(key)
@@ -94,6 +181,71 @@ class CheckpointStore:
             return self.warm_checkpoint(config, workload)
         self._requested.add(key)
         return None
+
+    def jump_base_checkpoint(
+        self, config: SimulationConfig, workload: Workload
+    ) -> Optional[SimulatorCheckpoint]:
+        """Warm state a sampled run jumps from.
+
+        A checkpoint persisted by any earlier invocation is restored
+        directly (no warm-up, no redone skips).  Nothing on disk keeps
+        the lazy second-request heuristic: a one-shot sweep -- whose
+        per-interval measurements are persisted separately and replayed
+        wholesale on later invocations -- never pays for snapshotting
+        and pickling state nothing will restore, while a pair that *is*
+        revisited builds its checkpoint once and publishes it through
+        :meth:`warm_checkpoint` for every later process.
+        """
+        key = (_config_key(config), workload.name, workload.profile.seed)
+        checkpoint = self._checkpoints.get(key)
+        if checkpoint is not None:
+            return checkpoint
+        checkpoint = self._load_persisted_checkpoint(key, workload)
+        if checkpoint is not None:
+            return checkpoint
+        return self.warm_checkpoint_if_revisited(config, workload)
+
+    # -- the memory-then-disk tier for plain-pickle artifacts ----------
+    def _cached(self, memo: Dict, kind: str, key: Tuple,
+                expected_type: type, compute):
+        """Get-or-compute through both tiers: the per-process ``memo``
+        dictionary first, then the artifact store (type-checked, so a
+        foreign or stale payload degrades to recompute), computing and
+        publishing on a full miss."""
+        value = memo.get(key)
+        if value is not None:
+            return value
+        disk = self.artifact_store()
+        disk_key = content_key(kind, *key) if disk is not None else None
+        if disk is not None:
+            loaded = disk.get(kind, disk_key)
+            if isinstance(loaded, expected_type):
+                memo[key] = loaded
+                return loaded
+        value = compute()
+        memo[key] = value
+        if disk is not None:
+            disk.put(kind, disk_key, value)
+        return value
+
+    # -- BBV profiles ---------------------------------------------------
+    def bbv_profile(
+        self,
+        workload: Workload,
+        total_instructions: int,
+        interval_length: int,
+    ) -> BBVProfile:
+        """Per-interval basic-block vectors, cached (memory, then disk)."""
+        key = (
+            workload.name, workload.profile.seed,
+            total_instructions, interval_length,
+        )
+        return self._cached(
+            self._bbv_profiles, "bbv", key, BBVProfile,
+            lambda: profile_workload(
+                workload, total_instructions, interval_length
+            ),
+        )
 
     # -- interval selections -------------------------------------------
     def selection(
@@ -111,20 +263,17 @@ class CheckpointStore:
             workload.name, workload.profile.seed, total_instructions,
             interval_length, max_intervals, projection_dim, seed, iterations,
         )
-        selection = self._selections.get(key)
-        if selection is None:
-            profile = profile_workload(
-                workload, total_instructions, interval_length
-            )
-            selection = select_intervals(
-                profile,
+        return self._cached(
+            self._selections, "selection", key, IntervalSelection,
+            lambda: select_intervals(
+                self.bbv_profile(workload, total_instructions,
+                                 interval_length),
                 max_intervals=max_intervals,
                 projection_dim=projection_dim,
                 seed=seed,
                 iterations=iterations,
-            )
-            self._selections[key] = selection
-        return selection
+            ),
+        )
 
     # -- functional profiles (proxy features) --------------------------
     def functional_profile(
@@ -144,23 +293,23 @@ class CheckpointStore:
             workload.name, workload.profile.seed,
             total_instructions, interval_length, feature_key(config),
         )
-        profile = self._profiles.get(key)
-        if profile is None:
-            profile = functional_profile(
+        return self._cached(
+            self._profiles, "fprofile", key, FunctionalProfile,
+            lambda: functional_profile(
                 workload, config, total_instructions, interval_length
-            )
-            self._profiles[key] = profile
-        return profile
+            ),
+        )
 
     def clear(self) -> None:
         self._checkpoints.clear()
         self._selections.clear()
         self._profiles.clear()
+        self._bbv_profiles.clear()
         self._requested.clear()
 
     def __len__(self) -> int:
         return (len(self._checkpoints) + len(self._selections)
-                + len(self._profiles))
+                + len(self._profiles) + len(self._bbv_profiles))
 
 
 #: Default per-process store used by :func:`repro.sampling.sampled.run_sampled`.

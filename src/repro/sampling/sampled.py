@@ -18,7 +18,13 @@ and reports work unchanged.  The flow per (configuration, benchmark):
    (:func:`repro.simulator.stats.weighted_aggregate`).
 
 Everything is deterministic: same workload seed, same sampling spec ->
-same selection, same per-interval results, same estimate.
+same selection, same per-interval results, same estimate.  That
+determinism is also what makes the per-interval measurements themselves
+persistable artifacts: with the artifact cache enabled they are
+published to disk keyed by (configuration, workload, budget, spec), and
+any later invocation replays them through the same aggregation instead
+of re-simulating -- bit-identical by construction, and guarded by
+``tests/test_artifact_cache.py``.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
+from ..cache.keys import content_key, stable_repr
+from ..cache.traces import ensure_compiled_trace
 from ..simulator.config import SimulationConfig
 from ..simulator.simulator import Simulator
 from ..simulator.stats import SimulationResult, result_delta, weighted_aggregate
@@ -132,31 +140,18 @@ def get_selection(
     )
 
 
-def run_sampled(
+def _measure_intervals(
     config: SimulationConfig,
-    workload: Union[Workload, str],
-    max_instructions: Optional[int] = None,
-    spec: Optional[SamplingSpec] = None,
-    store: CheckpointStore = DEFAULT_STORE,
-) -> SimulationResult:
-    """Sampled run of one configuration on one benchmark.
+    workload: Workload,
+    selection: IntervalSelection,
+    spec: SamplingSpec,
+    store: CheckpointStore,
+):
+    """Simulate the selected intervals; returns (interval results, weights).
 
-    Returns a :class:`SimulationResult` whose counters estimate the full
-    ``max_instructions`` run from the K selected intervals; ``extras``
-    records the sampling metadata (``sampled``, ``sampling_intervals``,
-    ``sampled_instructions``).
+    Adjacent intervals continue one timed stretch; distant ones are
+    reached by restoring the warm jump base and functionally skipping.
     """
-    if spec is None:
-        spec = DEFAULT_SPEC
-    if isinstance(workload, str):
-        # Imported lazily: the runner imports this module for dispatch.
-        from ..simulator.runner import get_workload
-
-        workload = get_workload(workload)
-    total = max_instructions or config.max_instructions
-    selection = get_selection(workload, total, spec, store=store,
-                              config=config)
-
     simulator = Simulator(config, workload)
     cursor = None        # jump base: a checkpoint at the furthest warm point
     interval_results: List[SimulationResult] = []
@@ -197,7 +192,7 @@ def run_sampled(
             if cursor is not None:
                 simulator.restore(cursor)
             else:
-                cursor = store.warm_checkpoint_if_revisited(config, workload)
+                cursor = store.jump_base_checkpoint(config, workload)
                 if cursor is not None:
                     simulator.restore(cursor)
                 elif position is None:
@@ -224,6 +219,70 @@ def run_sampled(
         weights.append(interval.weight)
         segment_after = after
         position = interval.start_instruction + interval.length
+    return interval_results, weights
+
+
+def run_sampled(
+    config: SimulationConfig,
+    workload: Union[Workload, str],
+    max_instructions: Optional[int] = None,
+    spec: Optional[SamplingSpec] = None,
+    store: CheckpointStore = DEFAULT_STORE,
+) -> SimulationResult:
+    """Sampled run of one configuration on one benchmark.
+
+    Returns a :class:`SimulationResult` whose counters estimate the full
+    ``max_instructions`` run from the K selected intervals; ``extras``
+    records the sampling metadata (``sampled``, ``sampling_intervals``,
+    ``sampled_instructions``).
+    """
+    if spec is None:
+        spec = DEFAULT_SPEC
+    if isinstance(workload, str):
+        # Imported lazily: the runner imports this module for dispatch.
+        from ..simulator.runner import get_workload
+
+        workload = get_workload(workload)
+    total = max_instructions or config.max_instructions
+    ensure_compiled_trace(
+        workload, max(total, config.resolved_warmup_instructions())
+    )
+    selection = get_selection(workload, total, spec, store=store,
+                              config=config)
+
+    # Per-interval measurements are deterministic per (configuration,
+    # workload, budget, spec) -- the dominant cost of a sampled run, so
+    # they are themselves artifacts: any previous invocation's timed
+    # intervals replay from disk, leaving only selection + aggregation.
+    # The selection fingerprint guards against stale payloads (e.g. an
+    # algorithm change that kept the key but moved the intervals).
+    disk = store.artifact_store()
+    measured = None
+    measurement_key = None
+    selection_fingerprint = content_key("selection-fp", selection)
+    if disk is not None:
+        measurement_key = content_key(
+            "sampled-measurements", stable_repr(config),
+            workload.name, workload.profile.seed, total, stable_repr(spec),
+        )
+        payload = disk.get("measurement", measurement_key)
+        if (isinstance(payload, dict)
+                and payload.get("selection") == selection_fingerprint
+                and len(payload.get("interval_results", ())) == selection.k):
+            measured = payload
+    if measured is not None:
+        interval_results = list(measured["interval_results"])
+        weights = list(measured["weights"])
+    else:
+        interval_results, weights = _measure_intervals(
+            config, workload, selection, spec, store
+        )
+        if disk is not None:
+            disk.put("measurement", measurement_key, {
+                "selection": selection_fingerprint,
+                "interval_results": interval_results,
+                "weights": weights,
+            })
 
     result = weighted_aggregate(
         interval_results, weights, total_instructions=total

@@ -9,9 +9,17 @@ cache so each synthetic program is built only once per process, and the
 environment-controlled defaults used by the benchmark harness.
 
 Sweeps are embarrassingly parallel (one process per simulation), so
-``run_tasks`` accepts ``jobs=N`` to fan out over a pool; each worker
-process keeps its own workload cache, so a benchmark's synthetic program
-is built at most once per worker.  ``jobs=1`` (the default) runs inline
+``run_tasks`` accepts ``jobs=N`` to fan out over a pool.  Scheduling is
+**workload-affine**: tasks are grouped by benchmark and the groups --
+not individual tasks -- are placed onto the pool, so one worker
+compiles/loads each benchmark's synthetic program, compiled trace and
+sampling artifacts exactly once and serves every configuration of that
+benchmark; artifacts missing from the persistent store
+(:mod:`repro.cache`) are therefore computed by exactly one worker and
+published for every later process.  The pool itself is shared across
+``run_tasks`` calls (and hence across every ``ExperimentPlan.run`` of a
+CLI invocation such as ``repro-clgp figure all``), so workers keep their
+in-memory caches between sweeps.  ``jobs=1`` (the default) runs inline
 with identical results and identical ordering.  Tasks flagged
 ``sampled=True`` dispatch to the sampled-simulation runner in
 :mod:`repro.sampling` instead of a full run.
@@ -19,10 +27,12 @@ with identical results and identical ordering.  Tasks flagged
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..cache.traces import ensure_compiled_trace
 from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES, profile_for
 from ..workloads.trace import Workload, build_workload
 from .config import SimulationConfig
@@ -45,6 +55,27 @@ def get_workload(name: str) -> Workload:
 
 def clear_workload_cache() -> None:
     _WORKLOAD_CACHE.clear()
+
+
+def clear_process_caches() -> None:
+    """Drop every per-process in-memory cache (workloads, warm-up
+    artifacts, functional base passes, checkpoints, compiled traces).
+
+    Leaves the persistent artifact store untouched: afterwards the
+    process behaves like a fresh CLI invocation, which is exactly what
+    the cold-vs-warm cache benchmarks and tests need to isolate the
+    on-disk tier.
+    """
+    from ..cache.traces import clear_trace_cache
+    from ..sampling.checkpoint import clear_checkpoint_store
+    from ..sampling.proxy import clear_base_profile_cache
+    from .warming import clear_warmup_cache
+
+    clear_workload_cache()
+    clear_trace_cache()
+    clear_checkpoint_store()
+    clear_base_profile_cache()
+    clear_warmup_cache()
 
 
 # ----------------------------------------------------------------------
@@ -102,6 +133,13 @@ def run_single(
 ) -> SimulationResult:
     """Run one configuration on one benchmark."""
     workload = get_workload(benchmark)
+    total = max_instructions or config.max_instructions
+    # With the artifact cache enabled the correct-path walk replays from
+    # a compiled trace (persisted once per workload); disabled, the
+    # walker-backed stream produces the bit-identical sequence.
+    ensure_compiled_trace(
+        workload, max(total, config.resolved_warmup_instructions())
+    )
     return Simulator(config, workload).run(max_instructions)
 
 
@@ -140,20 +178,135 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+# ----------------------------------------------------------------------
+# the shared worker pool (reused across run_tasks / ExperimentPlan.run
+# calls so workers keep their in-memory caches between sweeps)
+# ----------------------------------------------------------------------
+_POOL: Optional[multiprocessing.pool.Pool] = None
+_POOL_PROCESSES = 0
+_POOL_CACHE_STATE: Optional[tuple] = None
+
+
+def _worker_init(cache_dir: str, cache_on: bool) -> None:
+    """Apply the parent's resolved artifact-cache settings in a worker.
+
+    ``configure()``/``--no-cache`` state lives in module globals, which
+    spawn-start platforms do not inherit (and forked workers freeze at
+    fork time); passing the resolved values through the pool initializer
+    keeps every worker on the parent's store.
+    """
+    from ..cache.store import configure
+
+    configure(cache_dir=cache_dir, enabled=cache_on)
+
+
+def _shared_pool(processes: int) -> multiprocessing.pool.Pool:
+    from ..cache.store import cache_enabled, resolved_cache_dir
+
+    global _POOL, _POOL_PROCESSES, _POOL_CACHE_STATE
+    cache_state = (resolved_cache_dir(), cache_enabled())
+    if _POOL is not None and (_POOL_PROCESSES != processes
+                              or _POOL_CACHE_STATE != cache_state):
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = multiprocessing.Pool(
+            processes=processes,
+            initializer=_worker_init,
+            initargs=cache_state,
+        )
+        _POOL_PROCESSES = processes
+        _POOL_CACHE_STATE = cache_state
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (atexit, tests).
+
+    ``terminate`` rather than ``close``: shutdown only happens between
+    sweeps, so any still-queued chunks are leftovers of a sweep that
+    raised -- draining them would block process exit for as long as the
+    abandoned simulations take (the behaviour ``with Pool(...)`` used to
+    provide via its ``__exit__``).
+    """
+    global _POOL, _POOL_PROCESSES, _POOL_CACHE_STATE
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_PROCESSES = 0
+        _POOL_CACHE_STATE = None
+
+
+atexit.register(shutdown_pool)
+
+
+def _task_benchmark(task: Union[SimTask, tuple]) -> str:
+    return task.benchmark if isinstance(task, SimTask) else task[1]
+
+
+def _run_task_chunk(chunk) -> list:
+    """Pool worker: run one workload-affine chunk of (index, task) pairs.
+
+    All tasks of a chunk share one benchmark, so the worker builds (or
+    loads from the artifact store) that benchmark's program, compiled
+    trace, warm-up artifacts and sampling artifacts once and serves
+    every configuration from them.
+    """
+    return [(index, _run_task(task)) for index, task in chunk]
+
+
+def _affine_chunks(
+    tasks: Sequence[Union[SimTask, tuple]], jobs: int
+) -> List[List[Tuple[int, Union[SimTask, tuple]]]]:
+    """Workload-affine schedule: tasks grouped by benchmark, groups split
+    only as far as keeping ``jobs`` workers busy requires.
+
+    Each chunk is single-benchmark (the affinity that makes per-workload
+    artifacts a per-worker one-time cost); when there are fewer
+    benchmarks than workers the largest groups are split so parallelism
+    never drops below ``jobs``.  Deterministic for a given task list.
+    """
+    groups: Dict[str, List[int]] = {}
+    for index, task in enumerate(tasks):
+        groups.setdefault(_task_benchmark(task), []).append(index)
+    # Upper bound on chunk size that still yields >= max(jobs, #groups)
+    # chunks overall.
+    target_chunks = max(jobs, len(groups))
+    cap = max(1, -(-len(tasks) // target_chunks))
+    chunks: List[List[Tuple[int, Union[SimTask, tuple]]]] = []
+    for indices in groups.values():
+        for start in range(0, len(indices), cap):
+            chunks.append([
+                (index, tasks[index])
+                for index in indices[start:start + cap]
+            ])
+    # Largest chunks first so stragglers start early (load balance).
+    chunks.sort(key=len, reverse=True)
+    return chunks
+
+
 def run_tasks(
     tasks: Sequence[Union[SimTask, tuple]],
     jobs: int = 1,
 ) -> List[SimulationResult]:
     """Run :class:`SimTask` entries (or legacy ``(config, benchmark,
-    max_instructions)`` tuples), optionally on a process pool.  Results
-    keep task order regardless of ``jobs``."""
+    max_instructions)`` tuples), optionally on the shared process pool.
+    Results keep task order regardless of ``jobs``."""
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(tasks) <= 1:
         return [_run_task(task) for task in tasks]
-    # chunksize=1: simulation tasks are coarse (>> pool overhead) and may
-    # have very uneven durations across configurations.
-    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(_run_task, tasks, chunksize=1)
+    chunks = _affine_chunks(tasks, jobs)
+    results: List[Optional[SimulationResult]] = [None] * len(tasks)
+    # Never fork more workers than there are chunks to serve; a later,
+    # larger sweep recreates the pool at its size.
+    pool = _shared_pool(min(jobs, len(chunks)))
+    # chunksize=1: chunks are coarse (>> pool overhead) and may have very
+    # uneven durations; unordered completion is fine because results are
+    # reassembled by task index.
+    for completed in pool.imap_unordered(_run_task_chunk, chunks, chunksize=1):
+        for index, result in completed:
+            results[index] = result
+    return results
 
 
 def run_benchmarks(

@@ -215,6 +215,13 @@ class Simulator:
                   workload.cfg, workload.bbdict]
         if workload._block_stream is not None:
             shared.append(workload._block_stream)
+        trace = workload._compiled_trace
+        if trace is not None:
+            # The oracle holds direct references to the trace's columnar
+            # arrays (hot-path aliases), so they must be shared
+            # explicitly or every snapshot would deep-copy them.
+            shared += [trace, trace.addr, trace.size, trace.kind,
+                       trace.taken, trace.next_addr, trace.terminator_addr]
         return {id(obj): obj for obj in shared}
 
     def snapshot(self) -> SimulatorCheckpoint:

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..cache.keys import content_key
+from ..cache.store import active_store
 from ..frontend.stream_predictor import StreamPredictor
 from ..memory.cache import Cache
 from ..memory.hierarchy import MemoryHierarchy
@@ -97,19 +99,43 @@ def get_warmup_artifacts(
     max_stream_instructions: int = 64,
     line_size: int = 64,
 ) -> WarmupArtifacts:
-    """Cached wrapper around :func:`compute_warmup`."""
+    """Cached wrapper around :func:`compute_warmup`.
+
+    Misses fall through to the persistent artifact store (when enabled)
+    before recomputing: the warm-up walk is deterministic per key, so a
+    trained predictor and its line trace published by any previous
+    process replay bit-identically here.  Per-geometry cache snapshots
+    are per-process (cheap to rebuild, geometry-dependent) and start
+    empty on a disk load.
+    """
     key = (
         workload.name, workload.profile.seed, instructions,
         base_entries, history_entries, max_stream_instructions, line_size,
     )
     if key not in _CACHE:
-        _CACHE[key] = compute_warmup(
-            workload, instructions,
-            base_entries=base_entries,
-            history_entries=history_entries,
-            max_stream_instructions=max_stream_instructions,
-            line_size=line_size,
-        )
+        disk = active_store()
+        disk_key = content_key("warmup-artifacts", *key) if disk is not None else None
+        artifacts = None
+        if disk is not None:
+            loaded = disk.get("warmup", disk_key)
+            if isinstance(loaded, WarmupArtifacts):
+                artifacts = loaded
+        if artifacts is None:
+            artifacts = compute_warmup(
+                workload, instructions,
+                base_entries=base_entries,
+                history_entries=history_entries,
+                max_stream_instructions=max_stream_instructions,
+                line_size=line_size,
+            )
+            if disk is not None:
+                # Publish without the per-process cache snapshots.
+                disk.put("warmup", disk_key, WarmupArtifacts(
+                    predictor=artifacts.predictor,
+                    line_trace=artifacts.line_trace,
+                    instructions=artifacts.instructions,
+                ))
+        _CACHE[key] = artifacts
     return _CACHE[key]
 
 

@@ -21,6 +21,7 @@ Two layers:
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
@@ -284,6 +285,258 @@ class BlockStream:
         return len(self._blocks)
 
 
+class CompiledTrace:
+    """A correct-path walk frozen into compact columnar arrays.
+
+    Compiling replaces the per-process RNG walk (seeded branch draws, CFG
+    lookups, :class:`DynamicBlock` construction) with six flat ``array``
+    columns -- one machine word (or byte) per dynamic block -- that can
+    be pickled to disk once and replayed by every later process.  A
+    compiled trace is purely derived data: compiling workload ``W`` for
+    ``N`` instructions and walking ``W`` block by block produce the same
+    sequence, so array-backed replay is bit-identical to the walk (see
+    ``tests/test_artifact_cache.py``).
+
+    ``tail_state`` is the walker snapshot taken right after the last
+    compiled block; a consumer that runs past the compiled prefix
+    continues on a private walker forked from it, extending the arrays
+    in place -- deterministic, so every consumer sees the same sequence
+    however far it reads.
+    """
+
+    __slots__ = (
+        "name", "seed", "compiled_instructions",
+        "addr", "size", "kind", "taken", "next_addr", "terminator_addr",
+        "_tail_state", "_cfg", "_tail_walker",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        compiled_instructions: int,
+        addr: array,
+        size: array,
+        kind: array,
+        taken: array,
+        next_addr: array,
+        terminator_addr: array,
+        tail_state: tuple,
+    ) -> None:
+        self.name = name
+        self.seed = seed
+        self.compiled_instructions = compiled_instructions
+        self.addr = addr
+        self.size = size
+        self.kind = kind
+        self.taken = taken
+        self.next_addr = next_addr
+        self.terminator_addr = terminator_addr
+        self._tail_state = tail_state
+        self._cfg: Optional[ControlFlowGraph] = None
+        self._tail_walker: Optional[ProgramWalker] = None
+
+    def __len__(self) -> int:
+        return len(self.size)
+
+    def bind(self, cfg: ControlFlowGraph) -> None:
+        """Attach the CFG needed to extend past the compiled prefix."""
+        self._cfg = cfg
+
+    def ensure(self, index: int) -> None:
+        """Materialise blocks up to and including ``index``."""
+        if index < len(self.size):
+            return
+        walker = self._tail_walker
+        if walker is None:
+            if self._cfg is None:
+                raise RuntimeError(
+                    "compiled trace is not bound to a CFG; call "
+                    "Workload.attach_compiled_trace first"
+                )
+            walker = ProgramWalker.from_snapshot(self._cfg, self._tail_state)
+            self._tail_walker = walker
+        next_block = walker.next_block
+        append_addr = self.addr.append
+        append_size = self.size.append
+        append_kind = self.kind.append
+        append_taken = self.taken.append
+        append_next = self.next_addr.append
+        append_term = self.terminator_addr.append
+        while index >= len(self.size):
+            block = next_block()
+            append_addr(block.addr)
+            append_size(block.size)
+            append_kind(block.kind)
+            append_taken(1 if block.taken else 0)
+            append_next(block.next_addr)
+            append_term(block.terminator_addr)
+
+    # -- pickling (the live CFG / tail walker never leave the process) --
+    def __getstate__(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "compiled_instructions": self.compiled_instructions,
+            "addr": self.addr,
+            "size": self.size,
+            "kind": self.kind,
+            "taken": self.taken,
+            "next_addr": self.next_addr,
+            "terminator_addr": self.terminator_addr,
+            "tail_state": self._tail_state,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["name"], state["seed"], state["compiled_instructions"],
+            state["addr"], state["size"], state["kind"], state["taken"],
+            state["next_addr"], state["terminator_addr"], state["tail_state"],
+        )
+
+
+def compile_trace(workload: "Workload", instructions: int) -> CompiledTrace:
+    """Walk ``workload``'s correct path once and freeze >= ``instructions``
+    of it into a :class:`CompiledTrace` (the same seeded walk every oracle
+    of the workload replays)."""
+    walker = ProgramWalker(workload.cfg, seed=workload.profile.seed)
+    addr = array("q")
+    size = array("q")
+    kind = array("b")
+    taken = array("b")
+    next_addr = array("q")
+    terminator_addr = array("q")
+    while walker.instructions_executed < instructions:
+        block = walker.next_block()
+        addr.append(block.addr)
+        size.append(block.size)
+        kind.append(block.kind)
+        taken.append(1 if block.taken else 0)
+        next_addr.append(block.next_addr)
+        terminator_addr.append(block.terminator_addr)
+    trace = CompiledTrace(
+        name=workload.profile.name,
+        seed=workload.profile.seed,
+        compiled_instructions=walker.instructions_executed,
+        addr=addr, size=size, kind=kind, taken=taken,
+        next_addr=next_addr, terminator_addr=terminator_addr,
+        tail_state=walker.snapshot(),
+    )
+    trace.bind(workload.cfg)
+    return trace
+
+
+class CompiledPathOracle:
+    """Array-backed drop-in for :class:`CorrectPathOracle`.
+
+    Replays a :class:`CompiledTrace` with the same public API and the
+    same semantics (``current_address`` / ``peek_stream`` / ``advance`` /
+    ``consumed_instructions``) but reads the columnar arrays directly:
+    no RNG draws, no CFG lookups and no :class:`DynamicBlock` objects on
+    the timed or functional hot paths.
+    """
+
+    __slots__ = (
+        "_trace", "_addr", "_size", "_kind", "_taken", "_next", "_term",
+        "_index", "_offset", "_consumed_instructions",
+        "max_stream_instructions",
+    )
+
+    def __init__(
+        self,
+        trace: CompiledTrace,
+        max_stream_instructions: int = MAX_STREAM_INSTRUCTIONS,
+    ) -> None:
+        self._trace = trace
+        # array identities are stable (extension appends in place).
+        self._addr = trace.addr
+        self._size = trace.size
+        self._kind = trace.kind
+        self._taken = trace.taken
+        self._next = trace.next_addr
+        self._term = trace.terminator_addr
+        self._index = 0
+        self._offset = 0
+        self._consumed_instructions = 0
+        self.max_stream_instructions = max_stream_instructions
+
+    # -- public API (mirrors CorrectPathOracle) -------------------------
+    @property
+    def consumed_instructions(self) -> int:
+        return self._consumed_instructions
+
+    def current_address(self) -> int:
+        index = self._index
+        if index >= len(self._size):
+            self._trace.ensure(index)
+        return self._addr[index] + self._offset * INSTRUCTION_BYTES
+
+    def peek_stream(self, max_instructions: Optional[int] = None) -> ActualStream:
+        cap = max_instructions or self.max_stream_instructions
+        addr_a, size_a, taken_a = self._addr, self._size, self._taken
+        ensure = self._trace.ensure
+        idx = self._index
+        off = self._offset
+        if idx >= len(size_a):
+            ensure(idx)
+        start = addr_a[idx] + off * INSTRUCTION_BYTES
+        length = 0
+        while True:
+            if idx >= len(size_a):
+                ensure(idx)
+            size = size_a[idx]
+            taken = taken_a[idx]
+            available = size - off
+            remaining = cap - length
+            if available >= remaining and not (taken and available <= remaining):
+                length += remaining
+                end_addr = addr_a[idx] + (off + remaining) * INSTRUCTION_BYTES
+                return ActualStream(
+                    start=start, length=length, next_addr=end_addr,
+                    ends_taken=False, terminator_kind=BranchKind.NONE,
+                    terminator_addr=end_addr - INSTRUCTION_BYTES,
+                )
+            length += available
+            if taken:
+                return ActualStream(
+                    start=start, length=length, next_addr=self._next[idx],
+                    ends_taken=True, terminator_kind=BranchKind(self._kind[idx]),
+                    terminator_addr=self._term[idx],
+                )
+            if length >= cap:
+                end_addr = addr_a[idx] + size * INSTRUCTION_BYTES
+                return ActualStream(
+                    start=start, length=length, next_addr=end_addr,
+                    ends_taken=False, terminator_kind=BranchKind.NONE,
+                    terminator_addr=end_addr - INSTRUCTION_BYTES,
+                )
+            idx += 1
+            off = 0
+
+    def advance(self, n_instructions: int) -> None:
+        if n_instructions < 0:
+            raise ValueError("cannot advance by a negative amount")
+        size_a = self._size
+        ensure = self._trace.ensure
+        index = self._index
+        offset = self._offset
+        remaining = n_instructions
+        while remaining > 0:
+            if index >= len(size_a):
+                ensure(index)
+            available = size_a[index] - offset
+            if remaining < available:
+                offset += remaining
+                remaining = 0
+            else:
+                remaining -= available
+                index += 1
+                offset = 0
+        self._index = index
+        self._offset = offset
+        self._consumed_instructions += n_instructions
+
+
 class CorrectPathOracle:
     """Buffered cursor over the correct-path dynamic block stream.
 
@@ -420,10 +673,28 @@ class Workload:
     #: Shared correct-path block stream, materialised lazily and reused by
     #: every oracle (the walk is deterministic per seed).
     _block_stream: Optional[BlockStream] = None
+    #: Optional compiled trace (loaded from the artifact cache); when
+    #: attached, oracles replay its columnar arrays instead of walking.
+    _compiled_trace: Optional[CompiledTrace] = None
 
-    def new_oracle(self) -> CorrectPathOracle:
+    def attach_compiled_trace(self, trace: CompiledTrace) -> None:
+        """Route every future oracle through ``trace`` (must belong to
+        this workload's profile/seed; the replay is bit-identical to the
+        walker-backed stream)."""
+        if (trace.name, trace.seed) != (self.profile.name, self.profile.seed):
+            raise ValueError(
+                f"compiled trace for {trace.name!r}/seed {trace.seed} does "
+                f"not belong to workload {self.profile.name!r}/seed "
+                f"{self.profile.seed}"
+            )
+        trace.bind(self.cfg)
+        self._compiled_trace = trace
+
+    def new_oracle(self):
         """A fresh correct-path oracle (identical stream for identical
         profile seeds, regardless of simulator configuration)."""
+        if self._compiled_trace is not None:
+            return CompiledPathOracle(self._compiled_trace)
         if self._block_stream is None:
             self._block_stream = BlockStream(
                 ProgramWalker(self.cfg, seed=self.profile.seed)

@@ -8,6 +8,8 @@ instructions at most so the whole suite stays quick.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.engine import FetchEngineConfig
@@ -42,6 +44,29 @@ MEDIUM_PROFILE = WorkloadProfile(
     dl1_miss_rate=0.03,
     seed=11,
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Route the persistent artifact cache into a session tmp directory.
+
+    Keeps test runs from touching (or depending on) a developer's real
+    ``.repro-cache/``; tests that exercise the store itself use their own
+    explicit directories on top.
+    """
+    from repro.cache import reset_configuration
+    from repro.cache.store import ENV_CACHE_DIR
+
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get(ENV_CACHE_DIR)
+    os.environ[ENV_CACHE_DIR] = str(cache_dir)
+    reset_configuration()
+    yield
+    if previous is None:
+        os.environ.pop(ENV_CACHE_DIR, None)
+    else:
+        os.environ[ENV_CACHE_DIR] = previous
+    reset_configuration()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,427 @@
+"""Tests for the persistent artifact cache (store, keys, reuse semantics).
+
+Four contracts:
+
+* **Stable keys** -- content keys are identical across processes (no
+  hash-randomization dependence), independent of dataclass field order,
+  and sensitive to every field value.
+* **Robust store** -- corrupted artifacts and schema-version mismatches
+  degrade to recompute-and-republish, never to wrong results.
+* **Reuse** -- a second (cold-process) run of the same work loads every
+  artifact from disk instead of recomputing (asserted via store
+  counters), ``--no-cache``/disabled stores never touch disk, and
+  ``cache clear`` empties the store.
+* **Bit identity** -- cached-path results (compiled-trace oracles,
+  persisted warm checkpoints, replayed measurements) equal the uncached
+  path's results field for field.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cache import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    content_key,
+    ensure_compiled_trace,
+    stable_repr,
+    temporary_cache_dir,
+)
+from repro.cache.shared import dumps_with_workload, loads_with_workload
+from repro.sampling import SamplingSpec, run_sampled
+from repro.sampling.checkpoint import CheckpointStore
+from repro.simulator.runner import clear_process_caches
+from repro.simulator.simulator import Simulator
+from repro.simulator.testing import make_sim_config
+from repro.workloads.generator import WorkloadProfile
+from repro.workloads.trace import (
+    CompiledPathOracle,
+    CorrectPathOracle,
+    build_workload,
+    compile_trace,
+)
+
+#: Private medium-sized profile (distinct name keeps this module's
+#: artifacts disjoint from every other test's).
+MEDIUM_PROFILE = WorkloadProfile(
+    name="cache-medium",
+    footprint_kb=48.0,
+    num_functions=32,
+    avg_block_size=5.0,
+    hard_branch_fraction=0.10,
+    loop_fraction=0.10,
+    avg_loop_iterations=5.0,
+    call_fraction=0.08,
+    dl1_miss_rate=0.03,
+    seed=11,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_cache_overrides():
+    """CLI --cache-dir/--no-cache set process-wide overrides; make sure
+    they never leak into other tests."""
+    yield
+    from repro.cache import reset_configuration
+
+    reset_configuration()
+
+
+# ----------------------------------------------------------------------
+# stable keys
+# ----------------------------------------------------------------------
+class TestStableKeys:
+    def test_equal_content_equal_key(self):
+        a = make_sim_config(engine="clgp", max_instructions=4000)
+        b = make_sim_config(engine="clgp", max_instructions=4000)
+        assert a is not b
+        assert stable_repr(a) == stable_repr(b)
+        assert content_key("x", a) == content_key("x", b)
+
+    def test_any_field_change_changes_key(self):
+        base = make_sim_config(engine="clgp", max_instructions=4000)
+        for override in (dict(engine="fdp"), dict(l1_size_bytes=1024),
+                         dict(mlp_factor=2.0), dict(l0_enabled=True)):
+            assert (stable_repr(base.with_overrides(**override))
+                    != stable_repr(base))
+
+    def test_mapping_order_is_irrelevant(self):
+        assert stable_repr({"a": 1, "b": 2}) == stable_repr({"b": 2, "a": 1})
+        assert stable_repr({1, 2, 3}) == stable_repr({3, 2, 1})
+
+    def test_unstable_values_are_rejected(self):
+        with pytest.raises(TypeError):
+            stable_repr(object())
+
+    def test_key_stable_across_processes(self):
+        """The digest must not depend on this process's hash seed."""
+        config = make_sim_config(engine="clgp", max_instructions=4000)
+        expected = content_key("warm-checkpoint", config, "gcc", 7)
+        src = str(Path(repro.__file__).parents[1])
+        code = (
+            "from repro.cache.keys import content_key\n"
+            "from repro.simulator.testing import make_sim_config\n"
+            "config = make_sim_config(engine='clgp', max_instructions=4000)\n"
+            "print(content_key('warm-checkpoint', config, 'gcc', 7))\n"
+        )
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH=src + os.pathsep + os.environ.get("PYTHONPATH", ""))
+            out = subprocess.run(
+                [sys.executable, "-c", code], env=env,
+                capture_output=True, text=True, check=True,
+            )
+            assert out.stdout.strip() == expected
+
+
+# ----------------------------------------------------------------------
+# store robustness
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("kindA", "k" * 8, {"payload": [1, 2, 3]})
+        assert store.get("kindA", "k" * 8) == {"payload": [1, 2, 3]}
+        assert store.stats.stores == 1 and store.stats.hits == 1
+
+    def test_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        assert store.get("kindA", "nothere") is None
+        assert store.stats.misses == 1
+
+    def test_corrupted_artifact_is_dropped_and_recomputed(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("kindA", "key1", [1, 2, 3])
+        path = store.path_for("kindA", "key1")
+        path.write_bytes(b"\x00garbage\xff")
+        assert store.get("kindA", "key1") is None
+        assert store.stats.corrupt == 1
+        assert not path.exists()
+        # Recompute-and-republish works on the same key.
+        store.put("kindA", "key1", [4, 5])
+        assert store.get("kindA", "key1") == [4, 5]
+
+    def test_truncated_pickle_is_corrupt(self, tmp_path):
+        import zlib
+
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("kindA", "key2", list(range(100)))
+        path = store.path_for("kindA", "key2")
+        # Valid zlib stream around an invalid pickle.
+        path.write_bytes(zlib.compress(b"not a pickle"))
+        assert store.get("kindA", "key2") is None
+        assert store.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        current = ArtifactStore(tmp_path / "cache")
+        current.put("kindA", "key1", "value")
+        future = ArtifactStore(tmp_path / "cache", version=SCHEMA_VERSION + 1)
+        assert future.get("kindA", "key1") is None
+        # Both schemas coexist; clear removes every version.
+        future.put("kindA", "key1", "newer")
+        assert current.get("kindA", "key1") == "value"
+        assert current.clear() == 2
+        assert len(current) == 0
+        assert future.get("kindA", "key1") is None
+
+    def test_describe_and_len(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("a", "k1", 1)
+        store.put("a", "k2", 2)
+        store.put("b", "k3", 3)
+        summary = store.describe()
+        assert summary["a"][0] == 2 and summary["b"][0] == 1
+        assert len(store) == 3
+
+
+# ----------------------------------------------------------------------
+# compiled traces
+# ----------------------------------------------------------------------
+class TestCompiledTrace:
+    def test_replay_is_bit_identical_to_the_walk(self):
+        plain = build_workload(MEDIUM_PROFILE)
+        compiled = build_workload(MEDIUM_PROFILE)
+        # Small prefix on purpose: forces the tail-walker extension path.
+        compiled.attach_compiled_trace(compile_trace(compiled, 2000))
+        reference = plain.new_oracle()
+        replayed = compiled.new_oracle()
+        assert isinstance(reference, CorrectPathOracle)
+        assert isinstance(replayed, CompiledPathOracle)
+        for cap in (None, 1, 7, 64, 64, 13, None, 128):
+            assert reference.current_address() == replayed.current_address()
+            a, b = reference.peek_stream(cap), replayed.peek_stream(cap)
+            assert a == b
+            reference.advance(a.length)
+            replayed.advance(a.length)
+        assert (reference.consumed_instructions
+                == replayed.consumed_instructions)
+
+    def test_simulation_results_identical(self):
+        config = make_sim_config(engine="clgp", max_instructions=2000)
+        plain = build_workload(MEDIUM_PROFILE)
+        compiled = build_workload(MEDIUM_PROFILE)
+        compiled.attach_compiled_trace(
+            compile_trace(compiled, config.resolved_warmup_instructions())
+        )
+        assert (Simulator(config, plain).run()
+                == Simulator(config, compiled).run())
+
+    def test_pickle_round_trip_replays_identically(self):
+        source = build_workload(MEDIUM_PROFILE)
+        trace = compile_trace(source, 4000)
+        loaded = pickle.loads(pickle.dumps(trace))
+        target = build_workload(MEDIUM_PROFILE)
+        target.attach_compiled_trace(loaded)
+        config = make_sim_config(max_instructions=1500)
+        assert (Simulator(config, target).run()
+                == Simulator(config, build_workload(MEDIUM_PROFILE)).run())
+
+    def test_attach_rejects_foreign_trace(self, tiny_workload):
+        trace = compile_trace(build_workload(MEDIUM_PROFILE), 1000)
+        with pytest.raises(ValueError):
+            tiny_workload.attach_compiled_trace(trace)
+
+    def test_ensure_compiled_trace_publishes_and_reloads(self, tmp_path):
+        with temporary_cache_dir(tmp_path / "cache") as store:
+            clear_process_caches()
+            first = build_workload(MEDIUM_PROFILE)
+            trace = ensure_compiled_trace(first, 5000)
+            assert trace is not None
+            assert store.stats.stores == 1
+            clear_process_caches()
+            second = build_workload(MEDIUM_PROFILE)
+            reloaded = ensure_compiled_trace(second, 5000)
+            assert store.stats.hits >= 1
+            assert reloaded is not trace
+            assert list(reloaded.addr[:100]) == list(trace.addr[:100])
+
+    def test_disabled_cache_attaches_nothing(self, tmp_path):
+        with temporary_cache_dir(tmp_path / "cache", enabled=False):
+            workload = build_workload(MEDIUM_PROFILE)
+            assert ensure_compiled_trace(workload, 5000) is None
+            assert workload._compiled_trace is None
+            assert not (tmp_path / "cache").exists()
+
+
+# ----------------------------------------------------------------------
+# warm checkpoints across processes (workload-shared pickling)
+# ----------------------------------------------------------------------
+class TestPersistentCheckpoints:
+    def test_shared_pickling_keeps_workload_objects_live(self):
+        workload = build_workload(MEDIUM_PROFILE)
+        config = make_sim_config(max_instructions=1200)
+        simulator = Simulator(config, workload)
+        simulator.warm_up()
+        state = simulator.snapshot()._state
+        data = dumps_with_workload(state, workload)
+        loaded = loads_with_workload(data, workload)
+        assert loaded["prediction"].workload is workload
+        assert loaded["prediction"].bbdict is workload.bbdict
+
+    def test_persisted_checkpoint_restores_bit_identically(self, tmp_path):
+        config = make_sim_config(engine="fdp", max_instructions=1500)
+        with temporary_cache_dir(tmp_path / "cache") as disk:
+            clear_process_caches()
+            producer_workload = build_workload(MEDIUM_PROFILE)
+            producer = CheckpointStore()
+            producer.warm_checkpoint(config, producer_workload)
+            assert disk.describe().get("checkpoint", (0, 0))[0] == 1
+
+            # "New process": fresh workload, fresh store, same disk.
+            clear_process_caches()
+            consumer_workload = build_workload(MEDIUM_PROFILE)
+            consumer = CheckpointStore()
+            stores_before = disk.stats.stores
+            checkpoint = consumer.warm_checkpoint(config, consumer_workload)
+            assert disk.stats.stores == stores_before   # loaded, not rebuilt
+
+            restored = Simulator(config, consumer_workload)
+            restored.restore(checkpoint)
+            fresh = Simulator(config, build_workload(MEDIUM_PROFILE))
+            fresh.warm_up()
+            assert restored.run(1500) == fresh.run(1500)
+
+    def test_jump_base_is_lazy_without_disk_artifact(self, tmp_path):
+        """One-shot sweeps must not pay for snapshotting: the first jump
+        request of a pair publishes nothing; a revisited pair builds and
+        publishes once."""
+        config = make_sim_config(max_instructions=1000)
+        with temporary_cache_dir(tmp_path / "cache") as disk:
+            clear_process_caches()
+            workload = build_workload(MEDIUM_PROFILE)
+            store = CheckpointStore()
+            assert store.jump_base_checkpoint(config, workload) is None
+            assert disk.describe().get("checkpoint", (0, 0))[0] == 0
+            second = store.jump_base_checkpoint(config, workload)
+            assert second is not None
+            assert disk.describe().get("checkpoint", (0, 0))[0] == 1
+            # A fresh process restores the published artifact eagerly.
+            clear_process_caches()
+            other = CheckpointStore()
+            loaded = other.jump_base_checkpoint(
+                config, build_workload(MEDIUM_PROFILE))
+            assert loaded is not None
+
+
+# ----------------------------------------------------------------------
+# end-to-end reuse semantics
+# ----------------------------------------------------------------------
+def _sampled_once(config, spec):
+    """One sampled run in a 'fresh process' (cleared in-memory caches)."""
+    clear_process_caches()
+    workload = build_workload(MEDIUM_PROFILE)
+    return run_sampled(config, workload, spec=spec, store=CheckpointStore())
+
+
+class TestCacheReuse:
+    CONFIG = make_sim_config(engine="clgp", max_instructions=6000)
+    SPEC = SamplingSpec(max_intervals=4)
+
+    def test_second_run_replays_artifacts(self, tmp_path, monkeypatch):
+        with temporary_cache_dir(tmp_path / "cache") as disk:
+            cold = _sampled_once(self.CONFIG, self.SPEC)
+            assert disk.stats.stores > 0
+            cold_stores = disk.stats.stores
+
+            # Warm run: everything must come from disk -- no new
+            # artifacts, and no timed simulation at all (the measurement
+            # payload short-circuits _measure_intervals).
+            import repro.sampling.sampled as sampled_mod
+
+            def no_simulation(*args, **kwargs):
+                raise AssertionError(
+                    "warm run re-simulated intervals despite cached "
+                    "measurements")
+
+            monkeypatch.setattr(sampled_mod, "_measure_intervals",
+                                no_simulation)
+            warm = _sampled_once(self.CONFIG, self.SPEC)
+            assert disk.stats.stores == cold_stores
+            assert disk.stats.hits > 0
+            assert warm == cold
+
+    def test_cached_and_uncached_results_are_bit_identical(self, tmp_path):
+        with temporary_cache_dir(tmp_path / "cache-a"):
+            cold = _sampled_once(self.CONFIG, self.SPEC)
+            warm = _sampled_once(self.CONFIG, self.SPEC)
+        with temporary_cache_dir(tmp_path / "cache-b", enabled=False):
+            uncached = _sampled_once(self.CONFIG, self.SPEC)
+        clear_process_caches()
+        assert cold == warm == uncached
+
+    def test_disabled_cache_touches_no_disk(self, tmp_path):
+        target = tmp_path / "cache-disabled"
+        with temporary_cache_dir(target, enabled=False):
+            _sampled_once(self.CONFIG, self.SPEC)
+        assert not target.exists()
+
+    def test_stale_measurements_are_recomputed(self, tmp_path):
+        """A measurement payload whose selection fingerprint no longer
+        matches (simulating an algorithm change) must be ignored."""
+        with temporary_cache_dir(tmp_path / "cache") as disk:
+            cold = _sampled_once(self.CONFIG, self.SPEC)
+            (kind, path), = (
+                (k, p) for k, p in disk.entries() if k == "measurement"
+            )
+            import zlib
+
+            payload = pickle.loads(zlib.decompress(path.read_bytes()))
+            payload["selection"] = "0" * 64
+            path.write_bytes(zlib.compress(pickle.dumps(payload)))
+            warm = _sampled_once(self.CONFIG, self.SPEC)
+            assert warm == cold
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCacheCli:
+    def test_cache_path_ls_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cli-cache"
+        assert main(["cache", "path", "--cache-dir", str(cache_dir)]) == 0
+        assert str(cache_dir) in capsys.readouterr().out
+
+        assert main(["run", "base", "--benchmarks", "gzip",
+                     "--instructions", "1000",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "warmup" in out
+
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_no_cache_flag_bypasses_disk(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cli-nocache"
+        assert main(["run", "base", "--benchmarks", "gzip",
+                     "--instructions", "1000",
+                     "--cache-dir", str(cache_dir), "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_figure_all_renders_every_figure(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["figure", "all", "--benchmarks", "gzip",
+                     "--instructions", "600", "--sampled",
+                     "--cache-dir", str(tmp_path / "cli-figall")])
+        assert code == 0
+        out = capsys.readouterr().out
+        for figure in ("Figure 1", "Figure 2", "Figure 4", "Figure 5",
+                       "Figure 6", "Figure 7", "Figure 8"):
+            assert figure in out
