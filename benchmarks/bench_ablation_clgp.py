@@ -13,14 +13,12 @@ The full CLGP design should be the best (or tied-best) variant, and the
 FDP reference should be at or below it.
 """
 
-from repro.analysis.figures import ablation_series
-
 from conftest import run_once
 
 
-def test_clgp_design_ablation(benchmark, report, bench_params):
+def test_clgp_design_ablation(benchmark, api_session, report, bench_params):
     data = run_once(
-        benchmark, ablation_series,
+        benchmark, api_session.ablation_series,
         technology="0.045um",
         l1_size_bytes=4096,
         benchmarks=bench_params["benchmarks"],

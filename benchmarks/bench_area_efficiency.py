@@ -8,12 +8,11 @@ mm^2 of fast fetch storage, and the average fetch energy implied by each
 configuration's measured fetch-source mix.
 """
 
+from repro.api import harmonic_mean_ipc, paper_config
 from repro.memory.area import front_end_budget
-from repro.simulator.presets import paper_config
-from repro.simulator.runner import run_benchmarks
-from repro.simulator.stats import aggregate_fetch_sources, harmonic_mean_ipc
+from repro.simulator.stats import aggregate_fetch_sources
 
-from conftest import run_once
+from conftest import run_once, run_plan
 
 DESIGN_POINTS = (
     ("CLGP+L0+PB16", 1024),
@@ -26,7 +25,7 @@ DESIGN_POINTS = (
 )
 
 
-def test_front_end_area_efficiency(benchmark, report, bench_params):
+def test_front_end_area_efficiency(benchmark, api_session, report, bench_params):
     instructions = bench_params["instructions"]
     names = bench_params["benchmarks"]
 
@@ -36,7 +35,7 @@ def test_front_end_area_efficiency(benchmark, report, bench_params):
             config = paper_config(scheme, l1_size_bytes=l1_size,
                                   technology="0.09um",
                                   max_instructions=instructions)
-            results = run_benchmarks(config, names, instructions)
+            results = run_plan(api_session, config, names, instructions)
             ipc = harmonic_mean_ipc(results)
             sources = aggregate_fetch_sources(results)
             budget = front_end_budget(config, sources,

@@ -7,15 +7,14 @@ far below it and nearly flat, pipelining recovers most of the gap, and the
 L0 filter cache helps the blocking cache at small-to-medium sizes.
 """
 
-from repro.analysis.figures import figure1_series
-from repro.analysis.report import format_ipc_sweep
+from repro.api import format_ipc_sweep
 
 from conftest import run_once
 
 
-def test_figure1_l1_latency_effect(benchmark, report, bench_params):
+def test_figure1_l1_latency_effect(benchmark, api_session, report, bench_params):
     series = run_once(
-        benchmark, figure1_series,
+        benchmark, api_session.figure1_series,
         technology="0.045um",
         l1_sizes=bench_params["sizes"],
         benchmarks=bench_params["benchmarks"],

@@ -5,15 +5,14 @@ filtering forces ever more fetches into the slow L1), while adding a
 one-cycle L0 lets it tolerate the L1 latency.
 """
 
-from repro.analysis.figures import figure2_series
-from repro.analysis.report import format_ipc_sweep
+from repro.api import format_ipc_sweep
 
 from conftest import run_once
 
 
-def test_figure2_fdp_with_and_without_l0(benchmark, report, bench_params):
+def test_figure2_fdp_with_and_without_l0(benchmark, api_session, report, bench_params):
     series = run_once(
-        benchmark, figure2_series,
+        benchmark, api_session.figure2_series,
         technology="0.045um",
         l1_sizes=bench_params["sizes"],
         benchmarks=bench_params["benchmarks"],

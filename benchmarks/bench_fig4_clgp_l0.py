@@ -6,15 +6,14 @@ close to insensitive to the L1 because most fetches come from the prestage
 buffer.
 """
 
-from repro.analysis.figures import figure4_series
-from repro.analysis.report import format_ipc_sweep
+from repro.api import format_ipc_sweep
 
 from conftest import run_once
 
 
-def test_figure4_clgp_with_and_without_l0(benchmark, report, bench_params):
+def test_figure4_clgp_with_and_without_l0(benchmark, api_session, report, bench_params):
     series = run_once(
-        benchmark, figure4_series,
+        benchmark, api_session.figure4_series,
         technology="0.045um",
         l1_sizes=bench_params["sizes"],
         benchmarks=bench_params["benchmarks"],

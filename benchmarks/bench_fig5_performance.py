@@ -9,16 +9,15 @@ well above the baselines, and CLGP nearly insensitive to the L1 size.
 
 import pytest
 
-from repro.analysis.figures import figure5_series
-from repro.analysis.report import format_ipc_sweep
+from repro.api import format_ipc_sweep
 
 from conftest import run_once
 
 
 @pytest.mark.parametrize("technology,figure", [("0.09um", "5a"), ("0.045um", "5b")])
-def test_figure5_main_comparison(benchmark, report, bench_params, technology, figure):
+def test_figure5_main_comparison(benchmark, api_session, report, bench_params, technology, figure):
     series = run_once(
-        benchmark, figure5_series,
+        benchmark, api_session.figure5_series,
         technology=technology,
         l1_sizes=bench_params["sizes"],
         benchmarks=bench_params["benchmarks"],

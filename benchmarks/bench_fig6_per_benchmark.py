@@ -9,14 +9,13 @@ baseline.
 
 import os
 
-from repro.analysis.figures import figure6_series
-from repro.analysis.report import format_per_benchmark
-from repro.workloads.spec2000 import SPECINT2000_NAMES
+from repro.api import format_per_benchmark
+from repro.api import SPECINT2000_NAMES
 
 from conftest import run_once
 
 
-def test_figure6_per_benchmark_ipc(benchmark, report, bench_params):
+def test_figure6_per_benchmark_ipc(benchmark, api_session, report, bench_params):
     # Figure 6 is defined over the full suite; honour an explicit override
     # but default to all twelve benchmarks.
     if os.environ.get("REPRO_BENCH_BENCHMARKS"):
@@ -24,7 +23,7 @@ def test_figure6_per_benchmark_ipc(benchmark, report, bench_params):
     else:
         names = list(SPECINT2000_NAMES)
     series = run_once(
-        benchmark, figure6_series,
+        benchmark, api_session.figure6_series,
         technology="0.045um",
         l1_size_bytes=8192,
         benchmarks=names,

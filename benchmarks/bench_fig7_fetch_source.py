@@ -9,17 +9,16 @@ an L0, most FDP fetches still need the one-cycle L0+PB pair to stay fast.
 
 import pytest
 
-from repro.analysis.figures import figure7_series
-from repro.analysis.report import format_source_distribution
+from repro.api import format_source_distribution
 
 from conftest import run_once
 
 
 @pytest.mark.parametrize("with_l0,figure", [(False, "7a"), (True, "7b")])
-def test_figure7_fetch_source_distribution(benchmark, report, bench_params,
+def test_figure7_fetch_source_distribution(benchmark, api_session, report, bench_params,
                                            with_l0, figure):
     series = run_once(
-        benchmark, figure7_series,
+        benchmark, api_session.figure7_series,
         with_l0=with_l0,
         technology="0.045um",
         l1_sizes=bench_params["sizes"],

@@ -6,15 +6,14 @@ the paper reports 21.5% for FDP and up to 28% for CLGP -- and CLGP performs
 fewer prefetches from L2/memory thanks to its better pre-buffer management.
 """
 
-from repro.analysis.figures import figure8_series
-from repro.analysis.report import format_source_distribution
+from repro.api import format_source_distribution
 
 from conftest import run_once
 
 
-def test_figure8_prefetch_source_distribution(benchmark, report, bench_params):
+def test_figure8_prefetch_source_distribution(benchmark, api_session, report, bench_params):
     series = run_once(
-        benchmark, figure8_series,
+        benchmark, api_session.figure8_series,
         technology="0.045um",
         l1_sizes=bench_params["sizes"],
         benchmarks=bench_params["benchmarks"],

@@ -11,18 +11,14 @@ The reproduction target is the sign and rough magnitude of these ratios,
 not the exact percentages.
 """
 
-from repro.analysis.figures import headline_speedups
-from repro.analysis.report import format_speedups
-from repro.simulator.presets import paper_config
-from repro.simulator.runner import run_benchmarks
-from repro.simulator.stats import harmonic_mean_ipc
+from repro.api import format_speedups, harmonic_mean_ipc, paper_config
 
-from conftest import run_once
+from conftest import run_once, run_plan
 
 
-def test_headline_speedups(benchmark, report, bench_params):
+def test_headline_speedups(benchmark, api_session, report, bench_params):
     data = run_once(
-        benchmark, headline_speedups,
+        benchmark, api_session.headline_speedups,
         l1_size_bytes=4096,
         benchmarks=bench_params["benchmarks"],
         max_instructions=bench_params["instructions"],
@@ -41,7 +37,7 @@ def test_headline_speedups(benchmark, report, bench_params):
             >= data["0.09um"]["clgp_over_base_pipelined"] * 0.8)
 
 
-def test_budget_equivalence(benchmark, report, bench_params):
+def test_budget_equivalence(benchmark, api_session, report, bench_params):
     """CLGP with a small L1 versus pipelined caches several times larger."""
     instructions = bench_params["instructions"]
     names = bench_params["benchmarks"]
@@ -51,13 +47,13 @@ def test_budget_equivalence(benchmark, report, bench_params):
             "CLGP+L0+PB16", l1_size_bytes=1024, technology="0.09um",
             max_instructions=instructions)
         out = {"CLGP 1KB (2.5KB budget)": harmonic_mean_ipc(
-            run_benchmarks(clgp_small, names, instructions))}
+            run_plan(api_session, clgp_small, names, instructions))}
         for size in (4096, 16384, 65536):
             config = paper_config("base-pipelined", l1_size_bytes=size,
                                   technology="0.09um",
                                   max_instructions=instructions)
             out[f"pipelined {size // 1024}KB"] = harmonic_mean_ipc(
-                run_benchmarks(config, names, instructions))
+                run_plan(api_session, config, names, instructions))
         return out
 
     ipc = run_once(benchmark, measure)

@@ -7,15 +7,12 @@ schemes -- next-2-line prefetching and target-line prefetching -- next to
 the baseline, FDP and CLGP at the paper's headline design point.
 """
 
-from repro.simulator.config import SimulationConfig
-from repro.simulator.presets import paper_config
-from repro.simulator.runner import run_benchmarks
-from repro.simulator.stats import harmonic_mean_ipc
+from repro.api import SimulationConfig, harmonic_mean_ipc, paper_config
 
-from conftest import run_once
+from conftest import run_once, run_plan
 
 
-def test_related_work_comparison(benchmark, report, bench_params):
+def test_related_work_comparison(benchmark, api_session, report, bench_params):
     instructions = bench_params["instructions"]
     names = bench_params["benchmarks"]
 
@@ -26,7 +23,7 @@ def test_related_work_comparison(benchmark, report, bench_params):
                                   technology="0.045um",
                                   max_instructions=instructions)
             out[scheme] = harmonic_mean_ipc(
-                run_benchmarks(config, names, instructions))
+                run_plan(api_session, config, names, instructions))
         for engine, label, extra in (
             ("next-line", "next-2-line+L0", {"next_line_degree": 2}),
             ("target-line", "target-line+L0", {"next_line_degree": 1}),
@@ -36,7 +33,7 @@ def test_related_work_comparison(benchmark, report, bench_params):
                 l0_enabled=True, max_instructions=instructions,
                 label=label, **extra)
             out[label] = harmonic_mean_ipc(
-                run_benchmarks(config, names, instructions))
+                run_plan(api_session, config, names, instructions))
         return out
 
     ipc = run_once(benchmark, measure)

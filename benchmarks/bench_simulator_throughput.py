@@ -12,9 +12,9 @@ Four dimensions are tracked (each also lands in the session-level
 * per-engine single-run throughput (the event-driven loop is the default;
   ``simulated_instructions_per_second`` is recorded in ``extra_info`` so
   the bench trajectory captures the headline metric directly),
-* multi-benchmark sweep throughput with the parallel runner
-  (``run_benchmarks(..., jobs=N)``), which is how the figure sweeps
-  actually consume the simulator,
+* multi-benchmark sweep throughput with the parallel executor
+  (a façade ``Session.run`` with ``ExecutionOptions(jobs=N)``), which is
+  how the figure sweeps actually consume the simulator,
 * sampled-vs-full comparison: the SimPoint-style sampled runner against
   the full run at the REPRO_BENCH instruction budget, recording the
   wall-clock speedup and the IPC relative error in ``extra_info`` so the
@@ -31,18 +31,16 @@ import time
 
 import pytest
 
+from repro.api import Simulator, paper_config
 from repro.cache import temporary_cache_dir
-from repro.sampling import run_sampled
 from repro.sampling.checkpoint import clear_checkpoint_store
-from repro.simulator.presets import paper_config
 from repro.simulator.runner import (
     bench_instruction_budget,
     clear_process_caches,
     get_workload,
-    run_benchmarks,
-    run_single,
 )
-from repro.simulator.simulator import Simulator
+
+from conftest import run_plan
 
 INSTRUCTIONS = 2000
 
@@ -80,8 +78,8 @@ def test_simulation_throughput(benchmark, scheme, bench_metrics):
 
 
 @pytest.mark.parametrize("jobs", [1, SWEEP_JOBS])
-def test_sweep_throughput(benchmark, jobs, bench_metrics):
-    """Multi-benchmark sweep throughput with the `jobs=` runner knob."""
+def test_sweep_throughput(benchmark, api_session, jobs, bench_metrics):
+    """Multi-benchmark sweep throughput with the `jobs=` execution knob."""
     config = paper_config("CLGP+L0", l1_size_bytes=4096, technology="0.045um",
                           max_instructions=INSTRUCTIONS,
                           warmup_instructions=20_000)
@@ -92,7 +90,8 @@ def test_sweep_throughput(benchmark, jobs, bench_metrics):
         get_workload(name)
 
     def run_sweep():
-        return run_benchmarks(config, SWEEP_BENCHMARKS, INSTRUCTIONS, jobs=jobs)
+        return run_plan(api_session, config, SWEEP_BENCHMARKS, INSTRUCTIONS,
+                        jobs=jobs)
 
     results = benchmark.pedantic(run_sweep, rounds=2, iterations=1,
                                  warmup_rounds=1)
@@ -109,7 +108,8 @@ def test_sweep_throughput(benchmark, jobs, bench_metrics):
 
 
 @pytest.mark.parametrize("scheme", ["CLGP+L0", "base-pipelined"])
-def test_sampled_vs_full(benchmark, scheme, bench_metrics, tmp_path_factory):
+def test_sampled_vs_full(benchmark, api_session, scheme, bench_metrics,
+                         tmp_path_factory):
     """Sampled-run speedup and IPC error versus the full run.
 
     Uses the REPRO_BENCH instruction budget (default 20k -- sampling is
@@ -139,21 +139,22 @@ def test_sampled_vs_full(benchmark, scheme, bench_metrics, tmp_path_factory):
         # the discarded pedantic warm-up round).
         for name in names:
             get_workload(name)
-            run_single(config, name, instructions)
+            run_plan(api_session, config, [name], instructions)
 
         full_seconds = 0.0
         full_results = {}
         for name in names:
             start = time.perf_counter()
-            full_results[name] = run_single(config, name, instructions)
+            full_results[name] = run_plan(api_session, config, [name],
+                                          instructions)[0]
             full_seconds += time.perf_counter() - start
 
         def run_sampled_mix():
             # Per-process caches (selections, functional profiles)
             # persist between rounds -- exactly how a sweep uses the
             # sampled runner.
-            return {name: run_sampled(config, name, instructions)
-                    for name in names}
+            return dict(zip(names, run_plan(api_session, config, names,
+                                            instructions, sampled=True)))
 
         clear_checkpoint_store()
         sampled = benchmark.pedantic(run_sampled_mix, rounds=2, iterations=1,
@@ -181,7 +182,7 @@ def test_sampled_vs_full(benchmark, scheme, bench_metrics, tmp_path_factory):
     }
 
 
-def test_artifact_cache_cold_vs_warm(benchmark, bench_metrics,
+def test_artifact_cache_cold_vs_warm(benchmark, api_session, bench_metrics,
                                      tmp_path_factory):
     """Cold-vs-warm persistent-cache timings for a sampled mix.
 
@@ -198,8 +199,8 @@ def test_artifact_cache_cold_vs_warm(benchmark, bench_metrics,
                           max_instructions=instructions)
 
     def sampled_mix():
-        return {name: run_sampled(config, name, instructions)
-                for name in names}
+        return dict(zip(names, run_plan(api_session, config, names,
+                                        instructions, sampled=True)))
 
     cache_dir = tmp_path_factory.mktemp("artifact-cache")
     with temporary_cache_dir(cache_dir):

@@ -24,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.api import ExecutionOptions, ExperimentPlan, Session
 from repro.simulator.runner import (
     bench_benchmark_names,
     bench_instruction_budget,
@@ -41,6 +42,24 @@ _BENCH_METRICS: dict = {}
 #: Default knobs (kept deliberately small; see module docstring).
 DEFAULT_INSTRUCTIONS = 6000
 DEFAULT_SIZES = (256, 1024, 4096, 16384, 65536)
+
+
+@pytest.fixture(scope="session")
+def api_session():
+    """One :class:`repro.api.Session` shared by every bench of the run
+    (the façade the figure/table benches submit their grids through)."""
+    with Session() as session:
+        yield session
+
+
+def run_plan(session, config, names, instructions, sampled=False, jobs=1):
+    """Run one explicit configuration over several benchmarks through the
+    façade (the bench-side counterpart of the deprecated
+    ``run_benchmarks`` free function)."""
+    plan = ExperimentPlan("bench-mix")
+    for name in names:
+        plan.add(config, name, instructions, sampled=sampled)
+    return session.run(plan, options=ExecutionOptions(jobs=jobs)).results
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,10 @@ IPC table plus two derived observations:
   CLGP configuration ("equivalent performance at N x the hardware budget"),
 * how flat each configuration's curve is (CLGP's insensitivity to L1 size).
 
+Everything runs through one :class:`repro.api.Session`
+(``session.figure5_series`` is the façade's counterpart of the paper's
+Figure 5 grid).
+
 Run:
     python examples/cache_size_sweep.py [0.09um|0.045um] [instructions]
 """
@@ -17,10 +21,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis.figures import figure5_series
-from repro.analysis.metrics import budget_equivalent_size
-from repro.analysis.report import format_ipc_sweep
-from repro.workloads.spec2000 import DEFAULT_MIX
+from repro.api import DEFAULT_MIX, Session, budget_equivalent_size, format_ipc_sweep
 
 SIZES = (256, 1024, 4096, 16384, 65536)
 
@@ -31,12 +32,13 @@ def main() -> int:
 
     print(f"Sweeping L1 sizes {SIZES} at {technology} over {DEFAULT_MIX} "
           f"({instructions} instructions per run) ...\n")
-    series = figure5_series(
-        technology=technology,
-        l1_sizes=SIZES,
-        benchmarks=DEFAULT_MIX,
-        max_instructions=instructions,
-    )
+    with Session() as session:
+        series = session.figure5_series(
+            technology=technology,
+            l1_sizes=SIZES,
+            benchmarks=DEFAULT_MIX,
+            max_instructions=instructions,
+        )
     print(format_ipc_sweep(series, f"Figure 5 reproduction ({technology})"))
 
     # Hardware-budget observation: which pipelined-baseline size matches the

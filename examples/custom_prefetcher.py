@@ -9,22 +9,21 @@ extension points a downstream user has:
 * subclass one of the engines (``CLGPEngine`` here) and override the
   prefetching policy,
 * build the surrounding machine by hand (hierarchy, prediction unit,
-  back-end) exactly as ``repro.simulator.Simulator`` does, or monkey-patch
+  back-end) exactly as ``repro.api.Simulator`` does, or monkey-patch
   the engine into a stock ``Simulator``,
-* compare against the stock engines on the same workload.
+* compare against the stock engines (run through the
+  :class:`repro.api.Session` façade) on the same workload.
 
 Run:
-    python examples/custom_prefetcher.py [benchmark]
+    python examples/custom_prefetcher.py [benchmark] [instructions]
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import paper_config, run_single
-from repro.core.clgp import CLGPEngine
-from repro.simulator.runner import get_workload
-from repro.simulator.simulator import Simulator
+from repro.api import ExperimentSpec, Session, Simulator, paper_config
+from repro.core.clgp import CLGPEngine   # extension point: the engine layer
 
 
 class StreamingPrestager(CLGPEngine):
@@ -68,11 +67,11 @@ class StreamingPrestager(CLGPEngine):
         )
 
 
-def run_custom(benchmark: str, instructions: int):
+def run_custom(session: Session, benchmark: str, instructions: int):
     """Build a stock CLGP+L0 simulator, then swap in the custom engine."""
     config = paper_config("CLGP+L0", l1_size_bytes=4096, technology="0.045um",
                           max_instructions=instructions)
-    workload = get_workload(benchmark)
+    workload = session.workload(benchmark)
     simulator = Simulator(config, workload)
     simulator.engine = StreamingPrestager(
         config.engine_config(), simulator.hierarchy, workload.bbdict
@@ -82,17 +81,19 @@ def run_custom(benchmark: str, instructions: int):
 
 def main() -> int:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "eon"
-    instructions = 8000
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 8000
 
-    stock_fdp = run_single(
-        paper_config("FDP+L0", l1_size_bytes=4096, technology="0.045um",
-                     max_instructions=instructions),
-        benchmark, instructions)
-    stock_clgp = run_single(
-        paper_config("CLGP+L0", l1_size_bytes=4096, technology="0.045um",
-                     max_instructions=instructions),
-        benchmark, instructions)
-    custom = run_custom(benchmark, instructions)
+    with Session() as session:
+        def stock(scheme: str):
+            return session.run(ExperimentSpec(
+                scheme=scheme, benchmarks=benchmark,
+                max_instructions=instructions,
+                technology="0.045um", l1_size_bytes=4096,
+            )).results[0]
+
+        stock_fdp = stock("FDP+L0")
+        stock_clgp = stock("CLGP+L0")
+        custom = run_custom(session, benchmark, instructions)
 
     print(f"benchmark={benchmark}, 4KB L1, 0.045um, {instructions} instructions\n")
     for label, result in (("FDP+L0 (stock)", stock_fdp),

@@ -10,18 +10,18 @@ For FDP and CLGP (with an L0 cache) on one benchmark, prints
   L2, or in main memory),
 
 which together explain *why* CLGP outperforms FDP: more fetches served by
-one-cycle storage, fewer accesses escalating to the slow levels.
+one-cycle storage, fewer accesses escalating to the slow levels.  Both
+runs go through one :class:`repro.api.Session`.
 
 Run:
-    python examples/fetch_source_breakdown.py [benchmark] [l1_size_bytes]
+    python examples/fetch_source_breakdown.py [benchmark] [l1_size_bytes] [instructions]
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import paper_config, run_single
-from repro.memory.hierarchy import FETCH_SOURCES
+from repro.api import FETCH_SOURCES, ExperimentSpec, Session
 
 
 def print_distribution(title: str, distribution: dict) -> None:
@@ -35,20 +35,26 @@ def print_distribution(title: str, distribution: dict) -> None:
 def main() -> int:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
     l1_size = int(sys.argv[2]) if len(sys.argv) > 2 else 4096
-    instructions = 10_000
+    instructions = int(sys.argv[3]) if len(sys.argv) > 3 else 10_000
 
-    for scheme in ("FDP+L0", "CLGP+L0"):
-        config = paper_config(scheme, l1_size_bytes=l1_size,
-                              technology="0.045um",
-                              max_instructions=instructions)
-        result = run_single(config, benchmark, instructions)
-        print(f"\n{scheme} on {benchmark} ({l1_size}B L1, 0.045um): "
-              f"IPC {result.ipc:.3f}")
-        print_distribution("fetch sources (Figure 7)",
-                           result.fetch_source_fractions())
-        print_distribution("prefetch sources (Figure 8)",
-                           result.prefetch_source_fractions())
-        print(f"    one-cycle fetches: {result.one_cycle_fetch_fraction():.1%}")
+    with Session() as session:
+        for scheme in ("FDP+L0", "CLGP+L0"):
+            spec = ExperimentSpec(
+                scheme=scheme,
+                benchmarks=benchmark,
+                max_instructions=instructions,
+                technology="0.045um",
+                l1_size_bytes=l1_size,
+            )
+            result = session.run(spec).results[0]
+            print(f"\n{scheme} on {benchmark} ({l1_size}B L1, 0.045um): "
+                  f"IPC {result.ipc:.3f}")
+            print_distribution("fetch sources (Figure 7)",
+                               result.fetch_source_fractions())
+            print_distribution("prefetch sources (Figure 8)",
+                               result.prefetch_source_fractions())
+            print(f"    one-cycle fetches: "
+                  f"{result.one_cycle_fetch_fraction():.1%}")
     return 0
 
 

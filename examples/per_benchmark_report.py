@@ -2,10 +2,11 @@
 """Per-benchmark comparison across the SPECint2000 suite (Figure 6 style).
 
 Runs the pipelined baseline, FDP+L0+PB:16 and CLGP+L0+PB:16 on every
-synthetic SPECint2000 benchmark (8 KB L1, 0.045 um), prints the per-
-benchmark IPC table with the harmonic mean, and highlights where CLGP wins
-and loses -- in the paper, CLGP is best everywhere except gzip, with the
-biggest gains on eon, vortex and gap.
+synthetic SPECint2000 benchmark (8 KB L1, 0.045 um) through one
+:class:`repro.api.Session`, prints the per-benchmark IPC table with the
+harmonic mean, and highlights where CLGP wins and loses -- in the paper,
+CLGP is best everywhere except gzip, with the biggest gains on eon,
+vortex and gap.
 
 Run:
     python examples/per_benchmark_report.py [instructions] [benchmarks...]
@@ -15,9 +16,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis.figures import figure6_series
-from repro.analysis.report import format_per_benchmark
-from repro.workloads.spec2000 import SPECINT2000_NAMES
+from repro.api import SPECINT2000_NAMES, Session, format_per_benchmark
 
 
 def main() -> int:
@@ -26,10 +25,11 @@ def main() -> int:
 
     print(f"Running {len(names)} benchmarks x 3 configurations "
           f"({instructions} instructions each) ...\n")
-    series = figure6_series(
-        technology="0.045um", l1_size_bytes=8192,
-        benchmarks=names, max_instructions=instructions,
-    )
+    with Session() as session:
+        series = session.figure6_series(
+            technology="0.045um", l1_size_bytes=8192,
+            benchmarks=names, max_instructions=instructions,
+        )
     print(format_per_benchmark(
         series, "Figure 6 reproduction: per-benchmark IPC (8KB L1, 0.045um)"))
 

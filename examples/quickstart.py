@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Quickstart: simulate CLGP and its competitors on one benchmark.
 
-Builds the paper's main configurations at a single design point (4 KB L1
-I-cache, 0.045 um technology), runs each on the synthetic 'gcc' workload
-and prints IPC, the stream-misprediction rate and the fraction of fetches
-served by one-cycle storage -- the quantities the paper's argument rests
-on.
+Opens a :class:`repro.api.Session` (the toolkit's one front door), builds
+the paper's main configurations at a single design point (4 KB L1
+I-cache, 0.045 um technology) as :class:`~repro.api.ExperimentSpec`
+requests, runs each on the synthetic 'gcc' workload and prints IPC, the
+stream-misprediction rate and the fraction of fetches served by
+one-cycle storage -- the quantities the paper's argument rests on.
 
 Run:
     python examples/quickstart.py [benchmark] [instructions]
@@ -15,7 +16,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import paper_config, run_single
+from repro.api import ExperimentSpec, Session
 
 SCHEMES = (
     "base",            # blocking multi-cycle L1, no prefetching
@@ -39,18 +40,24 @@ def main() -> int:
     print("-" * 60)
 
     baseline_ipc = None
-    for scheme in SCHEMES:
-        config = paper_config(scheme, l1_size_bytes=4096,
-                              technology="0.045um",
-                              max_instructions=instructions)
-        result = run_single(config, benchmark, instructions)
-        if scheme == "base-pipelined":
-            baseline_ipc = result.ipc
-        speedup = (f"  ({result.ipc / baseline_ipc - 1.0:+.1%} vs pipelined)"
-                   if baseline_ipc and scheme.startswith("CLGP") else "")
-        print(f"{scheme:>16s} | {result.ipc:6.3f} | "
-              f"{result.misprediction_rate:10.1%} | "
-              f"{result.one_cycle_fetch_fraction():15.1%}{speedup}")
+    with Session() as session:
+        for scheme in SCHEMES:
+            spec = ExperimentSpec(
+                scheme=scheme,
+                benchmarks=benchmark,
+                max_instructions=instructions,
+                technology="0.045um",
+                l1_size_bytes=4096,
+            )
+            result = session.run(spec).results[0]
+            if scheme == "base-pipelined":
+                baseline_ipc = result.ipc
+            speedup = (
+                f"  ({result.ipc / baseline_ipc - 1.0:+.1%} vs pipelined)"
+                if baseline_ipc and scheme.startswith("CLGP") else "")
+            print(f"{scheme:>16s} | {result.ipc:6.3f} | "
+                  f"{result.misprediction_rate:10.1%} | "
+                  f"{result.one_cycle_fetch_fraction():15.1%}{speedup}")
     return 0
 
 

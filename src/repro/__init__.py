@@ -7,11 +7,18 @@ decoupled-front-end simulator with synthetic SPECint2000-like workloads.
 
 Quickstart
 ----------
->>> from repro import paper_config, run_single
->>> config = paper_config("CLGP+L0", l1_size_bytes=4096, technology="0.045um")
->>> result = run_single(config, "gcc", max_instructions=5000)
->>> result.ipc > 0
+The supported entry point is the :mod:`repro.api` façade:
+
+>>> from repro.api import ExperimentSpec, Session
+>>> with Session() as session:
+...     result = session.run(ExperimentSpec("CLGP+L0", "gcc",
+...                                         max_instructions=5000))
+>>> result.results[0].ipc > 0
 True
+
+The free functions re-exported below (``run_single``, ``run_benchmarks``,
+``run_mix``) are deprecated shims over that façade; they keep working but
+emit ``DeprecationWarning``.
 """
 
 from .simulator import (

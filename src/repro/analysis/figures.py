@@ -1,101 +1,58 @@
-"""Data-series builders for every figure in the paper's evaluation.
+"""Deprecated free-function figure builders.
 
-Each ``figureN_series`` function declares the simulations it needs as a
-flat :class:`~repro.simulator.plan.ExperimentPlan` of typed tasks, runs
-the plan through the one executor (``jobs=N`` fans the whole grid out
-over a process pool; ``sampled=True`` switches every task to SimPoint
-style sampled simulation), and regroups the results into plain
-dictionaries shaped like the corresponding figure:
+.. deprecated:: 1.1
+    The data-series builders live in :mod:`repro.api.experiments` and
+    are called through :class:`repro.api.Session`
+    (``session.figure5_series(...)``), which owns the jobs/pool/cache
+    policy the old ``jobs=``/``sampled=`` kwargs re-wired per call.
+
+Every ``figureN_series`` function below (plus ``headline_speedups`` and
+``ablation_series``) still works with its historical signature: it emits
+a ``DeprecationWarning`` naming its replacement and delegates to the
+default :class:`~repro.api.session.Session`, so results are identical to
+the façade path.  Returned shapes are unchanged:
 
 * Figures 1, 2(b), 4(b), 5(a), 5(b): ``{scheme: {l1_size: hmean_ipc}}``
 * Figure 6: ``{benchmark: {scheme: ipc}}``
-* Figures 7(a), 7(b): ``{scheme: {l1_size: {source: fraction}}}``
-* Figure 8: ``{scheme: {l1_size: {source: fraction}}}``
-
-The benchmark harness prints these series (see ``benchmarks/``), the
-examples reuse them, and EXPERIMENTS.md records representative outputs.
-All functions accept ``benchmarks`` / ``l1_sizes`` / ``max_instructions``
-overrides so the pure-Python simulation cost can be tuned.
+* Figures 7(a), 7(b), 8: ``{scheme: {l1_size: {source: fraction}}}``
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from ..simulator.plan import ExperimentPlan
-from ..simulator.presets import (
-    FIGURE1_SCHEMES,
-    FIGURE5_SCHEMES,
-    FIGURE6_SCHEMES,
-    paper_config,
-)
-from ..simulator.stats import (
-    aggregate_fetch_sources,
-    aggregate_prefetch_sources,
-    harmonic_mean_ipc,
-)
-from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES
+from ..api.experiments import DEFAULT_SWEEP_SIZES   # re-export (legacy name)
 
-#: Default (reduced) L1 size sweep used when the caller does not override
-#: it; the paper sweeps nine sizes from 256 B to 64 KB.
-DEFAULT_SWEEP_SIZES: Sequence[int] = (256, 1024, 4096, 16384, 65536)
+__all__ = [
+    "DEFAULT_SWEEP_SIZES",
+    "ablation_series",
+    "figure1_series",
+    "figure2_series",
+    "figure4_series",
+    "figure5_series",
+    "figure6_series",
+    "figure7_series",
+    "figure8_series",
+    "headline_speedups",
+]
 
 
-def _scheme_size_plan(
-    name: str,
-    schemes: Sequence[str],
-    technology: object,
-    l1_sizes: Sequence[int],
-    benchmarks: Sequence[str],
-    max_instructions: int,
-    sampled: bool = False,
-    sampling=None,
-    **config_overrides,
-) -> ExperimentPlan:
-    """Flat (scheme x size x benchmark) task grid keyed by (scheme, size)."""
-    plan = ExperimentPlan(name)
-    for scheme in schemes:
-        for size in l1_sizes:
-            config = paper_config(
-                scheme,
-                l1_size_bytes=size,
-                technology=technology,
-                max_instructions=max_instructions,
-                **config_overrides,
-            )
-            for benchmark in benchmarks:
-                plan.add(config, benchmark, max_instructions,
-                         key=(scheme, size),
-                         sampled=sampled, sampling=sampling)
-    return plan
+def _delegate(name: str, jobs: int, sampled: bool, sampling, kwargs):
+    """Warn and forward one legacy builder call to the default session."""
+    from ..api._deprecation import warn_legacy
+    from ..api.session import default_session
+    from ..api.spec import ExecutionOptions
+    from ..simulator.runner import resolve_jobs
+
+    warn_legacy(f"repro.analysis.figures.{name}",
+                f"repro.api.Session.{name}", stacklevel=4)
+    # resolve_jobs keeps the legacy contract: None/0 = all cores (inside
+    # ExecutionOptions a None would mean "inherit the session default").
+    options = ExecutionOptions(jobs=resolve_jobs(jobs), sampled=sampled,
+                               sampling=sampling)
+    return getattr(default_session(), name)(options=options, **kwargs)
 
 
-def _scheme_sweep(
-    name: str,
-    schemes: Sequence[str],
-    technology: object,
-    l1_sizes: Sequence[int],
-    benchmarks: Sequence[str],
-    max_instructions: int,
-    jobs: int = 1,
-    sampled: bool = False,
-    sampling=None,
-    **config_overrides,
-) -> Dict[str, Dict[int, float]]:
-    """Harmonic-mean IPC for each scheme at each L1 size."""
-    plan = _scheme_size_plan(
-        name, schemes, technology, l1_sizes, benchmarks, max_instructions,
-        sampled=sampled, sampling=sampling, **config_overrides,
-    )
-    series: Dict[str, Dict[int, float]] = {scheme: {} for scheme in schemes}
-    for (scheme, size), hmean in plan.run(jobs=jobs).hmean_by_key().items():
-        series[scheme][size] = hmean
-    return series
-
-
-# ----------------------------------------------------------------------
-# Figure 1: effect of the L1 I-cache latency (no prefetching)
-# ----------------------------------------------------------------------
 def figure1_series(
     technology: object = "0.045um",
     l1_sizes: Optional[Sequence[int]] = None,
@@ -105,20 +62,11 @@ def figure1_series(
     sampled: bool = False,
     sampling=None,
 ) -> Dict[str, Dict[int, float]]:
-    return _scheme_sweep(
-        "figure1",
-        FIGURE1_SCHEMES,
-        technology,
-        list(l1_sizes or DEFAULT_SWEEP_SIZES),
-        list(benchmarks or DEFAULT_MIX),
-        max_instructions,
-        jobs=jobs, sampled=sampled, sampling=sampling,
-    )
+    return _delegate("figure1_series", jobs, sampled, sampling, dict(
+        technology=technology, l1_sizes=l1_sizes, benchmarks=benchmarks,
+        max_instructions=max_instructions))
 
 
-# ----------------------------------------------------------------------
-# Figure 2(b): FDP with and without an L0 cache
-# ----------------------------------------------------------------------
 def figure2_series(
     technology: object = "0.045um",
     l1_sizes: Optional[Sequence[int]] = None,
@@ -128,20 +76,11 @@ def figure2_series(
     sampled: bool = False,
     sampling=None,
 ) -> Dict[str, Dict[int, float]]:
-    return _scheme_sweep(
-        "figure2",
-        ("FDP", "FDP+L0"),
-        technology,
-        list(l1_sizes or DEFAULT_SWEEP_SIZES),
-        list(benchmarks or DEFAULT_MIX),
-        max_instructions,
-        jobs=jobs, sampled=sampled, sampling=sampling,
-    )
+    return _delegate("figure2_series", jobs, sampled, sampling, dict(
+        technology=technology, l1_sizes=l1_sizes, benchmarks=benchmarks,
+        max_instructions=max_instructions))
 
 
-# ----------------------------------------------------------------------
-# Figure 4(b): CLGP with and without an L0 cache
-# ----------------------------------------------------------------------
 def figure4_series(
     technology: object = "0.045um",
     l1_sizes: Optional[Sequence[int]] = None,
@@ -151,20 +90,11 @@ def figure4_series(
     sampled: bool = False,
     sampling=None,
 ) -> Dict[str, Dict[int, float]]:
-    return _scheme_sweep(
-        "figure4",
-        ("CLGP", "CLGP+L0"),
-        technology,
-        list(l1_sizes or DEFAULT_SWEEP_SIZES),
-        list(benchmarks or DEFAULT_MIX),
-        max_instructions,
-        jobs=jobs, sampled=sampled, sampling=sampling,
-    )
+    return _delegate("figure4_series", jobs, sampled, sampling, dict(
+        technology=technology, l1_sizes=l1_sizes, benchmarks=benchmarks,
+        max_instructions=max_instructions))
 
 
-# ----------------------------------------------------------------------
-# Figure 5: the six main configurations at both technology nodes
-# ----------------------------------------------------------------------
 def figure5_series(
     technology: object = "0.045um",
     l1_sizes: Optional[Sequence[int]] = None,
@@ -174,20 +104,11 @@ def figure5_series(
     sampled: bool = False,
     sampling=None,
 ) -> Dict[str, Dict[int, float]]:
-    return _scheme_sweep(
-        "figure5",
-        FIGURE5_SCHEMES,
-        technology,
-        list(l1_sizes or DEFAULT_SWEEP_SIZES),
-        list(benchmarks or DEFAULT_MIX),
-        max_instructions,
-        jobs=jobs, sampled=sampled, sampling=sampling,
-    )
+    return _delegate("figure5_series", jobs, sampled, sampling, dict(
+        technology=technology, l1_sizes=l1_sizes, benchmarks=benchmarks,
+        max_instructions=max_instructions))
 
 
-# ----------------------------------------------------------------------
-# Figure 6: per-benchmark IPC for the best configurations (8KB, 0.045um)
-# ----------------------------------------------------------------------
 def figure6_series(
     technology: object = "0.045um",
     l1_size_bytes: int = 8192,
@@ -197,31 +118,11 @@ def figure6_series(
     sampled: bool = False,
     sampling=None,
 ) -> Dict[str, Dict[str, float]]:
-    names = list(benchmarks or SPECINT2000_NAMES)
-    plan = ExperimentPlan("figure6")
-    for scheme in FIGURE6_SCHEMES:
-        config = paper_config(
-            scheme,
-            l1_size_bytes=l1_size_bytes,
-            technology=technology,
-            max_instructions=max_instructions,
-        )
-        for benchmark in names:
-            plan.add(config, benchmark, max_instructions, key=(scheme,),
-                     sampled=sampled, sampling=sampling)
-    out: Dict[str, Dict[str, float]] = {name: {} for name in names}
-    hmean: Dict[str, float] = {}
-    for (scheme,), results in plan.run(jobs=jobs).by_key().items():
-        for result in results:
-            out[result.workload][scheme] = result.ipc
-        hmean[scheme] = harmonic_mean_ipc(results)
-    out["HMEAN"] = hmean
-    return out
+    return _delegate("figure6_series", jobs, sampled, sampling, dict(
+        technology=technology, l1_size_bytes=l1_size_bytes,
+        benchmarks=benchmarks, max_instructions=max_instructions))
 
 
-# ----------------------------------------------------------------------
-# Figure 7: fetch-source distribution (FDP vs CLGP, with/without L0)
-# ----------------------------------------------------------------------
 def figure7_series(
     with_l0: bool,
     technology: object = "0.045um",
@@ -232,24 +133,11 @@ def figure7_series(
     sampled: bool = False,
     sampling=None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
-    schemes = ("FDP+L0", "CLGP+L0") if with_l0 else ("FDP", "CLGP")
-    plan = _scheme_size_plan(
-        "figure7",
-        schemes, technology,
-        list(l1_sizes or DEFAULT_SWEEP_SIZES),
-        list(benchmarks or DEFAULT_MIX),
-        max_instructions,
-        sampled=sampled, sampling=sampling,
-    )
-    out: Dict[str, Dict[int, Dict[str, float]]] = {s: {} for s in schemes}
-    for (scheme, size), results in plan.run(jobs=jobs).by_key().items():
-        out[scheme][size] = aggregate_fetch_sources(results)
-    return out
+    return _delegate("figure7_series", jobs, sampled, sampling, dict(
+        with_l0=with_l0, technology=technology, l1_sizes=l1_sizes,
+        benchmarks=benchmarks, max_instructions=max_instructions))
 
 
-# ----------------------------------------------------------------------
-# Figure 8: prefetch-source distribution (FDP vs CLGP)
-# ----------------------------------------------------------------------
 def figure8_series(
     technology: object = "0.045um",
     l1_sizes: Optional[Sequence[int]] = None,
@@ -259,24 +147,11 @@ def figure8_series(
     sampled: bool = False,
     sampling=None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
-    schemes = ("FDP", "CLGP")
-    plan = _scheme_size_plan(
-        "figure8",
-        schemes, technology,
-        list(l1_sizes or DEFAULT_SWEEP_SIZES),
-        list(benchmarks or DEFAULT_MIX),
-        max_instructions,
-        sampled=sampled, sampling=sampling,
-    )
-    out: Dict[str, Dict[int, Dict[str, float]]] = {s: {} for s in schemes}
-    for (scheme, size), results in plan.run(jobs=jobs).by_key().items():
-        out[scheme][size] = aggregate_prefetch_sources(results)
-    return out
+    return _delegate("figure8_series", jobs, sampled, sampling, dict(
+        technology=technology, l1_sizes=l1_sizes, benchmarks=benchmarks,
+        max_instructions=max_instructions))
 
 
-# ----------------------------------------------------------------------
-# Headline speedups (Section 5.1)
-# ----------------------------------------------------------------------
 def headline_speedups(
     l1_size_bytes: int = 4096,
     benchmarks: Optional[Sequence[str]] = None,
@@ -285,43 +160,12 @@ def headline_speedups(
     sampled: bool = False,
     sampling=None,
 ) -> Dict[str, Dict[str, float]]:
-    """CLGP-vs-FDP and CLGP-vs-pipelined-baseline speedups at both nodes.
-
-    Returns ``{tech_name: {"clgp_over_fdp": x, "clgp_over_base_pipelined": y,
-    "ipc": {scheme: ipc}}}``.
-    """
-    names = list(benchmarks or DEFAULT_MIX)
-    plan = ExperimentPlan("headline-speedups")
-    for technology in ("0.09um", "0.045um"):
-        for scheme in ("CLGP+L0+PB16", "FDP+L0+PB16", "base-pipelined"):
-            config = paper_config(
-                scheme, l1_size_bytes=l1_size_bytes, technology=technology,
-                max_instructions=max_instructions,
-            )
-            for benchmark in names:
-                plan.add(config, benchmark, max_instructions,
-                         key=(technology, scheme),
-                         sampled=sampled, sampling=sampling)
-    ipc_by_key = plan.run(jobs=jobs).hmean_by_key()
-    out: Dict[str, Dict[str, float]] = {}
-    for technology in ("0.09um", "0.045um"):
-        ipc = {
-            scheme: ipc_by_key[(technology, scheme)]
-            for scheme in ("CLGP+L0+PB16", "FDP+L0+PB16", "base-pipelined")
-        }
-        out[technology] = {
-            "clgp_over_fdp": ipc["CLGP+L0+PB16"] / ipc["FDP+L0+PB16"] - 1.0
-            if ipc["FDP+L0+PB16"] else 0.0,
-            "clgp_over_base_pipelined": ipc["CLGP+L0+PB16"] / ipc["base-pipelined"] - 1.0
-            if ipc["base-pipelined"] else 0.0,
-            "ipc": ipc,
-        }
-    return out
+    """CLGP-vs-FDP and CLGP-vs-pipelined-baseline speedups at both nodes."""
+    return _delegate("headline_speedups", jobs, sampled, sampling, dict(
+        l1_size_bytes=l1_size_bytes, benchmarks=benchmarks,
+        max_instructions=max_instructions))
 
 
-# ----------------------------------------------------------------------
-# CLGP design-choice ablations (DESIGN.md section 5)
-# ----------------------------------------------------------------------
 def ablation_series(
     technology: object = "0.045um",
     l1_size_bytes: int = 4096,
@@ -330,29 +174,6 @@ def ablation_series(
     jobs: int = 1,
 ) -> Dict[str, float]:
     """Harmonic-mean IPC of CLGP+L0 with individual design choices reverted."""
-    names = list(benchmarks or DEFAULT_MIX)
-    variants = {
-        "CLGP+L0 (full)": {},
-        "CLGP+L0 free-on-use": {"clgp_free_on_use": True},
-        "CLGP+L0 copy-to-cache": {"clgp_copy_to_cache": True},
-        "CLGP+L0 with filtering": {"clgp_use_filtering": True},
-        "FDP+L0 (reference)": None,
-    }
-    plan = ExperimentPlan("ablations")
-    for label, overrides in variants.items():
-        if overrides is None:
-            config = paper_config(
-                "FDP+L0", l1_size_bytes=l1_size_bytes, technology=technology,
-                max_instructions=max_instructions,
-            )
-        else:
-            config = paper_config(
-                "CLGP+L0", l1_size_bytes=l1_size_bytes, technology=technology,
-                max_instructions=max_instructions, **overrides,
-            )
-        for benchmark in names:
-            plan.add(config, benchmark, max_instructions, key=(label,))
-    return {
-        key[0]: hmean
-        for key, hmean in plan.run(jobs=jobs).hmean_by_key().items()
-    }
+    return _delegate("ablation_series", jobs, False, None, dict(
+        technology=technology, l1_size_bytes=l1_size_bytes,
+        benchmarks=benchmarks, max_instructions=max_instructions))

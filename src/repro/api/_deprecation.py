@@ -1,0 +1,22 @@
+"""One helper for the toolkit's deprecation story.
+
+Every pre-façade entry point (free-function runners, figure builders,
+``run_sampled``) still works but funnels through :func:`warn_legacy`, so
+each emits one ``DeprecationWarning`` naming its :mod:`repro.api`
+replacement.  ``stacklevel=3`` points the warning at the *caller* of the
+shim, not the shim body.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_legacy(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a legacy entry point."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        "(the repro.api Session facade is the supported entry point)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

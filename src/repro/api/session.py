@@ -1,0 +1,454 @@
+"""The :class:`Session` façade: submit experiments, observe run handles.
+
+**v1 stability contract**: ``Session`` construction arguments, the
+``submit``/``run`` entry points, the :class:`RunHandle` surface
+(``status``/``progress``/``events``/``result``/``cancel``) and the
+:class:`ProgressEvent` fields are stable.  New methods and event fields
+may be added; none of the above is repurposed or removed within v1.
+
+A session owns execution policy -- worker-process count, the shared pool
+lifecycle, artifact-cache directory/enable, and the workload registry --
+so callers describe experiments (:class:`~repro.api.spec.ExperimentSpec`)
+instead of re-wiring jobs/cache/pool plumbing per call:
+
+>>> from repro.api import ExperimentSpec, Session
+>>> with Session(jobs=0) as session:            # doctest: +SKIP
+...     handle = session.submit(ExperimentSpec("CLGP+L0", "gcc",
+...                                            max_instructions=5000))
+...     for event in handle.events():
+...         print(event.completed, "/", event.total)
+...     result = handle.result()
+
+Submissions execute on a background thread over the one task executor
+(:func:`repro.simulator.runner.iter_task_results`); handles stream
+per-task progress events (count, benchmark, wall-clock seconds, artifact
+cache hits), block on :meth:`RunHandle.result`, and can be cancelled.
+One session serializes its submissions (the shared pool and the workers'
+in-memory caches are reused across them, exactly like consecutive
+``ExperimentPlan.run`` calls).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..cache.store import configure, restore_configuration, snapshot_configuration
+from ..simulator.plan import ExperimentPlan, PlanResults
+from ..simulator.runner import (
+    get_workload,
+    iter_task_results,
+    resolve_jobs,
+    shutdown_pool,
+)
+from ..workloads.spec2000 import SPECINT2000_NAMES
+from ..workloads.trace import Workload
+from .spec import DEFAULT_OPTIONS, ExecutionOptions, ExperimentSpec
+
+#: Handle states; ``done``/``failed``/``cancelled`` are terminal.
+RUN_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+#: One execution at a time per process: the shared worker pool and the
+#: artifact-cache configuration are process-level state, so executions
+#: from *all* sessions serialize on this lock (a cancelled run tearing
+#: its pool down can therefore never strand another session's sweep).
+_EXECUTION_LOCK = threading.Lock()
+
+
+class RunCancelled(RuntimeError):
+    """Raised by :meth:`RunHandle.result` after a successful cancel."""
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One observation of a run's progress.
+
+    ``kind`` is ``"submitted"``, ``"started"``, ``"task"`` (one finished
+    simulation; carries ``benchmark``/``key``/``seconds``/``cache_hits``),
+    or the terminal ``"done"``/``"failed"``/``"cancelled"``.
+    ``completed`` counts finished tasks and is monotonically
+    non-decreasing across a handle's event stream.
+    """
+
+    kind: str
+    completed: int
+    total: int
+    benchmark: Optional[str] = None
+    key: Optional[tuple] = None
+    seconds: Optional[float] = None
+    cache_hits: Optional[int] = None
+
+
+@dataclass
+class RunResult(PlanResults):
+    """An executed submission: aligned tasks/results plus run metadata.
+
+    Inherits the regrouping helpers (``by_key``, ``hmean_by_key``,
+    iteration in task order) from :class:`PlanResults`.
+    """
+
+    elapsed_seconds: float = 0.0
+    cache_hits: int = 0
+
+
+class RunHandle:
+    """Observable handle for one submitted experiment plan.
+
+    Returned by :meth:`Session.submit`; thread-safe.  ``events()`` is a
+    single-consumer stream (each event is delivered once); the complete
+    log remains available as :attr:`event_log` afterwards.
+    """
+
+    def __init__(self, session: "Session", plan: ExperimentPlan,
+                 options: ExecutionOptions, jobs: int) -> None:
+        self._session = session
+        self._plan = plan
+        self._options = options
+        self._jobs = jobs
+        self._status = "queued"
+        self._completed = 0
+        self._total = len(plan)
+        self._result: Optional[RunResult] = None
+        self._error: Optional[BaseException] = None
+        # Reentrant: listeners run under the lock (so late attachers can
+        # replay the log without missing or duplicating events) and may
+        # themselves call cancel(), which takes the lock again.
+        self._lock = threading.RLock()
+        self._done = threading.Event()
+        self._cancel = threading.Event()
+        self._queue: "queue.Queue[Optional[ProgressEvent]]" = queue.Queue()
+        self._listeners: List[Callable[[ProgressEvent], None]] = []
+        #: Every event emitted so far, in emission order.
+        self.event_log: List[ProgressEvent] = []
+
+    # -- observation ------------------------------------------------------
+    @property
+    def plan(self) -> ExperimentPlan:
+        return self._plan
+
+    def status(self) -> str:
+        """One of :data:`RUN_STATUSES`."""
+        return self._status
+
+    def progress(self) -> Tuple[int, int]:
+        """``(tasks completed, tasks total)``."""
+        return self._completed, self._total
+
+    def add_listener(self, listener: Callable[[ProgressEvent], None]) -> None:
+        """Invoke ``listener(event)`` for every event of the run.
+
+        Events emitted before the listener attached are replayed to it
+        immediately (in order), so late attachers see the complete
+        stream exactly once; subsequent events are delivered from the
+        executor thread, synchronously between tasks.
+        """
+        with self._lock:
+            for event in self.event_log:
+                listener(event)
+            self._listeners.append(listener)
+
+    def events(self) -> Iterator[ProgressEvent]:
+        """Yield progress events as they arrive, ending after the
+        terminal event.  Single consumer; see :attr:`event_log` for the
+        full history."""
+        while True:
+            event = self._queue.get()
+            if event is None:
+                return
+            yield event
+
+    # -- completion -------------------------------------------------------
+    def result(self, timeout: Optional[float] = None) -> RunResult:
+        """Block until the run finishes and return its :class:`RunResult`.
+
+        Raises :class:`TimeoutError` if ``timeout`` elapses first,
+        :class:`RunCancelled` if the run was cancelled, or the original
+        exception if the run failed.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"run {self._plan.name!r} still {self._status} "
+                f"after {timeout}s")
+        if self._status == "cancelled":
+            raise RunCancelled(f"run {self._plan.name!r} was cancelled")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns ``False`` if already finished.
+
+        Queued runs never start; running ones stop at the next task
+        boundary (pool runs additionally tear down outstanding chunks).
+        """
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self._cancel.set()
+            return True
+
+    # -- executor side ----------------------------------------------------
+    def _emit(self, kind: str, **fields) -> None:
+        event = ProgressEvent(kind=kind, completed=self._completed,
+                              total=self._total, **fields)
+        with self._lock:
+            self.event_log.append(event)
+            self._queue.put(event)
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(event)
+        if kind in ("done", "failed", "cancelled"):
+            self._queue.put(None)   # wake events() consumers
+
+    def _finish(self, status: str) -> None:
+        with self._lock:
+            self._status = status
+            self._done.set()
+        self._emit(status)
+
+
+class Session:
+    """One front door for running experiments; usable as a context manager.
+
+    Owns the execution policy every submission inherits:
+
+    * ``jobs`` -- worker processes for the simulation grid (``0``/``None``
+      = all cores, ``1`` = inline).  The shared multiprocessing pool is
+      reused across submissions and torn down by :meth:`close` /
+      ``__exit__``.
+    * ``cache_dir`` / ``cache`` -- artifact-cache root and enable flag;
+      applied for the session's lifetime and restored on close
+      (``None`` inherits environment/defaults).
+    * the workload registry -- :meth:`workload` builds (once per process)
+      and returns any registered synthetic benchmark.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
+                 cache: Optional[bool] = None) -> None:
+        resolve_jobs(jobs)   # validate eagerly (0/None = all cores)
+        self._jobs = jobs
+        self._closed = False
+        self._used_pool = False
+        # Executions are serialized process-wide (not per session): the
+        # shared pool and the artifact-cache configuration behind them
+        # are process-level resources, so overlapping sessions take
+        # turns rather than trampling each other's pool/cache state.
+        self._exec_lock = _EXECUTION_LOCK
+        self._cache_dir = cache_dir
+        self._cache = cache
+        self._cache_snapshot = None
+        if cache_dir is not None or cache is not None:
+            # Apply eagerly so ambient reads inside `with Session(...)`
+            # (e.g. `repro-clgp cache ls --cache-dir X`) see the
+            # session's store; every execution re-applies these settings
+            # itself, so a concurrently-constructed session cannot
+            # redirect this session's runs.
+            self._cache_snapshot = snapshot_configuration()
+            configure(cache_dir=cache_dir, enabled=cache)
+
+    # -- lifecycle --------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def close(self) -> None:
+        """Finish outstanding submissions, shut the shared pool down (if
+        this session fanned out), and restore the cache configuration."""
+        if self._closed:
+            return
+        with self._exec_lock:   # wait for the running submission
+            self._closed = True
+        if self._used_pool:
+            shutdown_pool()
+        if self._cache_snapshot is not None:
+            restore_configuration(self._cache_snapshot)
+            self._cache_snapshot = None
+
+    # -- workload registry --------------------------------------------------
+    def workloads(self) -> Tuple[str, ...]:
+        """Names of every registered synthetic benchmark."""
+        return tuple(SPECINT2000_NAMES)
+
+    def workload(self, name: str) -> Workload:
+        """Build (or fetch from the per-process cache) one benchmark."""
+        return get_workload(name)
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        spec: Union[ExperimentSpec, ExperimentPlan],
+        options: Optional[ExecutionOptions] = None,
+    ) -> RunHandle:
+        """Submit a spec (or a hand-built plan) for execution.
+
+        Returns immediately with a :class:`RunHandle`; execution happens
+        on a background thread, serialized with the session's other
+        submissions.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if options is None:
+            options = DEFAULT_OPTIONS
+        if isinstance(spec, ExperimentSpec):
+            plan = spec.to_plan(sampled=options.sampled,
+                                sampling=options.sampling)
+        elif isinstance(spec, ExperimentPlan):
+            plan = spec
+        else:
+            raise TypeError(
+                "submit() takes an ExperimentSpec or an ExperimentPlan, "
+                f"not {type(spec).__name__}")
+        jobs = resolve_jobs(self._jobs if options.jobs is None
+                            else options.jobs)
+        if jobs > 1 and len(plan) > 1:
+            self._used_pool = True
+        handle = RunHandle(self, plan, options, jobs)
+        handle._emit("submitted")
+        thread = threading.Thread(
+            target=self._execute, args=(handle,),
+            name=f"repro-api-{plan.name or 'run'}", daemon=True,
+        )
+        thread.start()
+        return handle
+
+    def run(
+        self,
+        spec: Union[ExperimentSpec, ExperimentPlan],
+        options: Optional[ExecutionOptions] = None,
+    ) -> RunResult:
+        """Submit and block: ``submit(spec, options).result()``."""
+        return self.submit(spec, options=options).result()
+
+    # -- paper experiments (see repro.api.experiments for shapes) ---------
+    def figure1_series(self, **kwargs) -> Dict[str, Dict[int, float]]:
+        from . import experiments
+        return experiments.figure1_series(self, **kwargs)
+
+    def figure2_series(self, **kwargs) -> Dict[str, Dict[int, float]]:
+        from . import experiments
+        return experiments.figure2_series(self, **kwargs)
+
+    def figure4_series(self, **kwargs) -> Dict[str, Dict[int, float]]:
+        from . import experiments
+        return experiments.figure4_series(self, **kwargs)
+
+    def figure5_series(self, **kwargs) -> Dict[str, Dict[int, float]]:
+        from . import experiments
+        return experiments.figure5_series(self, **kwargs)
+
+    def figure6_series(self, **kwargs) -> Dict[str, Dict[str, float]]:
+        from . import experiments
+        return experiments.figure6_series(self, **kwargs)
+
+    def figure7_series(self, with_l0: bool, **kwargs):
+        from . import experiments
+        return experiments.figure7_series(self, with_l0, **kwargs)
+
+    def figure8_series(self, **kwargs):
+        from . import experiments
+        return experiments.figure8_series(self, **kwargs)
+
+    def headline_speedups(self, **kwargs) -> Dict[str, Dict[str, float]]:
+        from . import experiments
+        return experiments.headline_speedups(self, **kwargs)
+
+    def ablation_series(self, **kwargs) -> Dict[str, float]:
+        from . import experiments
+        return experiments.ablation_series(self, **kwargs)
+
+    # -- executor -----------------------------------------------------------
+    def _execute(self, handle: RunHandle) -> None:
+        import time
+
+        with self._exec_lock:
+            if handle._cancel.is_set():
+                handle._finish("cancelled")
+                return
+            if self._closed:
+                handle._error = RuntimeError(
+                    "session closed before the run started")
+                handle._finish("failed")
+                return
+            options = handle._options
+            cache_snapshot = None
+            # Scope the cache policy to this execution: session settings
+            # first, per-call options layered on top, previous state
+            # restored afterwards -- so concurrent sessions each run
+            # against their own store even though the configuration
+            # itself is process-global.
+            layers = (self._cache_dir, self._cache,
+                      options.cache_dir, options.cache)
+            if any(value is not None for value in layers):
+                cache_snapshot = snapshot_configuration()
+                if self._cache_dir is not None or self._cache is not None:
+                    configure(cache_dir=self._cache_dir, enabled=self._cache)
+                if options.cache_dir is not None or options.cache is not None:
+                    configure(cache_dir=options.cache_dir,
+                              enabled=options.cache)
+            handle._status = "running"
+            handle._emit("started")
+            tasks = handle._plan.tasks
+            results = [None] * len(tasks)
+            start = time.perf_counter()
+            hits = 0
+            try:
+                for index, result, seconds, task_hits in iter_task_results(
+                        tasks, jobs=handle._jobs, cancel=handle._cancel):
+                    results[index] = result
+                    hits += task_hits
+                    handle._completed += 1
+                    task = tasks[index]
+                    handle._emit(
+                        "task",
+                        benchmark=task.benchmark if hasattr(
+                            task, "benchmark") else task[1],
+                        key=getattr(task, "key", None),
+                        seconds=seconds,
+                        cache_hits=task_hits,
+                    )
+                if handle._cancel.is_set():
+                    handle._finish("cancelled")
+                    return
+                handle._result = RunResult(
+                    tasks=list(tasks),
+                    results=results,
+                    elapsed_seconds=time.perf_counter() - start,
+                    cache_hits=hits,
+                )
+                handle._finish("done")
+            except BaseException as exc:   # surfaced via handle.result()
+                handle._error = exc
+                handle._finish("failed")
+            finally:
+                if cache_snapshot is not None:
+                    restore_configuration(cache_snapshot)
+
+
+# ----------------------------------------------------------------------
+# the default session (what deprecation shims delegate to)
+# ----------------------------------------------------------------------
+_DEFAULT: Optional[Session] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-wide default :class:`Session` (inline execution, no
+    cache overrides).  Legacy shims delegate here so their results are
+    identical to the façade path."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None or _DEFAULT.closed:
+            _DEFAULT = Session()
+        return _DEFAULT

@@ -23,6 +23,8 @@ from .store import (
     configure,
     get_store,
     reset_configuration,
+    restore_configuration,
+    snapshot_configuration,
     temporary_cache_dir,
 )
 from .traces import clear_trace_cache, ensure_compiled_trace, trace_bucket
@@ -41,6 +43,8 @@ __all__ = [
     "ensure_compiled_trace",
     "get_store",
     "reset_configuration",
+    "restore_configuration",
+    "snapshot_configuration",
     "stable_repr",
     "temporary_cache_dir",
     "trace_bucket",

@@ -97,6 +97,10 @@ class ArtifactStore:
             self.discard(kind, key)
             return None
         self.stats.hits += 1
+        # Refresh the mtime so it doubles as an LRU clock: `gc` evicts the
+        # artifacts that have gone the longest without being read.
+        with contextlib.suppress(OSError):
+            os.utime(path)
         return data
 
     #: zlib level 3: checkpoint pickles shrink ~10x while staying well
@@ -184,6 +188,53 @@ class ArtifactStore:
             shutil.rmtree(version_dir, ignore_errors=True)
         return removed
 
+    def gc(self, max_size_bytes: int) -> Tuple[int, int]:
+        """Evict least-recently-used artifacts until the store fits
+        ``max_size_bytes``; returns ``(files_removed, bytes_removed)``.
+
+        Reads refresh an artifact's mtime (see :meth:`get_bytes`), so
+        mtime order is LRU order.  Every schema version is considered --
+        orphaned versions are never *used*, so their stale mtimes put
+        them first in line.  Eviction is only ever a cache miss followed
+        by a recompute, never a wrong result.
+        """
+        if max_size_bytes < 0:
+            raise ValueError("max_size_bytes must be >= 0")
+        entries: List[Tuple[float, str, Path, int]] = []
+        total = 0
+        for version_dir in self._version_dirs():
+            for path in version_dir.rglob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                # str(path) breaks mtime ties deterministically.
+                entries.append((stat.st_mtime, str(path), path,
+                                stat.st_size))
+                total += stat.st_size
+        entries.sort()
+        removed_files = removed_bytes = 0
+        for _mtime, _name, path, size in entries:
+            if total <= max_size_bytes:
+                break
+            with contextlib.suppress(OSError):
+                path.unlink()
+                removed_files += 1
+                removed_bytes += size
+                # Only count space as reclaimed when the unlink succeeded,
+                # so a locked/read-only file cannot end eviction early.
+                total -= size
+        return removed_files, removed_bytes
+
+    def total_size(self) -> int:
+        """Total bytes held by every schema version of the store."""
+        size = 0
+        for version_dir in self._version_dirs():
+            for path in version_dir.rglob("*.pkl"):
+                with contextlib.suppress(OSError):
+                    size += path.stat().st_size
+        return size
+
     def orphaned(self) -> Tuple[int, int]:
         """``(files, bytes)`` held by *other* schema versions' directories
         (left behind by a SCHEMA_VERSION bump; reclaimed by :meth:`clear`)."""
@@ -227,6 +278,19 @@ def configure(cache_dir: Optional[str] = None,
         _active = None
     if enabled is not None:
         _override_enabled = enabled
+
+
+def snapshot_configuration() -> tuple:
+    """The current process-wide overrides, for :func:`restore_configuration`
+    (``repro.api.Session`` scopes its cache policy with these)."""
+    return _override_dir, _override_enabled
+
+
+def restore_configuration(snapshot: tuple) -> None:
+    """Reinstate overrides captured by :func:`snapshot_configuration`."""
+    global _override_dir, _override_enabled, _active
+    _override_dir, _override_enabled = snapshot
+    _active = None
 
 
 def reset_configuration() -> None:

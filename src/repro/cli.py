@@ -1,5 +1,10 @@
 """Command-line interface (``repro-clgp``).
 
+A thin shell over the :mod:`repro.api` façade -- every subcommand builds
+an :class:`~repro.api.ExperimentSpec` (or calls a ``Session`` experiment
+method) and runs it through one :class:`~repro.api.Session`, which owns
+the worker pool and artifact-cache policy for the whole invocation.
+
 Subcommands:
 
 * ``run``      -- simulate one configuration on one or more benchmarks,
@@ -9,16 +14,16 @@ Subcommands:
 * ``speedups`` -- print the headline CLGP-vs-FDP / CLGP-vs-baseline speedups,
 * ``sample``   -- profile a benchmark, select representative intervals, and
   (optionally) compare a sampled run against the full run,
-* ``cache``    -- inspect (``ls``), locate (``path``) or empty (``clear``)
-  the persistent artifact cache.
+* ``cache``    -- inspect (``ls``), locate (``path``), empty (``clear``)
+  or size-cap (``gc --max-size``) the persistent artifact cache.
 
 ``run``, ``figure`` and ``speedups`` accept ``--jobs N`` (0 = all cores)
--- the experiment layer plans each sweep as a flat task list, so the
-whole grid fans out over one workload-affine process pool that is reused
-across the figures of a ``figure all`` invocation.  ``figure`` and
-``speedups`` also accept ``--sampled`` to run every simulation in
-SimPoint-style sampled mode.  Simulation commands accept ``--cache-dir``
-(default ``.repro-cache/``, env ``REPRO_CACHE_DIR``) and ``--no-cache``
+-- the session plans each sweep as a flat task list, so the whole grid
+fans out over one workload-affine process pool that is reused across the
+figures of a ``figure all`` invocation.  ``figure`` and ``speedups``
+also accept ``--sampled`` to run every simulation in SimPoint-style
+sampled mode.  Simulation commands accept ``--cache-dir`` (default
+``.repro-cache/``, env ``REPRO_CACHE_DIR``) and ``--no-cache``
 (env ``REPRO_CACHE_DISABLE=1``) to steer the artifact cache.
 """
 
@@ -29,38 +34,30 @@ import sys
 import time
 from typing import List, Optional
 
-from .analysis import (
-    figure1_series,
-    figure2_series,
-    figure4_series,
-    figure5_series,
-    figure6_series,
-    figure7_series,
-    figure8_series,
+from .api import (
+    DEFAULT_MIX,
+    SCHEMES,
+    SPECINT2000_NAMES,
+    ExecutionOptions,
+    ExperimentSpec,
+    SamplingSpec,
+    Session,
+    cache_enabled,
     format_ipc_sweep,
     format_key_value_table,
     format_latency_table,
     format_per_benchmark,
     format_source_distribution,
     format_speedups,
-    headline_speedups,
+    get_selection,
+    get_store,
+    harmonic_mean_ipc,
+    paper_config,
+    profile_for,
     table1,
     table2,
     table3,
 )
-from .cache import cache_enabled, configure, get_store
-from .sampling import SamplingSpec, get_selection, run_sampled
-from .simulator import (
-    harmonic_mean_ipc,
-    paper_config,
-    resolve_jobs,
-    run_benchmarks,
-    run_single,
-)
-from .simulator.presets import SCHEMES
-from .simulator.runner import get_workload
-from .workloads import DEFAULT_MIX, SPECINT2000_NAMES
-from .workloads.spec2000 import profile_for
 
 
 class _CliError(Exception):
@@ -74,14 +71,6 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent artifact cache "
                              "(recompute everything in-process)")
-
-
-def _configure_cache(args: argparse.Namespace) -> None:
-    """Apply --cache-dir / --no-cache before any simulation work runs."""
-    configure(
-        cache_dir=getattr(args, "cache_dir", None),
-        enabled=False if getattr(args, "no_cache", False) else None,
-    )
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -124,22 +113,22 @@ def _benchmarks(arg: str) -> List[str]:
             for b in arg.split(",") if b.strip()]
 
 
-def _jobs(args: argparse.Namespace) -> int:
-    """Validate ``--jobs`` through the runner's one resolver."""
-    try:
-        return resolve_jobs(args.jobs)
-    except ValueError as exc:
-        raise _CliError(str(exc)) from exc
+def _options(args: argparse.Namespace) -> ExecutionOptions:
+    """Per-call execution options from the parsed flags (``--jobs`` is
+    session-level policy, validated where the Session is built)."""
+    return ExecutionOptions(sampled=getattr(args, "sampled", False))
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    config = paper_config(
-        args.scheme, l1_size_bytes=args.l1_size, technology=args.technology,
+def _cmd_run(session: Session, args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        scheme=args.scheme,
+        benchmarks=tuple(_benchmarks(args.benchmarks)),
         max_instructions=args.instructions,
+        technology=args.technology,
+        l1_size_bytes=args.l1_size,
+        name="cli-run",
     )
-    names = _benchmarks(args.benchmarks)
-    results = run_benchmarks(config, names, args.instructions,
-                             jobs=_jobs(args))
+    results = session.run(spec).results
     for result in results:
         print(result.summary())
     print(f"{'HMEAN IPC':>18s} : {harmonic_mean_ipc(results):.3f}")
@@ -150,55 +139,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
 FIGURE_NUMBERS = ("1", "2", "4", "5", "6", "7", "8")
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
+def _cmd_figure(session: Session, args: argparse.Namespace) -> int:
     if args.number == "all":
-        # One invocation, one shared worker pool, one artifact cache:
-        # later figures reuse every workload/trace/profile artifact the
-        # earlier ones computed (in memory with jobs=1, in the pool
-        # workers' caches with jobs>1).
+        # One invocation, one session, one worker pool, one artifact
+        # cache: later figures reuse every workload/trace/profile
+        # artifact the earlier ones computed (in memory with jobs=1, in
+        # the pool workers' caches with jobs>1).
         for number in FIGURE_NUMBERS:
-            code = _render_figure(number, args)
+            code = _render_figure(session, number, args)
             if code:
                 return code
             print()
         return 0
-    return _render_figure(args.number, args)
+    return _render_figure(session, args.number, args)
 
 
-def _render_figure(fig: str, args: argparse.Namespace) -> int:
+def _render_figure(session: Session, fig: str,
+                   args: argparse.Namespace) -> int:
     names = _benchmarks(args.benchmarks)
+    options = _options(args)
     kwargs = dict(
         technology=args.technology,
         benchmarks=names,
         max_instructions=args.instructions,
-        jobs=_jobs(args),
-        sampled=args.sampled,
+        options=options,
     )
     suffix = " [sampled]" if args.sampled else ""
     if fig == "1":
-        print(format_ipc_sweep(figure1_series(**kwargs),
+        print(format_ipc_sweep(session.figure1_series(**kwargs),
                                f"Figure 1: IPC vs L1 size{suffix}"))
     elif fig == "2":
-        print(format_ipc_sweep(figure2_series(**kwargs),
+        print(format_ipc_sweep(session.figure2_series(**kwargs),
                                f"Figure 2(b): FDP vs FDP+L0{suffix}"))
     elif fig == "4":
-        print(format_ipc_sweep(figure4_series(**kwargs),
+        print(format_ipc_sweep(session.figure4_series(**kwargs),
                                f"Figure 4(b): CLGP vs CLGP+L0{suffix}"))
     elif fig == "5":
-        print(format_ipc_sweep(figure5_series(**kwargs),
+        print(format_ipc_sweep(session.figure5_series(**kwargs),
                                f"Figure 5: main comparison{suffix}"))
     elif fig == "6":
-        series = figure6_series(
+        series = session.figure6_series(
             technology=args.technology, l1_size_bytes=args.l1_size,
             benchmarks=names if names != list(DEFAULT_MIX) else None,
             max_instructions=args.instructions,
-            jobs=kwargs["jobs"], sampled=args.sampled,
+            options=options,
         )
         print(format_per_benchmark(series,
                                    f"Figure 6: per-benchmark IPC{suffix}"))
     elif fig == "7":
         for with_l0 in (False, True):
-            series = figure7_series(with_l0=with_l0, **kwargs)
+            series = session.figure7_series(with_l0=with_l0, **kwargs)
             label = "with L0" if with_l0 else "without L0"
             print(format_source_distribution(
                 series,
@@ -206,7 +196,7 @@ def _render_figure(fig: str, args: argparse.Namespace) -> int:
             ))
     elif fig == "8":
         print(format_source_distribution(
-            figure8_series(**kwargs),
+            session.figure8_series(**kwargs),
             f"Figure 8: prefetch source distribution{suffix}"
         ))
     else:
@@ -215,7 +205,29 @@ def _render_figure(fig: str, args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
+def _parse_size(token: str) -> int:
+    """``--max-size`` values: plain bytes or K/M/G (binary) suffixes."""
+    text = token.strip().upper()
+    multiplier = 1
+    for suffix, factor in (("KB", 1024), ("K", 1024),
+                           ("MB", 1024 ** 2), ("M", 1024 ** 2),
+                           ("GB", 1024 ** 3), ("G", 1024 ** 3),
+                           ("B", 1)):
+        if text.endswith(suffix):
+            text = text[:-len(suffix)]
+            multiplier = factor
+            break
+    try:
+        value = int(float(text) * multiplier)
+    except ValueError as exc:
+        raise _CliError(f"invalid size {token!r} "
+                        "(expected bytes, optionally with K/M/G)") from exc
+    if value < 0:
+        raise _CliError("size must be >= 0")
+    return value
+
+
+def _cmd_cache(session: Session, args: argparse.Namespace) -> int:
     store = get_store()
     if args.action == "path":
         print(store.root)
@@ -223,6 +235,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} artifact file(s) from {store.root}")
+        return 0
+    if args.action == "gc":
+        if args.max_size is None:
+            raise _CliError("cache gc requires --max-size")
+        limit = _parse_size(args.max_size)
+        removed_files, removed_bytes = store.gc(limit)
+        print(f"evicted {removed_files} artifact file(s) "
+              f"({removed_bytes / 1024:.1f} KiB) from {store.root}")
+        print(f"store now holds {store.total_size() / 1024:.1f} KiB "
+              f"(limit {limit / 1024:.1f} KiB)")
         return 0
     # ls
     status = "enabled" if cache_enabled() else "disabled"
@@ -248,7 +270,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_tables(args: argparse.Namespace) -> int:
+def _cmd_tables(session: Session, args: argparse.Namespace) -> int:
     rows1 = {f"{r['year']}": f"{r['technology_um']}um, {r['clock_ghz']}GHz, "
              f"{r['cycle_time_ns']}ns" for r in table1()}
     print(format_key_value_table(rows1, "Table 1: SIA technology roadmap"))
@@ -259,18 +281,18 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_speedups(args: argparse.Namespace) -> int:
+def _cmd_speedups(session: Session, args: argparse.Namespace) -> int:
     names = _benchmarks(args.benchmarks)
-    data = headline_speedups(
+    data = session.headline_speedups(
         l1_size_bytes=args.l1_size, benchmarks=names,
         max_instructions=args.instructions,
-        jobs=_jobs(args), sampled=args.sampled,
+        options=_options(args),
     )
     print(format_speedups(data))
     return 0
 
 
-def _cmd_sample(args: argparse.Namespace) -> int:
+def _cmd_sample(session: Session, args: argparse.Namespace) -> int:
     try:
         spec = SamplingSpec(
             interval_length=args.interval_length,
@@ -283,7 +305,7 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         args.scheme, l1_size_bytes=args.l1_size, technology=args.technology,
         max_instructions=args.instructions,
     )
-    workload = get_workload(_validate_benchmark(args.benchmark))
+    workload = session.workload(_validate_benchmark(args.benchmark))
     selection = get_selection(workload, args.instructions, spec,
                               config=config)
     print(f"Interval selection for {args.benchmark} "
@@ -302,14 +324,24 @@ def _cmd_sample(args: argparse.Namespace) -> int:
           f"({selection.sampled_instructions} of "
           f"{selection.total_instructions} instructions)")
 
+    run_spec = ExperimentSpec(
+        scheme=args.scheme,
+        benchmarks=args.benchmark,
+        max_instructions=args.instructions,
+        technology=args.technology,
+        l1_size_bytes=args.l1_size,
+        name="cli-sample",
+    )
     start = time.perf_counter()
-    sampled = run_sampled(config, workload, args.instructions, spec=spec)
+    sampled = session.run(
+        run_spec, options=ExecutionOptions(sampled=True, sampling=spec)
+    ).results[0]
     sampled_seconds = time.perf_counter() - start
     print(f"\nSampled run ({args.scheme}): IPC {sampled.ipc:.3f} "
           f"[{sampled_seconds:.2f}s]")
     if args.compare:
         start = time.perf_counter()
-        full = run_single(config, args.benchmark, args.instructions)
+        full = session.run(run_spec).results[0]
         full_seconds = time.perf_counter() - start
         error = sampled.ipc / full.ipc - 1.0 if full.ipc else 0.0
         ratio = full_seconds / sampled_seconds if sampled_seconds else 0.0
@@ -367,9 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample.set_defaults(func=_cmd_sample)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or clear the persistent artifact cache")
-    p_cache.add_argument("action", choices=["ls", "clear", "path"],
+        "cache", help="inspect, clear or size-cap the artifact cache")
+    p_cache.add_argument("action", choices=["ls", "clear", "path", "gc"],
                          nargs="?", default="ls")
+    p_cache.add_argument("--max-size", default=None, metavar="BYTES",
+                         help="gc: evict least-recently-used artifacts "
+                              "until the store fits this size "
+                              "(suffixes K/M/G allowed)")
     _add_cache_args(p_cache)
     p_cache.set_defaults(func=_cmd_cache)
 
@@ -379,9 +415,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    _configure_cache(args)
     try:
-        return args.func(args)
+        try:
+            session = Session(
+                jobs=getattr(args, "jobs", 1),
+                cache_dir=getattr(args, "cache_dir", None),
+                cache=False if getattr(args, "no_cache", False) else None,
+            )
+        except ValueError as exc:
+            raise _CliError(str(exc)) from exc
+        with session:
+            return args.func(session, args)
     except _CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -222,14 +222,16 @@ def _measure_intervals(
     return interval_results, weights
 
 
-def run_sampled(
+def _execute_sampled(
     config: SimulationConfig,
     workload: Union[Workload, str],
     max_instructions: Optional[int] = None,
     spec: Optional[SamplingSpec] = None,
     store: CheckpointStore = DEFAULT_STORE,
 ) -> SimulationResult:
-    """Sampled run of one configuration on one benchmark.
+    """Sampled run of one configuration on one benchmark (the executor
+    primitive behind ``SimTask(sampled=True)``; the public entry point is
+    :class:`repro.api.Session` with ``ExecutionOptions(sampled=True)``).
 
     Returns a :class:`SimulationResult` whose counters estimate the full
     ``max_instructions`` run from the K selected intervals; ``extras``
@@ -310,3 +312,39 @@ def run_sampled(
         sampling_coverage=selection.coverage(),
     )
     return result
+
+
+def run_sampled(
+    config: SimulationConfig,
+    workload: Union[Workload, str],
+    max_instructions: Optional[int] = None,
+    spec: Optional[SamplingSpec] = None,
+    store: CheckpointStore = DEFAULT_STORE,
+) -> SimulationResult:
+    """Sampled run of one configuration on one benchmark.
+
+    .. deprecated:: 1.1
+        Use :meth:`repro.api.Session.run` with
+        ``ExecutionOptions(sampled=True, sampling=spec)``.
+    """
+    from ..api._deprecation import warn_legacy
+
+    warn_legacy("repro.sampling.sampled.run_sampled",
+                "repro.api.Session.run(..., "
+                "options=ExecutionOptions(sampled=True))")
+    if isinstance(workload, str) and store is DEFAULT_STORE:
+        # Registry benchmark on the default store: the exact façade path.
+        from ..api.session import default_session
+        from ..api.spec import ExecutionOptions
+        from ..simulator.plan import ExperimentPlan
+
+        plan = ExperimentPlan("legacy-run-sampled")
+        plan.add(config, workload, max_instructions,
+                 sampled=True, sampling=spec)
+        return default_session().run(
+            plan, options=ExecutionOptions()).results[0]
+    # Custom Workload objects / checkpoint stores cannot ride a SimTask;
+    # run the primitive directly (bit-identical either way).
+    return _execute_sampled(config, workload,
+                            max_instructions=max_instructions,
+                            spec=spec, store=store)

@@ -30,7 +30,8 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..cache.traces import ensure_compiled_trace
 from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES, profile_for
@@ -126,12 +127,13 @@ def bench_l1_sizes(default: Optional[Sequence[int]] = None) -> List[int]:
 # ----------------------------------------------------------------------
 # running
 # ----------------------------------------------------------------------
-def run_single(
+def _execute_single(
     config: SimulationConfig,
     benchmark: str,
     max_instructions: Optional[int] = None,
 ) -> SimulationResult:
-    """Run one configuration on one benchmark."""
+    """Run one configuration on one benchmark (the executor primitive
+    behind every task; the public entry point is :class:`repro.api.Session`)."""
     workload = get_workload(benchmark)
     total = max_instructions or config.max_instructions
     # With the artifact cache enabled the correct-path walk replays from
@@ -149,23 +151,24 @@ def _run_task(task: Union[SimTask, tuple]) -> SimulationResult:
     Top-level function so it pickles; the workload cache is the worker
     process's own module-global, so each worker builds a given synthetic
     program at most once no matter how many tasks it serves.  Sampled
-    tasks dispatch to :func:`repro.sampling.sampled.run_sampled`, whose
-    per-process checkpoint/selection caches play the same role for the
-    warm-up and profiling passes.
+    tasks dispatch to the sampled-simulation runner in
+    :mod:`repro.sampling`, whose per-process checkpoint/selection caches
+    play the same role for the warm-up and profiling passes.
     """
     if isinstance(task, SimTask):
         if task.sampled:
             # Imported lazily: repro.sampling imports this module.
-            from ..sampling.sampled import run_sampled
+            from ..sampling.sampled import _execute_sampled
 
-            return run_sampled(
+            return _execute_sampled(
                 task.config, task.benchmark,
                 max_instructions=task.max_instructions,
                 spec=task.sampling,
             )
-        return run_single(task.config, task.benchmark, task.max_instructions)
+        return _execute_single(task.config, task.benchmark,
+                               task.max_instructions)
     config, benchmark, max_instructions = task
-    return run_single(config, benchmark, max_instructions)
+    return _execute_single(config, benchmark, max_instructions)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -244,15 +247,52 @@ def _task_benchmark(task: Union[SimTask, tuple]) -> str:
     return task.benchmark if isinstance(task, SimTask) else task[1]
 
 
+def _task_weight(task: Union[SimTask, tuple]) -> int:
+    """Scheduling weight of one task: its instruction budget.
+
+    Mixed-budget plans balance far better weighted by instructions than
+    by task count (a 100k-instruction run is ~100x a 1k one); sampled
+    tasks still carry the full budget -- their fixed profile/warm-up cost
+    tracks the budget too, so the budget stays the best available proxy.
+    """
+    if isinstance(task, SimTask):
+        budget = task.max_instructions or task.config.max_instructions
+    else:
+        config, _benchmark, max_instructions = task
+        budget = max_instructions or config.max_instructions
+    return max(1, int(budget or 1))
+
+
+def _store_hits() -> int:
+    """Current artifact-store hit counter (0 when caching is disabled)."""
+    from ..cache.store import active_store
+
+    store = active_store()
+    return store.stats.hits if store is not None else 0
+
+
+def _timed_task(
+    index: int, task: Union[SimTask, tuple]
+) -> Tuple[int, SimulationResult, float, int]:
+    """Run one task, measuring wall-clock seconds and store hits."""
+    hits_before = _store_hits()
+    start = time.perf_counter()
+    result = _run_task(task)
+    return (index, result, time.perf_counter() - start,
+            _store_hits() - hits_before)
+
+
 def _run_task_chunk(chunk) -> list:
     """Pool worker: run one workload-affine chunk of (index, task) pairs.
 
     All tasks of a chunk share one benchmark, so the worker builds (or
     loads from the artifact store) that benchmark's program, compiled
     trace, warm-up artifacts and sampling artifacts once and serves
-    every configuration from them.
+    every configuration from them.  Per-task timing and store-hit deltas
+    ride along so progress consumers (:class:`repro.api.RunHandle`) can
+    stream them without a second channel.
     """
-    return [(index, _run_task(task)) for index, task in chunk]
+    return [_timed_task(index, task) for index, task in chunk]
 
 
 def _affine_chunks(
@@ -263,26 +303,89 @@ def _affine_chunks(
 
     Each chunk is single-benchmark (the affinity that makes per-workload
     artifacts a per-worker one-time cost); when there are fewer
-    benchmarks than workers the largest groups are split so parallelism
-    never drops below ``jobs``.  Deterministic for a given task list.
+    benchmarks than workers the heaviest groups are split so parallelism
+    never drops below ``jobs``.  Chunks are balanced by summed
+    *instruction budget*, not task count, so plans mixing short and long
+    runs split where the work actually is.  Deterministic for a given
+    task list.
     """
     groups: Dict[str, List[int]] = {}
+    total_weight = 0
     for index, task in enumerate(tasks):
         groups.setdefault(_task_benchmark(task), []).append(index)
-    # Upper bound on chunk size that still yields >= max(jobs, #groups)
+        total_weight += _task_weight(task)
+    # Per-chunk weight budget that still yields >= max(jobs, #groups)
     # chunks overall.
     target_chunks = max(jobs, len(groups))
-    cap = max(1, -(-len(tasks) // target_chunks))
-    chunks: List[List[Tuple[int, Union[SimTask, tuple]]]] = []
+    weight_cap = max(1, -(-total_weight // target_chunks))
+    weighted_chunks: List[Tuple[int, List[Tuple[int, Union[SimTask, tuple]]]]] = []
     for indices in groups.values():
-        for start in range(0, len(indices), cap):
-            chunks.append([
-                (index, tasks[index])
-                for index in indices[start:start + cap]
-            ])
-    # Largest chunks first so stragglers start early (load balance).
-    chunks.sort(key=len, reverse=True)
-    return chunks
+        current: List[Tuple[int, Union[SimTask, tuple]]] = []
+        current_weight = 0
+        for index in indices:
+            weight = _task_weight(tasks[index])
+            if current and current_weight + weight > weight_cap:
+                weighted_chunks.append((current_weight, current))
+                current, current_weight = [], 0
+            current.append((index, tasks[index]))
+            current_weight += weight
+        if current:
+            weighted_chunks.append((current_weight, current))
+    # Heaviest chunks first so stragglers start early (load balance);
+    # sort() is stable, so equal weights keep group order.
+    weighted_chunks.sort(key=lambda entry: entry[0], reverse=True)
+    return [chunk for _weight, chunk in weighted_chunks]
+
+
+def iter_task_results(
+    tasks: Sequence[Union[SimTask, tuple]],
+    jobs: int = 1,
+    cancel=None,
+) -> Iterator[Tuple[int, SimulationResult, float, int]]:
+    """Yield ``(task index, result, seconds, cache hits)`` as tasks finish.
+
+    The incremental counterpart of :func:`run_tasks` and the channel
+    :class:`repro.api.RunHandle` streams progress from.  ``jobs=1`` runs
+    inline in task order; ``jobs>1`` fans workload-affine chunks over the
+    shared pool and yields completions unordered (consumers reassemble by
+    index).  ``cancel`` is an optional ``threading.Event``: once set, no
+    further task is started -- inline runs stop between tasks, pool runs
+    stop between chunk completions and tear the pool down so outstanding
+    chunks die with it.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        for index, task in enumerate(tasks):
+            if cancel is not None and cancel.is_set():
+                return
+            yield _timed_task(index, task)
+        return
+    chunks = _affine_chunks(tasks, jobs)
+    # Never fork more workers than there are chunks to serve; a later,
+    # larger sweep recreates the pool at its size.
+    pool = _shared_pool(min(jobs, len(chunks)))
+    # chunksize=1: chunks are coarse (>> pool overhead) and may have very
+    # uneven durations; unordered completion is fine because consumers
+    # reassemble by task index.
+    iterator = pool.imap_unordered(_run_task_chunk, chunks, chunksize=1)
+    if cancel is None:
+        for completed in iterator:
+            yield from completed
+        return
+    pending = len(chunks)
+    while pending:
+        if cancel.is_set():
+            shutdown_pool()
+            return
+        try:
+            # Short poll so a cancel() does not wait for a whole chunk.
+            completed = iterator.next(timeout=0.05)
+        except multiprocessing.TimeoutError:
+            continue
+        except StopIteration:
+            return
+        pending -= 1
+        yield from completed
 
 
 def run_tasks(
@@ -292,21 +395,49 @@ def run_tasks(
     """Run :class:`SimTask` entries (or legacy ``(config, benchmark,
     max_instructions)`` tuples), optionally on the shared process pool.
     Results keep task order regardless of ``jobs``."""
-    jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(tasks) <= 1:
-        return [_run_task(task) for task in tasks]
-    chunks = _affine_chunks(tasks, jobs)
     results: List[Optional[SimulationResult]] = [None] * len(tasks)
-    # Never fork more workers than there are chunks to serve; a later,
-    # larger sweep recreates the pool at its size.
-    pool = _shared_pool(min(jobs, len(chunks)))
-    # chunksize=1: chunks are coarse (>> pool overhead) and may have very
-    # uneven durations; unordered completion is fine because results are
-    # reassembled by task index.
-    for completed in pool.imap_unordered(_run_task_chunk, chunks, chunksize=1):
-        for index, result in completed:
-            results[index] = result
+    for index, result, _seconds, _hits in iter_task_results(tasks, jobs=jobs):
+        results[index] = result
     return results
+
+
+# ----------------------------------------------------------------------
+# deprecated free-function entry points (v1 surface: repro.api.Session)
+# ----------------------------------------------------------------------
+def _session_run(plan: ExperimentPlan, jobs: int = 1):
+    """Route a legacy call through the default :class:`repro.api.Session`,
+    so shims return results identical to the façade path.
+
+    ``jobs`` keeps its legacy meaning (``None``/``0`` = all cores,
+    negative = ValueError): it is resolved here, because inside
+    :class:`ExecutionOptions` a ``None`` would mean "inherit the
+    session's default" instead.
+    """
+    from ..api.session import default_session
+    from ..api.spec import ExecutionOptions
+
+    return default_session().run(
+        plan, options=ExecutionOptions(jobs=resolve_jobs(jobs)))
+
+
+def run_single(
+    config: SimulationConfig,
+    benchmark: str,
+    max_instructions: Optional[int] = None,
+) -> SimulationResult:
+    """Run one configuration on one benchmark.
+
+    .. deprecated:: 1.1
+        Use :meth:`repro.api.Session.run` with an
+        :class:`repro.api.ExperimentSpec` (or an ``ExperimentPlan``).
+    """
+    from ..api._deprecation import warn_legacy
+
+    warn_legacy("repro.simulator.runner.run_single",
+                "repro.api.Session.run(ExperimentSpec(...))")
+    plan = ExperimentPlan("legacy-run-single")
+    plan.add(config, benchmark, max_instructions)
+    return _session_run(plan).results[0]
 
 
 def run_benchmarks(
@@ -319,15 +450,19 @@ def run_benchmarks(
 ) -> List[SimulationResult]:
     """Run one configuration across several benchmarks.
 
-    ``jobs>1`` distributes the runs over worker processes (``None``/0 uses
-    every core); results are identical to the serial order.  ``sampled``
-    runs each benchmark through SimPoint-style sampled simulation.
+    .. deprecated:: 1.1
+        Use :meth:`repro.api.Session.run` with an
+        :class:`repro.api.ExperimentSpec` naming the benchmarks.
     """
-    plan = ExperimentPlan("run-benchmarks")
+    from ..api._deprecation import warn_legacy
+
+    warn_legacy("repro.simulator.runner.run_benchmarks",
+                "repro.api.Session.run(ExperimentSpec(...))")
+    plan = ExperimentPlan("legacy-run-benchmarks")
     for name in benchmarks:
         plan.add(config, name, max_instructions,
                  sampled=sampled, sampling=sampling)
-    return plan.run(jobs=jobs).results
+    return _session_run(plan, jobs=jobs).results
 
 
 def run_mix(
@@ -341,10 +476,22 @@ def run_mix(
     """Run a configuration on a benchmark mix and aggregate.
 
     Returns ``{"results": [...], "hmean_ipc": float}``.
+
+    .. deprecated:: 1.1
+        Use :meth:`repro.api.Session.run`; ``RunResult.hmean_by_key()``
+        (or :func:`harmonic_mean_ipc` over ``results``) covers the
+        aggregation.
     """
+    from ..api._deprecation import warn_legacy
+
+    warn_legacy("repro.simulator.runner.run_mix",
+                "repro.api.Session.run(ExperimentSpec(...))")
     names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
-    results = run_benchmarks(config, names, max_instructions, jobs=jobs,
-                             sampled=sampled, sampling=sampling)
+    plan = ExperimentPlan("legacy-run-mix")
+    for name in names:
+        plan.add(config, name, max_instructions,
+                 sampled=sampled, sampling=sampling)
+    results = _session_run(plan, jobs=jobs).results
     return {"results": results, "hmean_ipc": harmonic_mean_ipc(results)}
 
 
@@ -359,11 +506,18 @@ def sweep_l1_sizes(
     """Run ``{size: config}`` (or ``{size: [configs]}``) over a benchmark mix.
 
     Returns ``{size: {label: {"results": [...], "hmean_ipc": float}}}``.
-    With ``jobs>1`` every (size, config, benchmark) simulation of the sweep
-    is fanned out over one shared process pool.
+
+    .. deprecated:: 1.1
+        Use :meth:`repro.api.Session.run` with an
+        :class:`repro.api.ExperimentSpec` carrying an ``l1_sizes`` sweep
+        axis.
     """
+    from ..api._deprecation import warn_legacy
+
+    warn_legacy("repro.simulator.runner.sweep_l1_sizes",
+                "repro.api.Session.run(ExperimentSpec(..., l1_sizes=...))")
     names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
-    plan = ExperimentPlan("sweep-l1-sizes")
+    plan = ExperimentPlan("legacy-sweep-l1-sizes")
     occurrences: Dict[tuple, int] = {}
     for size, configs in configs_by_size.items():
         if isinstance(configs, SimulationConfig):
@@ -380,7 +534,8 @@ def sweep_l1_sizes(
                          key=(size, label, occurrence),
                          sampled=sampled, sampling=sampling)
     out: Dict[int, Dict[str, object]] = {}
-    for (size, label, _), results in plan.run(jobs=jobs).by_key().items():
+    for (size, label, _), results in _session_run(
+            plan, jobs=jobs).by_key().items():
         out.setdefault(size, {})[label] = {
             "results": results,
             "hmean_ipc": harmonic_mean_ipc(results),

@@ -1,0 +1,464 @@
+"""Tests for the ``repro.api`` Session/Experiment façade.
+
+Covers the v1 surface: session lifecycle (shared-pool shutdown on
+``__exit__``), eager spec validation, sampled-vs-full parity through
+``submit()``, progress-event ordering and payloads, cancellation, and
+that every deprecated legacy entry point warns and returns results
+identical to the façade path.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    ExecutionOptions,
+    ExperimentPlan,
+    ExperimentSpec,
+    ProgressEvent,
+    RunCancelled,
+    Session,
+    default_session,
+    paper_config,
+)
+from repro.simulator import runner as runner_module
+from repro.simulator.config import SimulationConfig
+
+
+def fast_config(**kw):
+    base = dict(engine="baseline", technology="0.045um", l1_size_bytes=4096,
+                max_instructions=800, warmup_instructions=2000)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def fast_spec(**kw):
+    base = dict(scheme="base", benchmarks=("gzip",), max_instructions=800)
+    base.update(kw)
+    return ExperimentSpec(**base)
+
+
+class TestSpecValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            ExperimentSpec(scheme="NOPE")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="quake"):
+            ExperimentSpec(scheme="base", benchmarks=("quake",))
+
+    def test_empty_benchmarks(self):
+        with pytest.raises(ValueError, match="at least one benchmark"):
+            ExperimentSpec(scheme="base", benchmarks=())
+
+    def test_bad_instruction_budget(self):
+        with pytest.raises(ValueError, match="max_instructions"):
+            ExperimentSpec(scheme="base", max_instructions=0)
+
+    def test_bad_l1_sizes(self):
+        with pytest.raises(ValueError, match="l1_sizes"):
+            ExperimentSpec(scheme="base", l1_sizes=(0,))
+
+    def test_negative_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ExecutionOptions(jobs=-2)
+
+    def test_session_rejects_negative_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            Session(jobs=-1)
+
+    def test_all_benchmarks_keyword(self):
+        spec = ExperimentSpec(scheme="base", benchmarks="all")
+        assert len(spec.benchmarks) == 12
+
+    def test_single_strings_normalized(self):
+        spec = fast_spec()
+        assert spec.schemes == ("base",)
+        assert spec.benchmarks == ("gzip",)
+
+    def test_submit_rejects_other_types(self):
+        with Session() as session:
+            with pytest.raises(TypeError):
+                session.submit(object())
+
+
+class TestSpecPlans:
+    def test_sweep_keys(self):
+        spec = fast_spec(scheme=("base", "FDP"), benchmarks=("gzip", "mcf"),
+                         l1_sizes=(1024, 4096))
+        plan = spec.to_plan()
+        assert len(plan) == 8
+        assert plan.tasks[0].key == ("base", 1024)
+        assert plan.tasks[-1].key == ("FDP", 4096)
+
+    def test_point_keys_and_overrides(self):
+        spec = fast_spec(config_overrides={"warmup_instructions": 1234})
+        plan = spec.to_plan()
+        assert plan.tasks[0].key == ("base",)
+        assert plan.tasks[0].config.warmup_instructions == 1234
+
+    def test_sampled_flag_rides_tasks(self):
+        plan = fast_spec().to_plan(sampled=True)
+        assert all(task.sampled for task in plan.tasks)
+
+
+class TestSessionLifecycle:
+    def test_context_manager_shuts_down_pool(self):
+        with Session(jobs=2) as session:
+            session.run(fast_spec(benchmarks=("gzip", "mcf")))
+            assert runner_module._POOL is not None
+        assert runner_module._POOL is None
+        assert session.closed
+
+    def test_submit_after_close_raises(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit(fast_spec())
+
+    def test_close_is_idempotent(self):
+        session = Session()
+        session.close()
+        session.close()
+
+    def test_cache_overrides_restored_on_close(self, tmp_path):
+        from repro.cache import cache_enabled, get_store
+
+        before_root = str(get_store().root)
+        with Session(cache_dir=str(tmp_path / "api-cache"), cache=False):
+            assert str(get_store().root) == str(tmp_path / "api-cache")
+            assert not cache_enabled()
+        assert str(get_store().root) == before_root
+
+    def test_workload_registry(self):
+        with Session() as session:
+            assert "gzip" in session.workloads()
+            assert session.workload("gzip") is session.workload("gzip")
+
+
+class TestRunHandle:
+    def test_run_matches_legacy_inline_result(self):
+        config = fast_config()
+        plan = ExperimentPlan("t")
+        plan.add(config, "gzip", 800)
+        with Session() as session:
+            facade = session.run(plan).results[0]
+        legacy = runner_module._execute_single(config, "gzip", 800)
+        assert facade == legacy
+
+    def test_progress_event_ordering(self):
+        spec = fast_spec(benchmarks=("gzip", "mcf", "eon"))
+        with Session() as session:
+            handle = session.submit(spec)
+            streamed = list(handle.events())
+        kinds = [event.kind for event in handle.event_log]
+        assert kinds[0] == "submitted"
+        assert kinds[1] == "started"
+        assert kinds[2:-1] == ["task"] * 3
+        assert kinds[-1] == "done"
+        # completed counts are monotonically non-decreasing and end at total
+        completed = [event.completed for event in handle.event_log]
+        assert completed == sorted(completed)
+        assert handle.event_log[-1].completed == 3
+        assert handle.progress() == (3, 3)
+        # the streamed view saw every event, in order
+        assert streamed == handle.event_log
+
+    def test_task_events_carry_payload(self):
+        with Session() as session:
+            handle = session.submit(fast_spec())
+            handle.result()
+        task_events = [e for e in handle.event_log if e.kind == "task"]
+        assert len(task_events) == 1
+        event = task_events[0]
+        assert event.benchmark == "gzip"
+        assert event.key == ("base",)
+        assert event.seconds > 0
+        assert event.cache_hits is not None
+
+    def test_listener_callbacks(self):
+        seen = []
+        with Session() as session:
+            handle = session.submit(fast_spec())
+            handle.add_listener(seen.append)
+            handle.result()
+        assert any(event.kind == "done" for event in seen)
+        assert all(isinstance(event, ProgressEvent) for event in seen)
+
+    def test_parallel_results_identical_to_inline(self):
+        spec = fast_spec(scheme=("base", "FDP"), benchmarks=("gzip", "mcf"))
+        with Session() as inline:
+            serial = inline.run(spec)
+        with Session(jobs=2) as parallel:
+            fanned = parallel.run(spec)
+        assert serial.results == fanned.results
+        assert list(serial.by_key()) == list(fanned.by_key())
+
+    def test_result_timeout(self):
+        with Session() as session:
+            handle = session.submit(fast_spec())
+            handle.result()   # make sure it finishes
+            assert handle.result(timeout=0.001).results
+
+    def test_run_result_metadata(self):
+        with Session() as session:
+            result = session.run(fast_spec())
+        assert result.elapsed_seconds > 0
+        assert len(result) == 1
+
+
+class TestCancellation:
+    def test_cancel_mid_run_stops_remaining_tasks(self):
+        spec = fast_spec(benchmarks=("gzip", "mcf", "eon", "gcc"))
+        with Session() as session:
+            handle = session.submit(spec)
+            # Cancel from the executor thread after the first finished task:
+            # deterministic because listeners run synchronously between tasks.
+            handle.add_listener(
+                lambda event: handle.cancel() if event.kind == "task" else None)
+            with pytest.raises(RunCancelled):
+                handle.result()
+        assert handle.status() == "cancelled"
+        completed, total = handle.progress()
+        assert completed < total
+        assert handle.event_log[-1].kind == "cancelled"
+        assert handle.cancel() is False   # already finished
+
+    def test_cancel_before_start(self):
+        with Session() as session:
+            # Hold the execution lock so the submission stays queued.
+            with session._exec_lock:
+                handle = session.submit(fast_spec())
+                assert handle.cancel() is True
+            with pytest.raises(RunCancelled):
+                handle.result()
+        assert handle.status() == "cancelled"
+
+
+class TestSampledParity:
+    BUDGET = 4000
+
+    def test_sampled_submit_matches_legacy_run_sampled(self):
+        from repro.sampling.sampled import _execute_sampled
+
+        config = fast_config(max_instructions=self.BUDGET)
+        plan = ExperimentPlan("t")
+        plan.add(config, "gzip", self.BUDGET, sampled=True)
+        with Session() as session:
+            facade = session.run(plan).results[0]
+        legacy = _execute_sampled(config, "gzip",
+                                  max_instructions=self.BUDGET)
+        assert facade == legacy
+        assert facade.extras.get("sampled") == 1.0
+
+    def test_sampled_vs_full_through_submit(self):
+        spec = fast_spec(scheme="base-pipelined",
+                         max_instructions=self.BUDGET)
+        with Session() as session:
+            full = session.run(spec).results[0]
+            sampled = session.run(
+                spec, options=ExecutionOptions(sampled=True)).results[0]
+        assert full.extras.get("sampled") is None
+        assert sampled.extras.get("sampled") == 1.0
+        # The sampled estimate is normalized to the requested budget; the
+        # full run may commit a handful of instructions past it.
+        assert sampled.committed_instructions == self.BUDGET
+        assert full.committed_instructions >= self.BUDGET
+        # The sampled estimate tracks the full run closely at this budget.
+        assert sampled.ipc == pytest.approx(full.ipc, rel=0.25)
+
+
+class TestFigure5SampledParity:
+    def test_sampled_figure5_byte_identical_to_legacy_path(self, tmp_path):
+        """Acceptance: the façade reproduces `figure 5 --sampled` output
+        byte-identically to the legacy free-function path."""
+        from repro.analysis import figures
+        from repro.api import format_ipc_sweep
+        from repro.cache import temporary_cache_dir
+
+        kwargs = dict(benchmarks=["gzip"], l1_sizes=[1024],
+                      max_instructions=4000)
+        with temporary_cache_dir(tmp_path / "fig5-parity"):
+            with Session() as session:
+                facade = session.figure5_series(
+                    options=ExecutionOptions(sampled=True), **kwargs)
+            with pytest.warns(DeprecationWarning, match="figure5_series"):
+                legacy = figures.figure5_series(sampled=True, **kwargs)
+        title = "Figure 5: main comparison [sampled]"
+        assert (format_ipc_sweep(facade, title)
+                == format_ipc_sweep(legacy, title))
+
+
+class TestDefaultSession:
+    def test_default_session_is_cached_and_reopened(self):
+        session = default_session()
+        assert default_session() is session
+        session.close()
+        reopened = default_session()
+        assert reopened is not session
+        assert not reopened.closed
+
+
+class TestDeprecatedShims:
+    """Every legacy entry point warns and matches the façade result."""
+
+    def test_run_single(self):
+        config = fast_config()
+        with Session() as session:
+            plan = ExperimentPlan("t")
+            plan.add(config, "gzip", 800)
+            facade = session.run(plan).results[0]
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            legacy = runner_module.run_single(config, "gzip", 800)
+        assert legacy == facade
+
+    def test_run_benchmarks(self):
+        config = fast_config()
+        with Session() as session:
+            plan = ExperimentPlan("t")
+            for name in ("gzip", "mcf"):
+                plan.add(config, name, 600)
+            facade = session.run(plan).results
+        with pytest.warns(DeprecationWarning, match="Session.run"):
+            legacy = runner_module.run_benchmarks(config, ["gzip", "mcf"], 600)
+        assert legacy == facade
+
+    def test_run_mix(self):
+        config = fast_config()
+        with pytest.warns(DeprecationWarning, match="Session.run"):
+            legacy = runner_module.run_mix(config, ["gzip"], 600)
+        assert set(legacy) == {"results", "hmean_ipc"}
+        assert legacy["hmean_ipc"] > 0
+
+    def test_shim_jobs_none_keeps_all_cores_meaning(self, monkeypatch):
+        """Legacy contract: jobs=None/0 = all cores.  Inside
+        ExecutionOptions a None means 'inherit the session default'
+        (jobs=1), so the shims must resolve jobs before delegating."""
+        import repro.api.session as session_module
+
+        seen = {}
+        real = session_module.iter_task_results
+
+        def spy(tasks, jobs=1, cancel=None):
+            seen["jobs"] = jobs
+            return real(tasks, jobs=jobs, cancel=cancel)
+
+        monkeypatch.setattr(session_module, "iter_task_results", spy)
+        with pytest.warns(DeprecationWarning):
+            runner_module.run_benchmarks(fast_config(), ["gzip"], 500,
+                                         jobs=None)
+        assert seen["jobs"] == runner_module.resolve_jobs(0)
+
+    def test_sweep_l1_sizes(self):
+        configs = {1024: fast_config(l1_size_bytes=1024)}
+        with pytest.warns(DeprecationWarning, match="l1_sizes"):
+            legacy = runner_module.sweep_l1_sizes(configs, ["gzip"], 500)
+        assert set(legacy) == {1024}
+
+    def test_run_sampled(self):
+        from repro.sampling.sampled import _execute_sampled, run_sampled
+
+        config = fast_config(max_instructions=4000)
+        with pytest.warns(DeprecationWarning, match="sampled=True"):
+            legacy = run_sampled(config, "gzip", 4000)
+        assert legacy == _execute_sampled(config, "gzip", 4000)
+
+    @pytest.mark.parametrize("name", [
+        "figure1_series", "figure2_series", "figure4_series",
+        "figure5_series", "figure8_series",
+    ])
+    def test_figure_builders(self, name):
+        from repro.analysis import figures
+
+        kwargs = dict(benchmarks=["gzip"], l1_sizes=[1024],
+                      max_instructions=600)
+        with Session() as session:
+            facade = getattr(session, name)(**kwargs)
+        with pytest.warns(DeprecationWarning, match=f"Session.{name}"):
+            legacy = getattr(figures, name)(**kwargs)
+        assert legacy == facade
+
+    def test_figure6_series(self):
+        from repro.analysis import figures
+
+        kwargs = dict(benchmarks=["gzip"], max_instructions=600)
+        with Session() as session:
+            facade = session.figure6_series(**kwargs)
+        with pytest.warns(DeprecationWarning, match="figure6_series"):
+            legacy = figures.figure6_series(**kwargs)
+        assert legacy == facade
+
+    def test_figure7_series(self):
+        from repro.analysis import figures
+
+        kwargs = dict(with_l0=False, benchmarks=["gzip"], l1_sizes=[1024],
+                      max_instructions=600)
+        with Session() as session:
+            facade = session.figure7_series(**kwargs)
+        with pytest.warns(DeprecationWarning, match="figure7_series"):
+            legacy = figures.figure7_series(**kwargs)
+        assert legacy == facade
+
+    def test_headline_speedups(self):
+        from repro.analysis import figures
+
+        kwargs = dict(benchmarks=["gzip"], max_instructions=600)
+        with Session() as session:
+            facade = session.headline_speedups(**kwargs)
+        with pytest.warns(DeprecationWarning, match="headline_speedups"):
+            legacy = figures.headline_speedups(**kwargs)
+        assert legacy == facade
+
+    def test_ablation_series(self):
+        from repro.analysis import figures
+
+        kwargs = dict(benchmarks=["gzip"], max_instructions=600)
+        with Session() as session:
+            facade = session.ablation_series(**kwargs)
+        with pytest.warns(DeprecationWarning, match="ablation_series"):
+            legacy = figures.ablation_series(**kwargs)
+        assert legacy == facade
+
+
+class TestWeightedAffineChunks:
+    """_affine_chunks balances by instruction budget, not task count."""
+
+    def test_mixed_budgets_split_where_the_work_is(self):
+        config = fast_config()
+        # One benchmark with one huge task, another with many small ones:
+        # count-based chunking would pair the huge task with small ones.
+        tasks = [runner_module.SimTask(config=config, benchmark="gzip",
+                                       max_instructions=100_000)]
+        tasks += [runner_module.SimTask(config=config, benchmark="mcf",
+                                        max_instructions=1000)
+                  for _ in range(10)]
+        chunks = runner_module._affine_chunks(tasks, jobs=2)
+        weights = [
+            sum(runner_module._task_weight(task) for _idx, task in chunk)
+            for chunk in chunks
+        ]
+        # Heaviest chunk first, and the huge task is alone in its chunk.
+        assert weights == sorted(weights, reverse=True)
+        heaviest = chunks[0]
+        assert len(heaviest) == 1
+        assert heaviest[0][1].benchmark == "gzip"
+
+    def test_single_benchmark_still_splits_for_parallelism(self):
+        config = fast_config()
+        tasks = [runner_module.SimTask(config=config, benchmark="gzip",
+                                       max_instructions=1000)
+                 for _ in range(8)]
+        chunks = runner_module._affine_chunks(tasks, jobs=4)
+        assert len(chunks) >= 4
+        covered = sorted(index for chunk in chunks for index, _t in chunk)
+        assert covered == list(range(8))
+
+    def test_chunks_stay_single_benchmark(self):
+        config = fast_config()
+        tasks = []
+        for name in ("gzip", "mcf", "eon"):
+            for _ in range(3):
+                tasks.append(runner_module.SimTask(
+                    config=config, benchmark=name, max_instructions=1000))
+        for chunk in runner_module._affine_chunks(tasks, jobs=2):
+            assert len({task.benchmark for _idx, task in chunk}) == 1

@@ -425,3 +425,98 @@ class TestCacheCli:
         for figure in ("Figure 1", "Figure 2", "Figure 4", "Figure 5",
                        "Figure 6", "Figure 7", "Figure 8"):
             assert figure in out
+
+
+class TestCacheGc:
+    """LRU-by-mtime eviction: `ArtifactStore.gc(max_size)` and the CLI."""
+
+    @staticmethod
+    def _populated(tmp_path):
+        store = ArtifactStore(tmp_path / "gc-cache")
+        for index in range(4):
+            store.put("kindA", f"key{index}", b"x" * 2000)
+        paths = [store.path_for("kindA", f"key{index}") for index in range(4)]
+        # Deterministic mtimes: key0 oldest ... key3 newest.
+        for age, path in enumerate(paths):
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        return store, paths
+
+    def test_evicts_oldest_first_down_to_limit(self, tmp_path):
+        store, paths = self._populated(tmp_path)
+        total = store.total_size()
+        per_file = paths[0].stat().st_size
+        removed_files, removed_bytes = store.gc(total - per_file)
+        assert removed_files == 1
+        assert removed_bytes == per_file
+        assert not paths[0].exists()            # oldest went first
+        assert all(path.exists() for path in paths[1:])
+        assert store.total_size() <= total - per_file
+
+    def test_generous_limit_removes_nothing(self, tmp_path):
+        store, paths = self._populated(tmp_path)
+        assert store.gc(store.total_size()) == (0, 0)
+        assert all(path.exists() for path in paths)
+
+    def test_zero_limit_empties_the_store(self, tmp_path):
+        store, paths = self._populated(tmp_path)
+        removed_files, _ = store.gc(0)
+        assert removed_files == 4
+        assert store.total_size() == 0
+
+    def test_negative_limit_rejected(self, tmp_path):
+        store, _ = self._populated(tmp_path)
+        with pytest.raises(ValueError):
+            store.gc(-1)
+
+    def test_reads_refresh_lru_order(self, tmp_path):
+        store, paths = self._populated(tmp_path)
+        # Read the oldest artifact: it becomes most recently used, so the
+        # next-oldest (key1) is evicted instead.
+        assert store.get("kindA", "key0") is not None
+        per_file = paths[0].stat().st_size
+        store.gc(store.total_size() - per_file)
+        assert paths[0].exists()
+        assert not paths[1].exists()
+
+    def test_other_schema_versions_are_candidates(self, tmp_path):
+        store, paths = self._populated(tmp_path)
+        orphan = ArtifactStore(tmp_path / "gc-cache", version=store.version + 1)
+        orphan.put("kindB", "old", b"y" * 2000)
+        orphan_path = orphan.path_for("kindB", "old")
+        os.utime(orphan_path, (999_000, 999_000))   # older than everything
+        removed_files, _ = store.gc(store.total_size()
+                                    - orphan_path.stat().st_size)
+        assert removed_files == 1
+        assert not orphan_path.exists()
+        assert all(path.exists() for path in paths)
+
+    def test_cli_gc_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cli-gc"
+        store = ArtifactStore(cache_dir)
+        for index in range(3):
+            store.put("kindA", f"key{index}", b"x" * 5000)
+        assert main(["cache", "gc", "--max-size", "0",
+                     "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 3 artifact file(s)" in out
+        assert store.total_size() == 0
+
+    def test_cli_gc_accepts_size_suffixes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cli-gc-suffix"
+        store = ArtifactStore(cache_dir)
+        store.put("kindA", "key", b"x" * 100)
+        assert main(["cache", "gc", "--max-size", "1M",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert "evicted 0 artifact file(s)" in capsys.readouterr().out
+        assert store.total_size() > 0
+
+    def test_cli_gc_requires_max_size(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "gc",
+                     "--cache-dir", str(tmp_path / "cli-gc-req")]) == 2
+        assert "--max-size" in capsys.readouterr().err

@@ -84,12 +84,12 @@ class TestFigure6DefaultDetection:
     def _capture(self, monkeypatch):
         calls = {}
 
-        def fake_series(**kwargs):
+        def fake_series(session, **kwargs):
             calls.update(kwargs)
             return {"HMEAN": {}}
 
-        import repro.cli as cli
-        monkeypatch.setattr(cli, "figure6_series", fake_series)
+        from repro.api import Session
+        monkeypatch.setattr(Session, "figure6_series", fake_series)
         return calls
 
     def test_whitespace_default_mix_means_no_override(self, monkeypatch, capsys):
