@@ -5,7 +5,7 @@ cycle loop for the three main engines so performance regressions in the
 simulator itself are visible.  pytest-benchmark runs these with its normal
 statistics (multiple rounds) because a single run is fast.
 
-Four dimensions are tracked (each also lands in the session-level
+Five dimensions are tracked (each also lands in the session-level
 ``bench_metrics`` mapping, flushed to the top-level
 ``BENCH_throughput.json`` so the perf trajectory is recorded per PR):
 
@@ -23,7 +23,10 @@ Four dimensions are tracked (each also lands in the session-level
   sampling subsystem itself, not artifact replay),
 * cold-vs-warm artifact cache: the same sampled mix against an empty and
   a populated ``repro.cache`` store, with in-memory caches cleared
-  between runs so the warm number models a fresh CLI invocation.
+  between runs so the warm number models a fresh CLI invocation,
+* cold-vs-warm full-run result cache: the non-sampled counterpart --
+  warm rounds replay complete persisted ``SimulationResult``\\ s with no
+  simulation at all.
 """
 
 import os
@@ -90,8 +93,10 @@ def test_sweep_throughput(benchmark, api_session, jobs, bench_metrics):
         get_workload(name)
 
     def run_sweep():
+        # result_cache=False: later rounds must measure the sweep's
+        # simulations, not full-run result replays from round one.
         return run_plan(api_session, config, SWEEP_BENCHMARKS, INSTRUCTIONS,
-                        jobs=jobs)
+                        jobs=jobs, result_cache=False)
 
     results = benchmark.pedantic(run_sweep, rounds=2, iterations=1,
                                  warmup_rounds=1)
@@ -224,6 +229,58 @@ def test_artifact_cache_cold_vs_warm(benchmark, api_session, bench_metrics,
     benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
     benchmark.extra_info["cache_speedup"] = round(speedup, 2)
     bench_metrics["artifact_cache"] = {
+        "instructions": instructions,
+        "benchmarks": len(names),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 2),
+    }
+
+
+def test_result_cache_cold_vs_warm(benchmark, api_session, bench_metrics,
+                                   tmp_path_factory):
+    """Cold-vs-warm **full-run result cache** timings for a non-sampled mix.
+
+    Cold: empty store -- every run simulates and publishes its complete
+    ``SimulationResult``.  Warm: in-memory caches cleared before every
+    round, so each task is answered by a result replay off disk (the
+    fresh-CLI-invocation model: no simulation at all, not even a
+    workload build).  Results must be bit-identical; CI separately
+    asserts the >=5x wall-clock floor on the non-sampled `figure 5`
+    warm replay.
+    """
+    instructions = bench_instruction_budget()
+    names = SWEEP_BENCHMARKS
+    config = paper_config("CLGP+L0", l1_size_bytes=4096,
+                          technology="0.045um",
+                          max_instructions=instructions)
+
+    def full_mix():
+        return dict(zip(names, run_plan(api_session, config, names,
+                                        instructions)))
+
+    cache_dir = tmp_path_factory.mktemp("result-cache")
+    with temporary_cache_dir(cache_dir):
+        clear_process_caches()
+        start = time.perf_counter()
+        cold = full_mix()
+        cold_seconds = time.perf_counter() - start
+
+        def warm_run():
+            clear_process_caches()
+            return full_mix()
+
+        warm = benchmark.pedantic(warm_run, rounds=3, iterations=1,
+                                  warmup_rounds=0)
+    clear_process_caches()
+    assert warm == cold, "warm result replay diverged from cold"
+    warm_seconds = benchmark.stats.stats.min
+    speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    benchmark.extra_info["instructions"] = instructions
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["result_cache_speedup"] = round(speedup, 2)
+    bench_metrics["result_cache"] = {
         "instructions": instructions,
         "benchmarks": len(names),
         "cold_seconds": round(cold_seconds, 4),

@@ -52,14 +52,18 @@ def api_session():
         yield session
 
 
-def run_plan(session, config, names, instructions, sampled=False, jobs=1):
+def run_plan(session, config, names, instructions, sampled=False, jobs=1,
+             result_cache=None):
     """Run one explicit configuration over several benchmarks through the
     façade (the bench-side counterpart of the deprecated
-    ``run_benchmarks`` free function)."""
+    ``run_benchmarks`` free function).  ``result_cache=False`` forces
+    resimulation -- benches that measure the simulator itself must not
+    accidentally time a full-run result replay."""
     plan = ExperimentPlan("bench-mix")
     for name in names:
         plan.add(config, name, instructions, sampled=sampled)
-    return session.run(plan, options=ExecutionOptions(jobs=jobs)).results
+    return session.run(plan, options=ExecutionOptions(
+        jobs=jobs, result_cache=result_cache)).results
 
 
 @pytest.fixture(scope="session")

@@ -35,6 +35,11 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..cache.results import (
+    configure_result_cache,
+    restore_result_configuration,
+    snapshot_result_configuration,
+)
 from ..cache.store import configure, restore_configuration, snapshot_configuration
 from ..simulator.plan import ExperimentPlan, PlanResults
 from ..simulator.runner import (
@@ -66,10 +71,16 @@ class ProgressEvent:
     """One observation of a run's progress.
 
     ``kind`` is ``"submitted"``, ``"started"``, ``"task"`` (one finished
-    simulation; carries ``benchmark``/``key``/``seconds``/``cache_hits``),
-    or the terminal ``"done"``/``"failed"``/``"cancelled"``.
-    ``completed`` counts finished tasks and is monotonically
-    non-decreasing across a handle's event stream.
+    simulation; carries ``benchmark``/``key``/``seconds``/``cache_hits``/
+    ``result_cache_hits``), or the terminal
+    ``"done"``/``"failed"``/``"cancelled"``.  ``completed`` counts
+    finished tasks and is monotonically non-decreasing across a handle's
+    event stream.  ``cache_hits`` counts ordinary artifact-store reads
+    (traces, warm-ups, checkpoints, ...); ``result_cache_hits`` counts
+    full-run **result replays** -- tasks whose complete
+    ``SimulationResult`` came off disk with no simulation at all -- and
+    is reported distinctly so consumers can tell "warm artifacts" from
+    "did not simulate".
     """
 
     kind: str
@@ -79,6 +90,7 @@ class ProgressEvent:
     key: Optional[tuple] = None
     seconds: Optional[float] = None
     cache_hits: Optional[int] = None
+    result_cache_hits: Optional[int] = None
 
 
 @dataclass
@@ -91,6 +103,8 @@ class RunResult(PlanResults):
 
     elapsed_seconds: float = 0.0
     cache_hits: int = 0
+    #: Tasks answered by a full-run result replay (no simulation ran).
+    result_cache_hits: int = 0
 
 
 class RunHandle:
@@ -383,6 +397,7 @@ class Session:
                 return
             options = handle._options
             cache_snapshot = None
+            result_snapshot = None
             # Scope the cache policy to this execution: session settings
             # first, per-call options layered on top, previous state
             # restored afterwards -- so concurrent sessions each run
@@ -397,17 +412,23 @@ class Session:
                 if options.cache_dir is not None or options.cache is not None:
                     configure(cache_dir=options.cache_dir,
                               enabled=options.cache)
+            if options.result_cache is not None:
+                result_snapshot = snapshot_result_configuration()
+                configure_result_cache(options.result_cache)
             handle._status = "running"
             handle._emit("started")
             tasks = handle._plan.tasks
             results = [None] * len(tasks)
             start = time.perf_counter()
             hits = 0
+            result_hits = 0
             try:
-                for index, result, seconds, task_hits in iter_task_results(
+                for (index, result, seconds, task_hits,
+                     task_result_hits) in iter_task_results(
                         tasks, jobs=handle._jobs, cancel=handle._cancel):
                     results[index] = result
                     hits += task_hits
+                    result_hits += task_result_hits
                     handle._completed += 1
                     task = tasks[index]
                     handle._emit(
@@ -417,6 +438,7 @@ class Session:
                         key=getattr(task, "key", None),
                         seconds=seconds,
                         cache_hits=task_hits,
+                        result_cache_hits=task_result_hits,
                     )
                 if handle._cancel.is_set():
                     handle._finish("cancelled")
@@ -426,12 +448,15 @@ class Session:
                     results=results,
                     elapsed_seconds=time.perf_counter() - start,
                     cache_hits=hits,
+                    result_cache_hits=result_hits,
                 )
                 handle._finish("done")
             except BaseException as exc:   # surfaced via handle.result()
                 handle._error = exc
                 handle._finish("failed")
             finally:
+                if options.result_cache is not None:
+                    restore_result_configuration(result_snapshot)
                 if cache_snapshot is not None:
                     restore_configuration(cache_snapshot)
 

@@ -138,6 +138,10 @@ class ExecutionOptions:
     overriding the default :class:`~repro.sampling.sampled.SamplingSpec`.
     ``cache_dir``/``cache`` override the artifact-cache configuration
     for this submission only (``None`` inherits the ambient setting).
+    ``result_cache=False`` (the CLI's ``--no-result-cache``) forces full
+    runs to resimulate instead of replaying persisted
+    ``SimulationResult`` artifacts; ``True`` forces replay on even under
+    ``REPRO_RESULT_CACHE_DISABLE``; ``None`` inherits.
     """
 
     jobs: Optional[int] = None
@@ -145,6 +149,7 @@ class ExecutionOptions:
     sampling: Optional[object] = None
     cache_dir: Optional[str] = None
     cache: Optional[bool] = None
+    result_cache: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.jobs is not None:

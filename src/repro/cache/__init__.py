@@ -8,10 +8,19 @@ Public surface:
   process-independent artifact keys,
 * :func:`repro.cache.traces.ensure_compiled_trace` -- compiled
   correct-path traces,
+* :mod:`repro.cache.results` -- full-run result caching
+  (:func:`result_cache_enabled` / :func:`configure_result_cache`),
 * :mod:`repro.cache.shared` -- workload-aware checkpoint pickling.
 """
 
 from .keys import content_key, stable_repr
+from .results import (
+    ENV_RESULT_CACHE_DISABLE,
+    RESULT_CACHE_STATS,
+    configure_result_cache,
+    reset_result_stats,
+    result_cache_enabled,
+)
 from .store import (
     DEFAULT_CACHE_DIR,
     ENV_CACHE_DIR,
@@ -34,16 +43,21 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "ENV_CACHE_DIR",
     "ENV_CACHE_DISABLE",
+    "ENV_RESULT_CACHE_DISABLE",
+    "RESULT_CACHE_STATS",
     "SCHEMA_VERSION",
     "active_store",
     "cache_enabled",
     "clear_trace_cache",
     "configure",
+    "configure_result_cache",
     "content_key",
     "ensure_compiled_trace",
     "get_store",
     "reset_configuration",
+    "reset_result_stats",
     "restore_configuration",
+    "result_cache_enabled",
     "snapshot_configuration",
     "stable_repr",
     "temporary_cache_dir",

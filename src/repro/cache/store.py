@@ -41,7 +41,12 @@ from typing import Dict, Iterator, List, Optional, Tuple
 #: any persisted artifact changes incompatibly (new columnar layout,
 #: different checkpoint pickling, changed measurement payloads); old
 #: versions' directories are ignored and reclaimed by ``cache clear``.
-SCHEMA_VERSION = 1
+#: v2: split-invariant functional skips (``PredictionUnit._skip_partial``
+#: rides in checkpoints and changes how resumed skips train the
+#: predictor, so v1 checkpoints/measurements no longer replay
+#: bit-identically) plus the positioned-checkpoint and full-run result
+#: artifact kinds.
+SCHEMA_VERSION = 2
 
 #: Default store root, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -196,10 +201,19 @@ class ArtifactStore:
         mtime order is LRU order.  Every schema version is considered --
         orphaned versions are never *used*, so their stale mtimes put
         them first in line.  Eviction is only ever a cache miss followed
-        by a recompute, never a wrong result.
+        by a recompute, never a wrong result.  An artifact whose mtime
+        was refreshed by a concurrent read between the scan and its
+        eviction turn is *not* evicted -- it just became the most
+        recently used file in the store, so unlinking it would evict
+        exactly the wrong artifact.
         """
         if max_size_bytes < 0:
             raise ValueError("max_size_bytes must be >= 0")
+        entries, total = self._gc_scan()
+        return self._gc_evict(entries, total, max_size_bytes)
+
+    def _gc_scan(self) -> Tuple[List[Tuple[float, str, Path, int]], int]:
+        """LRU-ordered ``(mtime, name, path, size)`` entries + total bytes."""
         entries: List[Tuple[float, str, Path, int]] = []
         total = 0
         for version_dir in self._version_dirs():
@@ -213,10 +227,32 @@ class ArtifactStore:
                                 stat.st_size))
                 total += stat.st_size
         entries.sort()
+        return entries, total
+
+    def _gc_evict(
+        self,
+        entries: List[Tuple[float, str, Path, int]],
+        total: int,
+        max_size_bytes: int,
+    ) -> Tuple[int, int]:
+        """Eviction pass over a scan (separate from :meth:`_gc_scan` so
+        the scan/evict race with a concurrent read-refresh is testable)."""
         removed_files = removed_bytes = 0
-        for _mtime, _name, path, size in entries:
+        for scanned_mtime, _name, path, size in entries:
             if total <= max_size_bytes:
                 break
+            try:
+                current_mtime = path.stat().st_mtime
+            except OSError:
+                # Already gone (another process evicted it): it no
+                # longer occupies space, so it counts toward the target
+                # without being credited to this pass.
+                total -= size
+                continue
+            if current_mtime > scanned_mtime:
+                # Refreshed by a concurrent read since the scan: the
+                # artifact is now MRU, not LRU -- skip it this round.
+                continue
             with contextlib.suppress(OSError):
                 path.unlink()
                 removed_files += 1

@@ -24,7 +24,12 @@ figures of a ``figure all`` invocation.  ``figure`` and ``speedups``
 also accept ``--sampled`` to run every simulation in SimPoint-style
 sampled mode.  Simulation commands accept ``--cache-dir`` (default
 ``.repro-cache/``, env ``REPRO_CACHE_DIR``) and ``--no-cache``
-(env ``REPRO_CACHE_DISABLE=1``) to steer the artifact cache.
+(env ``REPRO_CACHE_DISABLE=1``) to steer the artifact cache, plus
+``--no-result-cache`` (env ``REPRO_RESULT_CACHE_DISABLE=1``) to force
+full runs to resimulate instead of replaying persisted
+``SimulationResult`` artifacts -- with it off (the default), a repeated
+``figure``/``speedups`` invocation without ``--sampled`` returns
+byte-identical results straight from the store.
 """
 
 from __future__ import annotations
@@ -71,6 +76,11 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent artifact cache "
                              "(recompute everything in-process)")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="always resimulate full runs instead of "
+                             "replaying persisted SimulationResults "
+                             "(other artifact kinds still replay; env: "
+                             "REPRO_RESULT_CACHE_DISABLE=1)")
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -116,7 +126,11 @@ def _benchmarks(arg: str) -> List[str]:
 def _options(args: argparse.Namespace) -> ExecutionOptions:
     """Per-call execution options from the parsed flags (``--jobs`` is
     session-level policy, validated where the Session is built)."""
-    return ExecutionOptions(sampled=getattr(args, "sampled", False))
+    return ExecutionOptions(
+        sampled=getattr(args, "sampled", False),
+        result_cache=(False if getattr(args, "no_result_cache", False)
+                      else None),
+    )
 
 
 def _cmd_run(session: Session, args: argparse.Namespace) -> int:
@@ -128,7 +142,7 @@ def _cmd_run(session: Session, args: argparse.Namespace) -> int:
         l1_size_bytes=args.l1_size,
         name="cli-run",
     )
-    results = session.run(spec).results
+    results = session.run(spec, options=_options(args)).results
     for result in results:
         print(result.summary())
     print(f"{'HMEAN IPC':>18s} : {harmonic_mean_ipc(results):.3f}")
@@ -341,7 +355,12 @@ def _cmd_sample(session: Session, args: argparse.Namespace) -> int:
           f"[{sampled_seconds:.2f}s]")
     if args.compare:
         start = time.perf_counter()
-        full = session.run(run_spec).results[0]
+        # result_cache=False: the point of --compare is timing the full
+        # simulation against the sampled estimate; replaying a persisted
+        # result would report a meaningless ~0s baseline.
+        full = session.run(
+            run_spec, options=ExecutionOptions(result_cache=False)
+        ).results[0]
         full_seconds = time.perf_counter() - start
         error = sampled.ipc / full.ipc - 1.0 if full.ipc else 0.0
         ratio = full_seconds / sampled_seconds if sampled_seconds else 0.0

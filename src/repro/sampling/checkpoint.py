@@ -9,6 +9,12 @@ time would swamp the savings, so this store caches
   on first use with :meth:`Simulator.warm_up` + :meth:`Simulator.snapshot`
   (which itself reuses :mod:`repro.simulator.warming`'s cached artifacts
   across configurations that share cache/predictor geometry),
+* **positioned checkpoints**: post-``skip_to`` snapshots keyed by
+  (position key, workload, instruction offset), so a run whose budget or
+  interval selection changed restores the largest persisted offset at or
+  before its skip target and only fast-forwards the delta instead of
+  re-skipping the whole prefix from the warm checkpoint (the mechanism
+  behind gem5's LoopPoint flow and rv8's riscv-ckpt),
 * the interval selection (and the BBV profile behind it) per (workload,
   sampling parameters) -- the profiling pass and k-means run once per
   benchmark no matter how many configurations a sweep evaluates, and
@@ -63,6 +69,27 @@ def _config_key(config: SimulationConfig) -> str:
     return stable_repr(config)
 
 
+def position_key(config: SimulationConfig) -> str:
+    """Identity of everything that shapes *post-skip* machine state.
+
+    Positioned checkpoints exist to be reused by runs with a **changed
+    instruction budget or interval selection**, so the run-length fields
+    that cannot influence warm-up-plus-skip state are neutralized:
+    ``max_instructions`` and ``max_cycles`` only bound the timed run and
+    ``sim_loop`` is bit-identical by contract.  The functional warm-up
+    budget *does* shape the state and (by default) derives from
+    ``max_instructions``, so it is pinned to its resolved value -- two
+    budgets share positioned checkpoints exactly when their resolved
+    warm-ups agree.
+    """
+    return stable_repr(config.with_overrides(
+        max_instructions=1,
+        max_cycles=None,
+        sim_loop="event",
+        warmup_instructions=config.resolved_warmup_instructions(),
+    ))
+
+
 class CheckpointStore:
     """Cache of warm checkpoints, selections and profiles.
 
@@ -84,6 +111,14 @@ class CheckpointStore:
         self._profiles: Dict[Tuple, FunctionalProfile] = {}
         self._bbv_profiles: Dict[Tuple, BBVProfile] = {}
         self._requested: set = set()
+        #: Positioned (post-skip) checkpoints: {(position key, workload
+        #: name, seed): {instruction offset: checkpoint}}.
+        self._positioned: Dict[Tuple, Dict[int, SimulatorCheckpoint]] = {}
+        #: Reuse counters for positioned checkpoints (tests and the
+        #: acceptance criteria assert prefix reuse on these).
+        self.positioned_hits = 0
+        self.positioned_misses = 0
+        self.positioned_publishes = 0
 
     def artifact_store(self) -> Optional[ArtifactStore]:
         """The persistent tier in effect, or ``None`` (memory only)."""
@@ -205,6 +240,114 @@ class CheckpointStore:
             return checkpoint
         return self.warm_checkpoint_if_revisited(config, workload)
 
+    # -- positioned (post-skip) checkpoints ----------------------------
+    def positioned_checkpoint(
+        self,
+        config: SimulationConfig,
+        workload: Workload,
+        max_offset: int,
+        min_offset: int = 0,
+    ) -> Optional[Tuple[int, SimulatorCheckpoint]]:
+        """The deepest positioned checkpoint at or before ``max_offset``.
+
+        Returns ``(instruction offset, checkpoint)`` for the largest
+        published offset ``min_offset < offset <= max_offset`` of this
+        (position key, workload), or ``None`` (``min_offset`` lets a
+        caller that already holds a checkpoint at some offset ask only
+        for strictly deeper ones, so the reuse counters count real
+        reuse).  The checkpoint's state is exactly ``warm_up()`` followed
+        by ``skip_to(offset)`` -- functional skips are split-invariant,
+        so restoring it and skipping the remaining delta is bit-identical
+        to skipping the whole prefix from the warm checkpoint, whatever
+        budget or interval selection produced the persisted offset.
+        Memory tier first, then the artifact store (offsets are
+        enumerated through a small per-(config, workload) index
+        artifact).
+        """
+        key = (position_key(config), workload.name, workload.profile.seed)
+        memo = self._positioned.get(key, {})
+        candidates = {off for off in memo if min_offset < off <= max_offset}
+        disk = self.artifact_store()
+        if disk is not None:
+            index = disk.get("positioned-index",
+                             content_key("positioned-index", *key))
+            if isinstance(index, (list, tuple)):
+                candidates.update(
+                    off for off in index
+                    if isinstance(off, int) and min_offset < off <= max_offset
+                )
+        for offset in sorted(candidates, reverse=True):
+            checkpoint = memo.get(offset)
+            if checkpoint is None and disk is not None:
+                checkpoint = self._load_positioned(disk, key, offset,
+                                                   workload)
+            if checkpoint is not None:
+                self.positioned_hits += 1
+                return offset, checkpoint
+        self.positioned_misses += 1
+        return None
+
+    def _load_positioned(
+        self, disk: ArtifactStore, key: Tuple, offset: int,
+        workload: Workload,
+    ) -> Optional[SimulatorCheckpoint]:
+        disk_key = content_key("positioned-checkpoint", *key, offset)
+        data = disk.get_bytes("positioned", disk_key)
+        if data is None:
+            return None
+        try:
+            state = loads_with_workload(data, workload)
+        except SharedObjectUnavailable:
+            # References a compiled trace this process lacks: still
+            # usable by other processes, so leave it on disk.
+            return None
+        except Exception:
+            disk.stats.corrupt += 1
+            disk.discard("positioned", disk_key)
+            return None
+        checkpoint = SimulatorCheckpoint(state)
+        self._positioned.setdefault(key, {})[offset] = checkpoint
+        return checkpoint
+
+    def publish_positioned(
+        self,
+        config: SimulationConfig,
+        workload: Workload,
+        offset: int,
+        checkpoint: SimulatorCheckpoint,
+    ) -> None:
+        """Record a post-``skip_to(offset)`` snapshot for later prefix
+        reuse (memory tier always; artifact store when one is active).
+
+        The per-(config, workload) offset index is read-merge-written;
+        concurrent publishers may lose an index entry to a race, which
+        costs a future prefix reuse, never correctness.
+        """
+        if offset <= 0:
+            return
+        key = (position_key(config), workload.name, workload.profile.seed)
+        self._positioned.setdefault(key, {})[offset] = checkpoint
+        self.positioned_publishes += 1
+        disk = self.artifact_store()
+        if disk is None:
+            return
+        disk_key = content_key("positioned-checkpoint", *key, offset)
+        if disk.path_for("positioned", disk_key).exists():
+            # Already persisted *to this store* (memo presence alone
+            # proves nothing: the entry may have been published while
+            # caching was disabled or routed at a different root);
+            # republishing identical bytes would only burn time.
+            return
+        disk.put_bytes(
+            "positioned", disk_key,
+            dumps_with_workload(checkpoint._state, workload),
+        )
+        index_key = content_key("positioned-index", *key)
+        index = disk.get("positioned-index", index_key)
+        offsets = set(index) if isinstance(index, (list, tuple)) else set()
+        offsets.add(offset)
+        disk.put("positioned-index", index_key, sorted(offsets))
+
     # -- the memory-then-disk tier for plain-pickle artifacts ----------
     def _cached(self, memo: Dict, kind: str, key: Tuple,
                 expected_type: type, compute):
@@ -306,10 +449,15 @@ class CheckpointStore:
         self._profiles.clear()
         self._bbv_profiles.clear()
         self._requested.clear()
+        self._positioned.clear()
+        self.positioned_hits = 0
+        self.positioned_misses = 0
+        self.positioned_publishes = 0
 
     def __len__(self) -> int:
         return (len(self._checkpoints) + len(self._selections)
-                + len(self._profiles) + len(self._bbv_profiles))
+                + len(self._profiles) + len(self._bbv_profiles)
+                + sum(len(v) for v in self._positioned.values()))
 
 
 #: Default per-process store used by :func:`repro.sampling.sampled.run_sampled`.

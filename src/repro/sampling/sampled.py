@@ -154,6 +154,7 @@ def _measure_intervals(
     """
     simulator = Simulator(config, workload)
     cursor = None        # jump base: a checkpoint at the furthest warm point
+    cursor_offset = 0    # instruction offset of `cursor` (0 = warm state)
     interval_results: List[SimulationResult] = []
     weights: List[float] = []
     position: Optional[int] = None   # correct-path offset simulated so far
@@ -186,10 +187,27 @@ def _measure_intervals(
             segment_target = interval.length
             after = simulator.run(segment_target)
         else:
-            # Jump: reset to warm state, functionally fast-forward to
-            # just before the interval, and refill the pipeline with a
-            # timed-but-discarded warm stretch.
-            if cursor is not None:
+            # Jump: reset to the deepest warm state at or before the
+            # target, functionally fast-forward the remaining prefix,
+            # and refill the pipeline with a timed-but-discarded warm
+            # stretch.
+            warm_len = min(spec.detail_warmup, interval.start_instruction)
+            skip_target = interval.start_instruction - warm_len
+            # Prefer the deepest usable prefix: a positioned checkpoint
+            # published by an earlier run (possibly under a different
+            # budget or interval selection) beats re-skipping from this
+            # run's own cursor -- and on the first jump, from the warm
+            # checkpoint -- whenever its offset is strictly deeper.
+            # Skips are split-invariant, so every path lands in the same
+            # state.
+            positioned = None
+            if cursor is None or cursor_offset < skip_target:
+                positioned = store.positioned_checkpoint(
+                    config, workload, skip_target, min_offset=cursor_offset)
+            if positioned is not None:
+                cursor_offset, cursor = positioned
+                simulator.restore(cursor)
+            elif cursor is not None:
                 simulator.restore(cursor)
             else:
                 cursor = store.jump_base_checkpoint(config, workload)
@@ -204,14 +222,23 @@ def _measure_intervals(
                     # this one-shot run would never restore again.
                     simulator = Simulator(config, workload)
                     simulator.warm_up()
-            warm_len = min(spec.detail_warmup, interval.start_instruction)
-            simulator.skip_to(interval.start_instruction - warm_len)
-            if any(jump_flags[i + 1:]):
-                # Checkpoint ahead of the interval: the next jump
-                # restores here and only skips the delta, so the whole
-                # run fast-forwards the prefix once however many
-                # intervals are selected.
-                cursor = simulator.snapshot()
+            simulator.skip_to(skip_target)
+            if any(jump_flags[i + 1:]) or store.artifact_store() is not None:
+                # Checkpoint ahead of the interval: the next jump of this
+                # run restores here and only skips the delta, and -- when
+                # the artifact store is live -- any later run whose skip
+                # targets land at or beyond this offset resumes from it
+                # instead of from offset 0 (skips are split-invariant, so
+                # the continuation is bit-identical either way).  A cursor
+                # already sitting exactly at the target (a positioned hit
+                # at this very offset) IS that state: re-snapshotting it
+                # would deep-copy the whole machine for nothing, so only
+                # the (presence-checked, usually no-op) publish runs.
+                if cursor is None or cursor_offset != skip_target:
+                    cursor = simulator.snapshot()
+                    cursor_offset = skip_target
+                store.publish_positioned(config, workload, skip_target,
+                                         cursor)
             before = simulator.run(warm_len) if warm_len else None
             segment_target = warm_len + interval.length
             after = simulator.run(segment_target)

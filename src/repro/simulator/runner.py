@@ -133,16 +133,31 @@ def _execute_single(
     max_instructions: Optional[int] = None,
 ) -> SimulationResult:
     """Run one configuration on one benchmark (the executor primitive
-    behind every task; the public entry point is :class:`repro.api.Session`)."""
-    workload = get_workload(benchmark)
+    behind every task; the public entry point is :class:`repro.api.Session`).
+
+    Full runs are deterministic, so with the artifact cache enabled the
+    complete :class:`SimulationResult` of an earlier invocation replays
+    byte-identically from the store (``--no-result-cache`` /
+    ``ExecutionOptions(result_cache=False)`` forces resimulation); a hit
+    needs only the workload's *identity*, not the built program.
+    """
+    from ..cache.results import load_cached_result, store_result
+
+    profile = profile_for(benchmark)
     total = max_instructions or config.max_instructions
+    cached = load_cached_result(config, profile.name, profile.seed, total)
+    if cached is not None:
+        return cached
+    workload = get_workload(benchmark)
     # With the artifact cache enabled the correct-path walk replays from
     # a compiled trace (persisted once per workload); disabled, the
     # walker-backed stream produces the bit-identical sequence.
     ensure_compiled_trace(
         workload, max(total, config.resolved_warmup_instructions())
     )
-    return Simulator(config, workload).run(max_instructions)
+    result = Simulator(config, workload).run(max_instructions)
+    store_result(config, profile.name, profile.seed, total, result)
+    return result
 
 
 def _run_task(task: Union[SimTask, tuple]) -> SimulationResult:
@@ -190,24 +205,29 @@ _POOL_PROCESSES = 0
 _POOL_CACHE_STATE: Optional[tuple] = None
 
 
-def _worker_init(cache_dir: str, cache_on: bool) -> None:
+def _worker_init(cache_dir: str, cache_on: bool, result_cache_on: bool) -> None:
     """Apply the parent's resolved artifact-cache settings in a worker.
 
     ``configure()``/``--no-cache`` state lives in module globals, which
     spawn-start platforms do not inherit (and forked workers freeze at
     fork time); passing the resolved values through the pool initializer
-    keeps every worker on the parent's store.
+    keeps every worker on the parent's store (and on the parent's
+    result-replay policy).
     """
+    from ..cache.results import configure_result_cache
     from ..cache.store import configure
 
     configure(cache_dir=cache_dir, enabled=cache_on)
+    configure_result_cache(result_cache_on)
 
 
 def _shared_pool(processes: int) -> multiprocessing.pool.Pool:
+    from ..cache.results import result_cache_enabled
     from ..cache.store import cache_enabled, resolved_cache_dir
 
     global _POOL, _POOL_PROCESSES, _POOL_CACHE_STATE
-    cache_state = (resolved_cache_dir(), cache_enabled())
+    cache_state = (resolved_cache_dir(), cache_enabled(),
+                   result_cache_enabled())
     if _POOL is not None and (_POOL_PROCESSES != processes
                               or _POOL_CACHE_STATE != cache_state):
         shutdown_pool()
@@ -271,15 +291,27 @@ def _store_hits() -> int:
     return store.stats.hits if store is not None else 0
 
 
+def _result_hits() -> int:
+    """Current full-run result-cache hit counter (see repro.cache.results)."""
+    from ..cache.results import result_cache_hits
+
+    return result_cache_hits()
+
+
 def _timed_task(
     index: int, task: Union[SimTask, tuple]
-) -> Tuple[int, SimulationResult, float, int]:
-    """Run one task, measuring wall-clock seconds and store hits."""
+) -> Tuple[int, SimulationResult, float, int, int]:
+    """Run one task, measuring wall-clock seconds, store hits and
+    full-run result replays (reported distinctly: a result replay skips
+    the simulation entirely, an ordinary store hit only skips rebuilding
+    one artifact)."""
     hits_before = _store_hits()
+    result_hits_before = _result_hits()
     start = time.perf_counter()
     result = _run_task(task)
     return (index, result, time.perf_counter() - start,
-            _store_hits() - hits_before)
+            _store_hits() - hits_before,
+            _result_hits() - result_hits_before)
 
 
 def _run_task_chunk(chunk) -> list:
@@ -341,8 +373,9 @@ def iter_task_results(
     tasks: Sequence[Union[SimTask, tuple]],
     jobs: int = 1,
     cancel=None,
-) -> Iterator[Tuple[int, SimulationResult, float, int]]:
-    """Yield ``(task index, result, seconds, cache hits)`` as tasks finish.
+) -> Iterator[Tuple[int, SimulationResult, float, int, int]]:
+    """Yield ``(task index, result, seconds, cache hits, result-cache
+    hits)`` as tasks finish.
 
     The incremental counterpart of :func:`run_tasks` and the channel
     :class:`repro.api.RunHandle` streams progress from.  ``jobs=1`` runs
@@ -396,7 +429,8 @@ def run_tasks(
     max_instructions)`` tuples), optionally on the shared process pool.
     Results keep task order regardless of ``jobs``."""
     results: List[Optional[SimulationResult]] = [None] * len(tasks)
-    for index, result, _seconds, _hits in iter_task_results(tasks, jobs=jobs):
+    for index, result, _seconds, _hits, _result_hits in iter_task_results(
+            tasks, jobs=jobs):
         results[index] = result
     return results
 

@@ -210,6 +210,13 @@ def functional_advance(
     The final stream may straddle the target; it is consumed only up to
     the target so the oracle lands exactly on the requested instruction
     (possibly mid-block), which keeps interval boundaries deterministic.
+    The cut stream is remembered on the prediction unit
+    (``_skip_partial``), and a later skip resuming from exactly that
+    position consumes the remainder *without retraining the predictor*
+    -- so a skip split at an arbitrary point (e.g. a positioned
+    checkpoint taken between two skips) is bit-identical to one
+    continuous skip, which is what lets persisted post-skip snapshots be
+    restored by runs whose skip targets were never seen before.
     Returns ``(instructions skipped, correct-path loads skipped)``; the
     load count lets the caller keep the data-cache model's positional
     miss hashing aligned with a full run (its decisions are a function of
@@ -224,6 +231,32 @@ def functional_advance(
     fill_caches = warm_caches and hierarchy is not None
     if fill_caches:
         l1_fill, l2_fill = hierarchy.l1.fill, hierarchy.l2.fill
+    # Resume a stream a previous skip cut short: the predictor already
+    # trained on the full stream at its start address, so only consume.
+    partial = getattr(prediction, "_skip_partial", None)
+    if partial is not None:
+        position, actual, consumed = partial
+        if position != oracle.consumed_instructions:
+            # The machine moved past the recorded position (a timed run
+            # intervened): the leftover no longer applies.
+            prediction._skip_partial = None
+        elif oracle.consumed_instructions < target_instructions:
+            left = actual.length - consumed
+            take = min(left, target_instructions - oracle.consumed_instructions)
+            addr = oracle.current_address()
+            loads += loads_for(addr, take)
+            if fill_caches:
+                for line in span_lines(addr, take, line_size):
+                    l2_fill(line)
+                    l1_fill(line)
+            oracle.advance(take)
+            if take == left:
+                prediction._apply_terminator(actual)
+                prediction._skip_partial = None
+            else:
+                prediction._skip_partial = (
+                    oracle.consumed_instructions, actual, consumed + take
+                )
     while oracle.consumed_instructions < target_instructions:
         addr = oracle.current_address()
         actual = oracle.peek_stream(prediction.max_stream)
@@ -242,6 +275,9 @@ def functional_advance(
             prediction._apply_terminator(actual)
         else:
             oracle.advance(remaining)
+            prediction._skip_partial = (
+                oracle.consumed_instructions, actual, take
+            )
     return oracle.consumed_instructions - start, loads
 
 

@@ -211,11 +211,17 @@ class TestCancellation:
     def test_cancel_mid_run_stops_remaining_tasks(self):
         spec = fast_spec(benchmarks=("gzip", "mcf", "eon", "gcc"))
         with Session() as session:
-            handle = session.submit(spec)
-            # Cancel from the executor thread after the first finished task:
-            # deterministic because listeners run synchronously between tasks.
-            handle.add_listener(
-                lambda event: handle.cancel() if event.kind == "task" else None)
+            # Attach the listener while the execution lock keeps the run
+            # queued: with warm result replay a task can finish in
+            # microseconds, so attaching after submit() would race the
+            # whole run.  Cancel then fires from the executor thread
+            # after the first finished task, deterministically (listeners
+            # run synchronously between tasks).
+            with session._exec_lock:
+                handle = session.submit(spec)
+                handle.add_listener(
+                    lambda event: handle.cancel()
+                    if event.kind == "task" else None)
             with pytest.raises(RunCancelled):
                 handle.result()
         assert handle.status() == "cancelled"
@@ -287,6 +293,80 @@ class TestFigure5SampledParity:
         title = "Figure 5: main comparison [sampled]"
         assert (format_ipc_sweep(facade, title)
                 == format_ipc_sweep(legacy, title))
+
+
+class TestResultCacheReporting:
+    """Full-run result replays are reported distinctly from ordinary
+    artifact-store hits, and ``result_cache=False`` forces resimulation."""
+
+    @staticmethod
+    def _task_events(handle):
+        return [e for e in handle.event_log if e.kind == "task"]
+
+    def test_events_report_result_replays_distinctly(self, tmp_path):
+        from repro.simulator.runner import clear_process_caches
+
+        spec = fast_spec(benchmarks=("gzip", "mcf"))
+        with Session(cache_dir=str(tmp_path / "rc")) as session:
+            cold = session.submit(spec)
+            cold_result = cold.result()
+            assert all(e.result_cache_hits == 0
+                       for e in self._task_events(cold))
+            assert cold_result.result_cache_hits == 0
+
+            clear_process_caches()
+            warm = session.submit(spec)
+            warm_result = warm.result()
+        warm_events = self._task_events(warm)
+        # Every task replayed its complete SimulationResult from disk --
+        # exactly one result replay each, reported on its own field, and
+        # counted separately from the store hit the replay itself causes.
+        assert [e.result_cache_hits for e in warm_events] == [1, 1]
+        assert all(e.cache_hits >= 1 for e in warm_events)
+        assert warm_result.result_cache_hits == 2
+        assert warm_result.results == cold_result.results
+
+    def test_result_cache_false_forces_resimulation(self, tmp_path,
+                                                    monkeypatch):
+        from repro.simulator import runner as runner_mod
+        from repro.simulator.runner import clear_process_caches
+
+        spec = fast_spec()
+        with Session(cache_dir=str(tmp_path / "rc-off")) as session:
+            cold = session.run(spec)
+
+            runs = []
+            real_simulator = runner_mod.Simulator
+
+            class SpySimulator(real_simulator):
+                def run(self, *args, **kwargs):
+                    runs.append(1)
+                    return super().run(*args, **kwargs)
+
+            monkeypatch.setattr(runner_mod, "Simulator", SpySimulator)
+            clear_process_caches()
+            warm = session.run(spec)
+            assert not runs          # replayed: no simulation ran at all
+
+            clear_process_caches()
+            forced_handle = session.submit(
+                spec, options=ExecutionOptions(result_cache=False))
+            forced = forced_handle.result()
+            assert runs              # --no-result-cache resimulated
+        assert all(e.result_cache_hits == 0
+                   for e in self._task_events(forced_handle))
+        assert forced.result_cache_hits == 0
+        assert warm.results == cold.results == forced.results
+
+    def test_result_cache_override_is_scoped_to_the_submission(self,
+                                                               tmp_path):
+        from repro.cache.results import result_cache_enabled
+
+        assert result_cache_enabled()
+        with Session(cache_dir=str(tmp_path / "rc-scope")) as session:
+            session.run(fast_spec(),
+                        options=ExecutionOptions(result_cache=False))
+            assert result_cache_enabled()   # restored after the run
 
 
 class TestDefaultSession:

@@ -67,12 +67,15 @@ MEDIUM_PROFILE = WorkloadProfile(
 
 @pytest.fixture(autouse=True)
 def _reset_cache_overrides():
-    """CLI --cache-dir/--no-cache set process-wide overrides; make sure
-    they never leak into other tests."""
+    """CLI --cache-dir/--no-cache/--no-result-cache set process-wide
+    overrides, and store-routed runs attach compiled traces to the
+    per-process workload cache; make sure neither leaks across tests."""
     yield
-    from repro.cache import reset_configuration
+    from repro.cache import configure_result_cache, reset_configuration
 
     reset_configuration()
+    configure_result_cache(None)
+    clear_process_caches()
 
 
 # ----------------------------------------------------------------------
@@ -290,6 +293,32 @@ class TestPersistentCheckpoints:
             fresh.warm_up()
             assert restored.run(1500) == fresh.run(1500)
 
+    def test_positioned_publish_reaches_a_later_enabled_store(self, tmp_path):
+        """A positioned checkpoint memoized while caching was disabled must
+        still be persisted when the same store later publishes it with a
+        live artifact store (memo presence alone proves nothing about
+        disk), and republishing to the same store is a no-op."""
+        from repro.sampling.checkpoint import CheckpointStore
+
+        config = make_sim_config(max_instructions=2000)
+        workload = build_workload(MEDIUM_PROFILE)
+        simulator = Simulator(config, workload)
+        simulator.warm_up()
+        simulator.skip_to(1500)
+        checkpoint = simulator.snapshot()
+        store = CheckpointStore()
+        with temporary_cache_dir(tmp_path / "off", enabled=False):
+            store.publish_positioned(config, workload, 1500, checkpoint)
+        with temporary_cache_dir(tmp_path / "on") as disk:
+            store.publish_positioned(config, workload, 1500, checkpoint)
+            assert disk.describe().get("positioned", (0, 0))[0] == 1
+            stores_before = disk.stats.stores
+            store.publish_positioned(config, workload, 1500, checkpoint)
+            assert disk.stats.stores == stores_before   # already on disk
+            loaded = CheckpointStore().positioned_checkpoint(
+                config, workload, 2000)
+            assert loaded is not None and loaded[0] == 1500
+
     def test_jump_base_is_lazy_without_disk_artifact(self, tmp_path):
         """One-shot sweeps must not pay for snapshotting: the first jump
         request of a pair publishes nothing; a revisited pair builds and
@@ -379,6 +408,84 @@ class TestCacheReuse:
             path.write_bytes(zlib.compress(pickle.dumps(payload)))
             warm = _sampled_once(self.CONFIG, self.SPEC)
             assert warm == cold
+
+
+# ----------------------------------------------------------------------
+# full-run result caching
+# ----------------------------------------------------------------------
+class TestResultCache:
+    """Persisted complete ``SimulationResult``\\ s: replay policy, keys,
+    robustness (the property-based differential guard lives in
+    ``tests/test_replay_properties.py``)."""
+
+    CONFIG = make_sim_config(engine="fdp", max_instructions=1500)
+
+    @staticmethod
+    def _run_once():
+        from repro.simulator.runner import _execute_single, clear_process_caches
+
+        clear_process_caches()
+        return _execute_single(TestResultCache.CONFIG, "gzip", 1500)
+
+    def test_warm_run_replays_the_result_without_simulating(
+            self, tmp_path, monkeypatch):
+        from repro.cache.results import RESULT_CACHE_STATS
+        from repro.simulator import runner as runner_mod
+
+        with temporary_cache_dir(tmp_path / "cache") as disk:
+            cold = self._run_once()
+            assert disk.describe().get("result", (0, 0))[0] == 1
+
+            def no_simulation(*args, **kwargs):
+                raise AssertionError("warm run resimulated despite a "
+                                     "persisted result")
+
+            monkeypatch.setattr(runner_mod, "Simulator", no_simulation)
+            hits_before = RESULT_CACHE_STATS.hits
+            warm = self._run_once()
+            assert RESULT_CACHE_STATS.hits == hits_before + 1
+            assert warm == cold
+
+    def test_disabled_result_cache_stores_and_replays_nothing(self, tmp_path):
+        from repro.cache import configure_result_cache
+
+        with temporary_cache_dir(tmp_path / "cache") as disk:
+            configure_result_cache(False)
+            self._run_once()
+            assert disk.describe().get("result", (0, 0))[0] == 0
+
+    def test_result_key_binds_config_workload_and_budget(self):
+        from repro.cache.results import result_key
+
+        base = result_key(self.CONFIG, "gzip", 3, 1500)
+        assert result_key(self.CONFIG, "gzip", 3, 1500) == base
+        assert result_key(self.CONFIG, "gzip", 3, 2000) != base
+        assert result_key(self.CONFIG, "gzip", 4, 1500) != base
+        assert result_key(self.CONFIG, "mcf", 3, 1500) != base
+        assert result_key(self.CONFIG.with_overrides(l1_size_bytes=1024),
+                          "gzip", 3, 1500) != base
+
+    def test_corrupted_result_degrades_to_resimulate(self, tmp_path):
+        with temporary_cache_dir(tmp_path / "cache") as disk:
+            cold = self._run_once()
+            (_, path), = ((k, p) for k, p in disk.entries()
+                          if k == "result")
+            path.write_bytes(b"\x00torn\xff")
+            assert self._run_once() == cold
+            assert disk.stats.corrupt >= 1
+
+    def test_foreign_payload_under_the_result_key_is_ignored(self, tmp_path):
+        from repro.cache.results import result_key
+
+        with temporary_cache_dir(tmp_path / "cache") as disk:
+            from repro.workloads.spec2000 import profile_for
+
+            profile = profile_for("gzip")
+            disk.put("result", result_key(self.CONFIG, profile.name,
+                                          profile.seed, 1500),
+                     {"not": "a result"})
+            result = self._run_once()
+            assert result.committed_instructions >= 1500
 
 
 # ----------------------------------------------------------------------
@@ -477,6 +584,36 @@ class TestCacheGc:
         store.gc(store.total_size() - per_file)
         assert paths[0].exists()
         assert not paths[1].exists()
+
+    def test_concurrent_read_refresh_wins_over_eviction(self, tmp_path):
+        """An artifact whose mtime a concurrent reader refreshed *between*
+        gc's scan and its eviction turn must survive: it just became the
+        most recently used file, so unlinking it would evict exactly the
+        wrong artifact (regression for the scan/evict race)."""
+        store, paths = self._populated(tmp_path)
+        entries, total = store._gc_scan()
+        # Interleaved read: key0 (scanned as oldest) is refreshed before
+        # the eviction pass reaches it.
+        assert store.get("kindA", "key0") is not None
+        per_file = paths[0].stat().st_size
+        removed_files, removed_bytes = store._gc_evict(
+            entries, total, total - per_file)
+        assert paths[0].exists()                # refreshed: spared
+        assert not paths[1].exists()            # next-oldest went instead
+        assert removed_files == 1
+        assert removed_bytes == per_file
+
+    def test_gc_skips_files_already_removed(self, tmp_path):
+        """A file another process evicted between scan and unlink counts
+        toward the size target without being credited to this pass."""
+        store, paths = self._populated(tmp_path)
+        entries, total = store._gc_scan()
+        per_file = paths[0].stat().st_size
+        paths[0].unlink()
+        removed_files, removed_bytes = store._gc_evict(
+            entries, total, total - per_file)
+        assert removed_files == 0 and removed_bytes == 0
+        assert all(path.exists() for path in paths[1:])
 
     def test_other_schema_versions_are_candidates(self, tmp_path):
         store, paths = self._populated(tmp_path)

@@ -9,14 +9,39 @@ same configuration) with identical continuations.
 """
 
 import dataclasses
+import functools
+import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.sampling.checkpoint import CheckpointStore
 from repro.simulator.simulator import Simulator
 from repro.simulator.testing import make_sim_config
+from repro.workloads.generator import WorkloadProfile
+from repro.workloads.trace import Workload, build_workload
 
 ENGINES = ["baseline", "fdp", "clgp", "next-line", "target-line"]
+
+
+@functools.lru_cache(maxsize=None)
+def _pooled_workload(seed: int) -> Workload:
+    """Small randomized workloads for the property-based round trips
+    (cached: hypothesis revisits seeds, and builds are the slow part)."""
+    rng = random.Random(977 * (seed + 1))
+    profile = WorkloadProfile(
+        name=f"ckpt-prop-{seed}",
+        footprint_kb=rng.choice([8.0, 16.0, 32.0]),
+        num_functions=rng.randint(6, 24),
+        avg_block_size=rng.uniform(4.0, 6.5),
+        hard_branch_fraction=rng.uniform(0.06, 0.16),
+        loop_fraction=rng.uniform(0.08, 0.20),
+        avg_loop_iterations=rng.uniform(3.0, 7.0),
+        call_fraction=rng.uniform(0.05, 0.10),
+        dl1_miss_rate=rng.uniform(0.01, 0.06),
+        seed=seed,
+    )
+    return build_workload(profile)
 
 
 def _assert_identical(a, b):
@@ -120,6 +145,85 @@ class TestSkipTo:
         sim.skip_to(2000)
         assert sim.cycle == 0
         assert sim.backend.stats.committed_instructions == 0
+
+
+class TestPositionalProperties:
+    """Property-based round trips: random seeded configs/workloads pushed
+    through ``snapshot()``/``restore()``/``skip_to`` must leave the
+    machine *positionally exact* -- the predictor-facing path history,
+    RAS, instruction-cache contents and the data-cache load index after
+    a skip split at arbitrary checkpoints equal those after one
+    continuous skip, and the timed continuation is bit-identical.
+    (This invariant is what lets persisted positioned checkpoints be
+    restored by runs whose skip targets were never seen before.)"""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        engine=st.sampled_from(ENGINES),
+        l1_size=st.sampled_from([1024, 4096]),
+        cuts=st.lists(st.integers(min_value=50, max_value=5000),
+                      min_size=1, max_size=3),
+        target=st.integers(min_value=5000, max_value=7000),
+    )
+    def test_split_skip_is_positionally_exact(self, medium_workload,
+                                              engine, l1_size, cuts, target):
+        config = make_sim_config(engine=engine, l1_size_bytes=l1_size,
+                                 max_instructions=1500)
+        reference = Simulator(config, medium_workload)
+        reference.warm_up()
+        reference.skip_to(target)
+
+        split = Simulator(config, medium_workload)
+        split.warm_up()
+        for cut in sorted(cuts):
+            split.skip_to(min(cut, target))
+            checkpoint = split.snapshot()
+            split = Simulator(config, medium_workload)   # fresh machine
+            split.restore(checkpoint)
+        split.skip_to(target)
+
+        ref_pred, split_pred = reference.prediction, split.prediction
+        assert split_pred.oracle.consumed_instructions == target
+        assert ref_pred.oracle.consumed_instructions == target
+        assert (split_pred.oracle.current_address()
+                == ref_pred.oracle.current_address())
+        assert split_pred.history == ref_pred.history
+        assert split_pred.ras.snapshot() == ref_pred.ras.snapshot()
+        assert (split.backend.dcache._load_index
+                == reference.backend.dcache._load_index)
+        assert (sorted(split.hierarchy.l1.resident_lines())
+                == sorted(reference.hierarchy.l1.resident_lines()))
+        assert (sorted(split.hierarchy.l2.resident_lines())
+                == sorted(reference.hierarchy.l2.resident_lines()))
+        # Strongest check: the timed continuations are bit-identical
+        # (covers the predictor tables and every other skipped structure).
+        _assert_identical(split.run(1500), reference.run(1500))
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        engine=st.sampled_from(["baseline", "fdp", "clgp"]),
+        skip=st.integers(min_value=500, max_value=4000),
+    )
+    def test_randomized_workload_round_trip(self, seed, engine, skip):
+        """Mid-skip snapshots restore bit-identically on randomized
+        seeded workloads, into fresh simulators, any number of times."""
+        workload = _pooled_workload(seed)
+        config = make_sim_config(engine=engine, max_instructions=1200,
+                                 warmup_instructions=3000)
+        sim = Simulator(config, workload)
+        sim.warm_up()
+        sim.skip_to(skip)
+        checkpoint = sim.snapshot()
+        assert checkpoint.consumed_instructions == skip
+        expected = sim.run(1200)
+
+        other = Simulator(config, workload)
+        other.restore(checkpoint)
+        _assert_identical(other.run(1200), expected)
+        other.restore(checkpoint)
+        assert other.prediction.oracle.consumed_instructions == skip
+        _assert_identical(other.run(1200), expected)
 
 
 class TestCheckpointStore:

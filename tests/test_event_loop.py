@@ -8,11 +8,14 @@ bit-identical to the straight per-cycle loop (``loop="cycle"``).
 """
 
 import dataclasses
+import random
 
 import pytest
 
 from repro.simulator.simulator import Simulator
 from repro.simulator.testing import make_sim_config
+from repro.workloads.generator import WorkloadProfile
+from repro.workloads.trace import build_workload
 
 ENGINES = ["baseline", "fdp", "clgp", "next-line", "target-line"]
 
@@ -115,6 +118,47 @@ class TestEventLoopDeterminism:
         sim = Simulator(make_sim_config(max_instructions=100), tiny_workload)
         with pytest.raises(ValueError):
             sim.run(loop="warp")
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_randomized_short_workloads_bit_identical(self, seed):
+        """Differential fuzzing of the cycle-skipping fast-forward: 20
+        randomized (workload, configuration) pairs, each compared
+        field-for-field (plus the stall breakdown and back-end counters)
+        against the per-cycle reference loop.  The fixed-workload tests
+        above pin known regimes; this sweep covers the engine x cache x
+        warm-up x prefetch-rate cross products none of them hand-pick."""
+        rng = random.Random(59999 + seed)
+        profile = WorkloadProfile(
+            name=f"event-diff-{seed}",
+            footprint_kb=rng.choice([4.0, 8.0, 16.0]),
+            num_functions=rng.randint(3, 12),
+            avg_block_size=rng.uniform(4.0, 7.0),
+            hard_branch_fraction=rng.uniform(0.05, 0.20),
+            loop_fraction=rng.uniform(0.05, 0.25),
+            avg_loop_iterations=rng.uniform(3.0, 8.0),
+            call_fraction=rng.uniform(0.04, 0.12),
+            dl1_miss_rate=rng.uniform(0.01, 0.08),
+            seed=seed,
+        )
+        workload = build_workload(profile)
+        kwargs = dict(
+            engine=rng.choice(ENGINES),
+            l1_size_bytes=rng.choice([512, 1024, 4096]),
+            max_instructions=rng.randint(500, 1200),
+            warmup_instructions=rng.choice([0, 1000, 3000]),
+            prefetches_per_cycle=rng.choice([1, 2]),
+        )
+        if rng.random() < 0.3:
+            kwargs["l0_enabled"] = True
+        if kwargs["engine"] == "clgp" and rng.random() < 0.5:
+            kwargs["clgp_use_filtering"] = True
+        config = make_sim_config(**kwargs)
+        cycle_sim, cycle_result = _run(config, workload, "cycle")
+        event_sim, event_result = _run(config, workload, "event")
+        _assert_identical(cycle_result, event_result)
+        assert (cycle_sim.engine.stats.stall_cycles
+                == event_sim.engine.stats.stall_cycles)
+        assert cycle_sim.backend.stats == event_sim.backend.stats
 
     def test_fast_forward_actually_skips(self, medium_workload):
         """The event loop must step strictly fewer cycles than it simulates
