@@ -55,8 +55,7 @@ def api_session():
 def run_plan(session, config, names, instructions, sampled=False, jobs=1,
              result_cache=None):
     """Run one explicit configuration over several benchmarks through the
-    façade (the bench-side counterpart of the deprecated
-    ``run_benchmarks`` free function).  ``result_cache=False`` forces
+    façade.  ``result_cache=False`` forces
     resimulation -- benches that measure the simulator itself must not
     accidentally time a full-run result replay."""
     plan = ExperimentPlan("bench-mix")

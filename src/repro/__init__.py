@@ -15,22 +15,18 @@ The supported entry point is the :mod:`repro.api` façade:
 ...                                         max_instructions=5000))
 >>> result.results[0].ipc > 0
 True
-
-The free functions re-exported below (``run_single``, ``run_benchmarks``,
-``run_mix``) are deprecated shims over that façade; they keep working but
-emit ``DeprecationWarning``.
 """
 
+from .faults import FaultPlan
 from .simulator import (
     SimulationConfig,
     SimulationResult,
     Simulator,
+    TaskFailure,
+    TaskFailureError,
     configs_for_schemes,
     harmonic_mean_ipc,
     paper_config,
-    run_benchmarks,
-    run_mix,
-    run_single,
     simulate,
     speedup,
 )
@@ -47,6 +43,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_MIX",
+    "FaultPlan",
     "SPECINT2000_NAMES",
     "SimulationConfig",
     "SimulationResult",
@@ -54,6 +51,8 @@ __all__ = [
     "TECH_045",
     "TECH_090",
     "TECHNOLOGY_ROADMAP",
+    "TaskFailure",
+    "TaskFailureError",
     "WorkloadProfile",
     "__version__",
     "build_workload",
@@ -62,9 +61,6 @@ __all__ = [
     "paper_config",
     "profile_for",
     "resolve_technology",
-    "run_benchmarks",
-    "run_mix",
-    "run_single",
     "simulate",
     "speedup",
 ]

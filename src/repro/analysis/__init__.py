@@ -1,17 +1,11 @@
-"""Analysis layer: figure/table data builders, metrics, text reports."""
+"""Analysis layer: metrics, text reports, table builders.
 
-from .figures import (
-    DEFAULT_SWEEP_SIZES,
-    ablation_series,
-    figure1_series,
-    figure2_series,
-    figure4_series,
-    figure5_series,
-    figure6_series,
-    figure7_series,
-    figure8_series,
-    headline_speedups,
-)
+Figure-series builders live on the :class:`repro.api.Session` façade
+(``session.figure5_series()`` and friends, backed by
+:mod:`repro.api.experiments`); this layer turns their outputs into
+derived metrics and formatted text.
+"""
+
 from .metrics import (
     budget_equivalent_size,
     crossover_size,
@@ -32,17 +26,8 @@ from .report import (
 from .tables import table1, table2, table3
 
 __all__ = [
-    "DEFAULT_SWEEP_SIZES",
-    "ablation_series",
     "budget_equivalent_size",
     "crossover_size",
-    "figure1_series",
-    "figure2_series",
-    "figure4_series",
-    "figure5_series",
-    "figure6_series",
-    "figure7_series",
-    "figure8_series",
     "format_ipc_sweep",
     "format_key_value_table",
     "format_latency_table",
@@ -51,7 +36,6 @@ __all__ = [
     "format_source_distribution",
     "format_speedups",
     "harmonic_mean",
-    "headline_speedups",
     "sampling_error_report",
     "speedup",
     "speedup_table",

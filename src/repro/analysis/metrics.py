@@ -48,8 +48,8 @@ def sampling_error_report(
     """Per-scheme accuracy of a sampled figure sweep versus the full sweep.
 
     Both inputs are figure-shaped ``{scheme: {l1_size: hmean_ipc}}``
-    mappings (e.g. :func:`~repro.analysis.figures.figure5_series` run with
-    and without ``sampled=True``).  For each scheme the report gives the
+    mappings (e.g. :meth:`repro.api.Session.figure5_series` run with
+    and without sampled execution).  For each scheme the report gives the
     signed relative error per common size plus summary statistics::
 
         {scheme: {"mean_abs_rel_error": ..., "max_abs_rel_error": ...,

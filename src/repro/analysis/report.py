@@ -123,7 +123,7 @@ def format_sampling_errors(
 
 def format_speedups(headline: Mapping[str, Mapping[str, object]]) -> str:
     """Format the headline speedups produced by
-    :func:`repro.analysis.figures.headline_speedups`."""
+    :meth:`repro.api.Session.headline_speedups`."""
     lines = ["Headline speedups (4KB L1, pipelined pre-buffers)", "=" * 50]
     for tech, data in headline.items():
         lines.append(

@@ -19,17 +19,20 @@ submitted, observed and collected through this package:
   and ``cancel()``,
 * ``session.figure1_series(...)`` ... ``figure8_series``,
   ``headline_speedups`` and ``ablation_series`` rebuild every paper
-  figure through the same machinery (:mod:`repro.api.experiments`).
+  figure through the same machinery (:mod:`repro.api.experiments`),
+* :class:`ExecutionOptions` carries the fault-tolerance policy
+  (``task_timeout``, ``max_retries``, deterministic ``faults``
+  injection); failed tasks surface as typed :class:`TaskFailure`
+  entries in a partial :class:`RunResult` instead of exceptions.
 
 **v1 stability contract**: everything exported below is the supported,
 versioned surface of the toolkit.  Names are only added, never removed
 or repurposed, within v1; behavioural guarantees (result bit-identity
 between ``jobs=1``/``jobs=N`` and sampled replay, eager spec validation,
 event ordering) are part of the contract.  The pre-façade free functions
-(``repro.simulator.runner.run_single`` and friends,
-``repro.analysis.figures.figureN_series``, ``repro.sampling.run_sampled``)
-remain as thin shims that delegate to a default :class:`Session` and
-emit ``DeprecationWarning`` naming their replacement.
+(``run_single`` and friends, ``figureN_series``, ``run_sampled``) have
+completed their deprecation cycle and are gone; this façade is the only
+entry point.
 
 Re-exported building blocks (``paper_config``, ``Simulator``,
 ``SamplingSpec``, the report formatters, Tables 1-3, the cache
@@ -58,10 +61,17 @@ from ..cache.store import (
     configure as configure_cache,
     get_store,
 )
+from ..faults import FaultPlan
 from ..memory.hierarchy import FETCH_SOURCES
 from ..sampling.sampled import SamplingSpec, get_selection
 from ..simulator.config import SimulationConfig
-from ..simulator.plan import ExperimentPlan, PlanResults, SimTask
+from ..simulator.plan import (
+    ExperimentPlan,
+    PlanResults,
+    SimTask,
+    TaskFailure,
+    TaskFailureError,
+)
 from ..simulator.presets import SCHEMES, paper_config, scheme_descriptions
 from ..simulator.runner import get_workload, resolve_jobs
 from ..simulator.simulator import Simulator
@@ -91,6 +101,10 @@ __all__ = [
     "ProgressEvent",
     "RUN_STATUSES",
     "default_session",
+    # fault tolerance
+    "TaskFailure",
+    "TaskFailureError",
+    "FaultPlan",
     # request/plan building blocks
     "ExperimentPlan",
     "PlanResults",

@@ -41,7 +41,8 @@ from ..cache.results import (
     snapshot_result_configuration,
 )
 from ..cache.store import configure, restore_configuration, snapshot_configuration
-from ..simulator.plan import ExperimentPlan, PlanResults
+from ..faults import configure_faults, restore_faults, snapshot_faults
+from ..simulator.plan import ExperimentPlan, PlanResults, TaskFailure
 from ..simulator.runner import (
     get_workload,
     iter_task_results,
@@ -72,15 +73,18 @@ class ProgressEvent:
 
     ``kind`` is ``"submitted"``, ``"started"``, ``"task"`` (one finished
     simulation; carries ``benchmark``/``key``/``seconds``/``cache_hits``/
-    ``result_cache_hits``), or the terminal
-    ``"done"``/``"failed"``/``"cancelled"``.  ``completed`` counts
-    finished tasks and is monotonically non-decreasing across a handle's
-    event stream.  ``cache_hits`` counts ordinary artifact-store reads
-    (traces, warm-ups, checkpoints, ...); ``result_cache_hits`` counts
-    full-run **result replays** -- tasks whose complete
-    ``SimulationResult`` came off disk with no simulation at all -- and
-    is reported distinctly so consumers can tell "warm artifacts" from
-    "did not simulate".
+    ``result_cache_hits``), ``"task-failed"`` (a task the supervised
+    executor gave up on; carries ``error`` and counts toward
+    ``completed``), or the terminal ``"done"``/``"failed"``/
+    ``"cancelled"``.  ``completed`` counts finished tasks and is
+    monotonically non-decreasing across a handle's event stream.
+    ``cache_hits`` counts ordinary artifact-store reads (traces,
+    warm-ups, checkpoints, ...); ``result_cache_hits`` counts full-run
+    **result replays** -- tasks whose complete ``SimulationResult`` came
+    off disk with no simulation at all -- and is reported distinctly so
+    consumers can tell "warm artifacts" from "did not simulate".
+    ``retries`` is how many times the task had to be re-dispatched
+    (worker loss, in-task error) before this completion.
     """
 
     kind: str
@@ -91,6 +95,8 @@ class ProgressEvent:
     seconds: Optional[float] = None
     cache_hits: Optional[int] = None
     result_cache_hits: Optional[int] = None
+    retries: Optional[int] = None
+    error: Optional[str] = None
 
 
 @dataclass
@@ -98,13 +104,24 @@ class RunResult(PlanResults):
     """An executed submission: aligned tasks/results plus run metadata.
 
     Inherits the regrouping helpers (``by_key``, ``hmean_by_key``,
-    iteration in task order) from :class:`PlanResults`.
+    iteration in task order) from :class:`PlanResults`.  A run whose
+    tasks exhausted their retry budget is **partial**, not an error:
+    failed slots hold typed :class:`TaskFailure` values (also listed by
+    :attr:`failed_tasks`), and the aggregation helpers skip them.
     """
 
     elapsed_seconds: float = 0.0
     cache_hits: int = 0
     #: Tasks answered by a full-run result replay (no simulation ran).
     result_cache_hits: int = 0
+    #: Total task re-dispatches the supervisor performed (worker loss,
+    #: in-task errors) across the whole run.
+    task_retries: int = 0
+
+    @property
+    def failed_tasks(self) -> List[TaskFailure]:
+        """Tasks that exhausted the retry budget (alias of ``failures``)."""
+        return self.failures
 
 
 class RunHandle:
@@ -398,6 +415,8 @@ class Session:
             options = handle._options
             cache_snapshot = None
             result_snapshot = None
+            faults_applied = False
+            faults_snapshot = None
             # Scope the cache policy to this execution: session settings
             # first, per-call options layered on top, previous state
             # restored afterwards -- so concurrent sessions each run
@@ -415,6 +434,11 @@ class Session:
             if options.result_cache is not None:
                 result_snapshot = snapshot_result_configuration()
                 configure_result_cache(options.result_cache)
+            if options.faults is not None:
+                # Chaos scoping mirrors the cache: this submission only.
+                faults_snapshot = snapshot_faults()
+                faults_applied = True
+                configure_faults(options.faults)
             handle._status = "running"
             handle._emit("started")
             tasks = handle._plan.tasks
@@ -422,23 +446,37 @@ class Session:
             start = time.perf_counter()
             hits = 0
             result_hits = 0
+            retries = 0
             try:
-                for (index, result, seconds, task_hits,
-                     task_result_hits) in iter_task_results(
-                        tasks, jobs=handle._jobs, cancel=handle._cancel):
-                    results[index] = result
-                    hits += task_hits
-                    result_hits += task_result_hits
+                for completion in iter_task_results(
+                        tasks, jobs=handle._jobs, cancel=handle._cancel,
+                        task_timeout=options.task_timeout,
+                        max_retries=options.max_retries):
+                    results[completion.index] = completion.result
+                    hits += completion.cache_hits
+                    result_hits += completion.result_cache_hits
+                    retries += completion.retries
                     handle._completed += 1
-                    task = tasks[index]
+                    task = tasks[completion.index]
+                    if completion.failed:
+                        failure = completion.result
+                        handle._emit(
+                            "task-failed",
+                            benchmark=failure.benchmark,
+                            key=failure.key,
+                            retries=completion.retries,
+                            error=f"{failure.kind}: {failure.message}",
+                        )
+                        continue
                     handle._emit(
                         "task",
                         benchmark=task.benchmark if hasattr(
                             task, "benchmark") else task[1],
                         key=getattr(task, "key", None),
-                        seconds=seconds,
-                        cache_hits=task_hits,
-                        result_cache_hits=task_result_hits,
+                        seconds=completion.seconds,
+                        cache_hits=completion.cache_hits,
+                        result_cache_hits=completion.result_cache_hits,
+                        retries=completion.retries,
                     )
                 if handle._cancel.is_set():
                     handle._finish("cancelled")
@@ -449,12 +487,15 @@ class Session:
                     elapsed_seconds=time.perf_counter() - start,
                     cache_hits=hits,
                     result_cache_hits=result_hits,
+                    task_retries=retries,
                 )
                 handle._finish("done")
             except BaseException as exc:   # surfaced via handle.result()
                 handle._error = exc
                 handle._finish("failed")
             finally:
+                if faults_applied:
+                    restore_faults(faults_snapshot)
                 if options.result_cache is not None:
                     restore_result_configuration(result_snapshot)
                 if cache_snapshot is not None:
@@ -462,7 +503,7 @@ class Session:
 
 
 # ----------------------------------------------------------------------
-# the default session (what deprecation shims delegate to)
+# the default session
 # ----------------------------------------------------------------------
 _DEFAULT: Optional[Session] = None
 _DEFAULT_LOCK = threading.Lock()
@@ -470,8 +511,8 @@ _DEFAULT_LOCK = threading.Lock()
 
 def default_session() -> Session:
     """The process-wide default :class:`Session` (inline execution, no
-    cache overrides).  Legacy shims delegate here so their results are
-    identical to the façade path."""
+    cache overrides) for callers that do not manage a session of their
+    own."""
     global _DEFAULT
     with _DEFAULT_LOCK:
         if _DEFAULT is None or _DEFAULT.closed:

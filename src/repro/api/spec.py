@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence, Tuple, Union
 
+from ..faults import FaultPlan, resolve_plan
 from ..simulator.plan import ExperimentPlan
 from ..simulator.presets import SCHEMES, paper_config
 from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES, profile_for
@@ -142,6 +143,16 @@ class ExecutionOptions:
     runs to resimulate instead of replaying persisted
     ``SimulationResult`` artifacts; ``True`` forces replay on even under
     ``REPRO_RESULT_CACHE_DISABLE``; ``None`` inherits.
+
+    Fault-tolerance knobs: ``task_timeout`` (seconds) is a per-task
+    deadline -- a task that overruns it is killed and completes as a
+    typed :class:`~repro.simulator.plan.TaskFailure` in the (partial)
+    ``RunResult``; ``max_retries`` bounds per-task re-dispatches after
+    worker loss or in-task errors (``None`` inherits
+    ``REPRO_MAX_RETRIES``/2); ``faults`` injects deterministic chaos for
+    this submission only -- a :class:`~repro.faults.FaultPlan` or a spec
+    string such as ``"worker_kill:0.1,artifact_corrupt:0.05,seed:7"``
+    (``None`` inherits the ambient ``REPRO_FAULTS``).
     """
 
     jobs: Optional[int] = None
@@ -150,6 +161,9 @@ class ExecutionOptions:
     cache_dir: Optional[str] = None
     cache: Optional[bool] = None
     result_cache: Optional[bool] = None
+    task_timeout: Optional[float] = None
+    max_retries: Optional[int] = None
+    faults: Optional[Union[str, FaultPlan]] = None
 
     def __post_init__(self) -> None:
         if self.jobs is not None:
@@ -158,6 +172,18 @@ class ExecutionOptions:
             if self.jobs < 0:
                 raise ValueError(
                     "jobs must be >= 1 (or None/0 for all cores)")
+        if self.task_timeout is not None:
+            if not isinstance(self.task_timeout, (int, float)) \
+                    or self.task_timeout <= 0:
+                raise ValueError("task_timeout must be a positive number "
+                                 "of seconds (or None)")
+        if self.max_retries is not None:
+            if not isinstance(self.max_retries, int) or self.max_retries < 0:
+                raise ValueError("max_retries must be >= 0 (or None)")
+        if self.faults is not None:
+            # Validate eagerly (and normalise to a FaultPlan): a typo in
+            # a chaos spec should fail here, not inside a worker.
+            object.__setattr__(self, "faults", resolve_plan(self.faults))
 
 
 #: Options used when a submission does not carry its own.

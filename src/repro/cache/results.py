@@ -57,6 +57,7 @@ class ResultCacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    invalid: int = 0   #: payloads that loaded but failed the sanity check
 
 
 #: Process-wide counters (reset by tests via :func:`reset_result_stats`).
@@ -95,6 +96,7 @@ def reset_result_stats() -> None:
     RESULT_CACHE_STATS.hits = 0
     RESULT_CACHE_STATS.misses = 0
     RESULT_CACHE_STATS.stores = 0
+    RESULT_CACHE_STATS.invalid = 0
 
 
 def result_cache_hits() -> int:
@@ -126,12 +128,19 @@ def load_cached_result(config, workload_name: str, workload_seed: int,
         return None
     from ..simulator.stats import SimulationResult
 
-    loaded = store.get(RESULT_KIND, result_key(
-        config, workload_name, workload_seed, total_instructions))
+    key = result_key(config, workload_name, workload_seed,
+                     total_instructions)
+    loaded = store.get(RESULT_KIND, key)
     if isinstance(loaded, SimulationResult) \
             and loaded.workload == workload_name:
         RESULT_CACHE_STATS.hits += 1
         return loaded
+    if loaded is not None:
+        # Unpickled fine but is not a plausible result for this key
+        # (foreign type or workload): drop it so it cannot shadow the
+        # recomputed artifact forever.
+        RESULT_CACHE_STATS.invalid += 1
+        store.discard(RESULT_KIND, key)
     RESULT_CACHE_STATS.misses += 1
     return None
 

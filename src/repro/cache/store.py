@@ -18,6 +18,12 @@ the store those artifacts live in:
 * **Robustness** -- writes are atomic (temp file + ``os.replace``) so a
   killed process never publishes a torn artifact; unreadable or
   corrupted files are treated as misses, deleted, and recomputed.
+  Transient ``OSError``s are retried with bounded backoff; an I/O path
+  that stays broken degrades to uncached operation with a one-time
+  warning and a stats counter (``cache stats``), never silence and
+  never a crash.  Payloads that must prove their integrity beyond
+  zlib/pickle framing (simulator checkpoints) carry a SHA-256 content
+  digest via :func:`frame_digest`/:func:`unframe_digest`.
 * **Configuration** -- the default root is ``.repro-cache/`` in the
   working directory, overridable with ``REPRO_CACHE_DIR`` or
   :func:`configure` (the CLI's ``--cache-dir``); caching is disabled
@@ -29,13 +35,18 @@ the store those artifacts live in:
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import os
 import pickle
 import shutil
+import time
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
+
+from .. import faults
 
 #: Version of the on-disk artifact schema.  Bump whenever the format of
 #: any persisted artifact changes incompatibly (new columnar layout,
@@ -46,7 +57,11 @@ from typing import Dict, Iterator, List, Optional, Tuple
 #: predictor, so v1 checkpoints/measurements no longer replay
 #: bit-identically) plus the positioned-checkpoint and full-run result
 #: artifact kinds.
-SCHEMA_VERSION = 2
+#: v3: checkpoint payloads (warm and positioned) are digest-framed
+#: (:func:`frame_digest`), so a bit-flipped checkpoint that still
+#: decompresses and unpickles is detected on restore instead of
+#: replaying wrong simulator state.
+SCHEMA_VERSION = 3
 
 #: Default store root, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -66,15 +81,48 @@ class StoreStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    io_retries: int = 0      #: transient OSErrors retried (and recovered)
+    read_errors: int = 0     #: reads abandoned after the retry budget
+    write_errors: int = 0    #: writes abandoned after the retry budget
+
+
+def frame_digest(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its SHA-256 digest.
+
+    Checkpoint payloads go through this before :meth:`ArtifactStore.put_bytes`
+    so a corrupted file that still decompresses *and* unpickles (a rotted
+    bit inside pickled simulator state) is caught on restore -- replaying
+    a tampered checkpoint would silently produce wrong results, the one
+    failure mode a cache is never allowed to have.
+    """
+    return hashlib.sha256(payload).digest() + payload
+
+
+def unframe_digest(framed: Optional[bytes]) -> Optional[bytes]:
+    """Verify and strip a :func:`frame_digest` prefix; ``None`` (treat as
+    a miss and recompute) when the digest does not match the payload."""
+    if framed is None or len(framed) <= 32:
+        return None
+    digest, payload = framed[:32], framed[32:]
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    return payload
 
 
 class ArtifactStore:
     """One on-disk artifact store rooted at ``root``."""
 
+    #: Bounded retry policy for transient I/O errors: a flaky NFS mount or
+    #: a hiccuping disk gets a few chances, a genuinely broken path does
+    #: not stall runs (total worst-case wait ~60ms).
+    IO_ATTEMPTS = 3
+    IO_BACKOFF = 0.02
+
     def __init__(self, root, version: int = SCHEMA_VERSION) -> None:
         self.root = Path(root)
         self.version = version
         self.stats = StoreStats()
+        self._io_warned = False
 
     # -- paths ----------------------------------------------------------
     @property
@@ -84,15 +132,55 @@ class ArtifactStore:
     def path_for(self, kind: str, key: str) -> Path:
         return self.versioned_root / kind / f"{key}.pkl"
 
+    # -- I/O resilience -------------------------------------------------
+    def _warn_io(self, action: str, path: Path, exc: OSError) -> None:
+        """Warn the first time this store instance degrades to uncached
+        operation (once: a broken cache volume would otherwise emit one
+        warning per artifact of a sweep)."""
+        if self._io_warned:
+            return
+        self._io_warned = True
+        warnings.warn(
+            f"artifact cache {action} failed at {path} after "
+            f"{self.IO_ATTEMPTS} attempts ({exc!r}); continuing without "
+            f"the cache for the affected artifacts (see `repro-clgp "
+            f"cache stats`)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _with_io_retry(self, operation):
+        """Run ``operation`` with bounded retry-and-backoff on transient
+        ``OSError``s.  ``FileNotFoundError`` passes straight through --
+        a missing artifact is an ordinary miss, not an I/O fault."""
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except FileNotFoundError:
+                raise
+            except OSError:
+                attempt += 1
+                if attempt >= self.IO_ATTEMPTS:
+                    raise
+                self.stats.io_retries += 1
+                time.sleep(self.IO_BACKOFF * (2 ** (attempt - 1)))
+
     # -- raw bytes ------------------------------------------------------
     def get_bytes(self, kind: str, key: str) -> Optional[bytes]:
         """The stored payload, or ``None`` on a miss / unreadable or
         corrupted file (corrupted files are deleted and recomputed)."""
+        faults.io_pause()
         path = self.path_for(kind, key)
         try:
-            compressed = path.read_bytes()
-        except OSError:
+            compressed = self._with_io_retry(path.read_bytes)
+        except FileNotFoundError:
             self.stats.misses += 1
+            return None
+        except OSError as exc:
+            self.stats.read_errors += 1
+            self.stats.misses += 1
+            self._warn_io("read", path, exc)
             return None
         try:
             data = zlib.decompress(compressed)
@@ -115,12 +203,32 @@ class ArtifactStore:
     def put_bytes(self, kind: str, key: str, data: bytes) -> None:
         """Atomically publish ``data``; concurrent writers are safe (all
         produce identical content for one key, and ``os.replace`` is
-        atomic), so pool workers may publish the same artifact freely."""
+        atomic), so pool workers may publish the same artifact freely.
+
+        A write that keeps failing after retries is *dropped* -- counted
+        in ``stats.write_errors`` and warned about once -- because a
+        store write is always an optimisation: the caller already holds
+        the computed artifact.
+        """
+        faults.io_pause()
         path = self.path_for(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
-        tmp.write_bytes(zlib.compress(data, self._COMPRESSION_LEVEL))
-        os.replace(tmp, path)
+        payload = zlib.compress(data, self._COMPRESSION_LEVEL)
+        payload = faults.corrupt_artifact(kind, key, payload)
+
+        def publish():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+
+        try:
+            self._with_io_retry(publish)
+        except OSError as exc:
+            self.stats.write_errors += 1
+            self._warn_io("write", path, exc)
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            return
         self.stats.stores += 1
 
     def discard(self, kind: str, key: str) -> None:

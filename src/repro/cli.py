@@ -14,8 +14,9 @@ Subcommands:
 * ``speedups`` -- print the headline CLGP-vs-FDP / CLGP-vs-baseline speedups,
 * ``sample``   -- profile a benchmark, select representative intervals, and
   (optionally) compare a sampled run against the full run,
-* ``cache``    -- inspect (``ls``), locate (``path``), empty (``clear``)
-  or size-cap (``gc --max-size``) the persistent artifact cache.
+* ``cache``    -- inspect (``ls``), locate (``path``), empty (``clear``),
+  size-cap (``gc --max-size``) the persistent artifact cache, or print
+  this process's cache/supervision counters (``stats``).
 
 ``run``, ``figure`` and ``speedups`` accept ``--jobs N`` (0 = all cores)
 -- the session plans each sweep as a flat task list, so the whole grid
@@ -30,6 +31,16 @@ full runs to resimulate instead of replaying persisted
 ``SimulationResult`` artifacts -- with it off (the default), a repeated
 ``figure``/``speedups`` invocation without ``--sampled`` returns
 byte-identical results straight from the store.
+
+Fault tolerance: simulation commands accept ``--task-timeout SECONDS``
+(per-task deadline; an overrunning task is killed and reported as a
+failure), ``--max-retries N`` (re-dispatch budget after worker loss or
+in-task errors; env ``REPRO_MAX_RETRIES``) and ``--faults SPEC`` (the
+deterministic chaos injector, e.g.
+``worker_kill:0.1,artifact_corrupt:0.05,io_delay:20ms,seed:7``; env
+``REPRO_FAULTS``).  Failed tasks and retry counts are reported on
+stderr -- stdout stays byte-comparable with a fault-free run -- and a
+run with failures exits with status 1.
 """
 
 from __future__ import annotations
@@ -41,12 +52,14 @@ from typing import List, Optional
 
 from .api import (
     DEFAULT_MIX,
+    RunResult,
     SCHEMES,
     SPECINT2000_NAMES,
     ExecutionOptions,
     ExperimentSpec,
     SamplingSpec,
     Session,
+    TaskFailureError,
     cache_enabled,
     format_ipc_sweep,
     format_key_value_table,
@@ -100,6 +113,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the simulation grid "
                              "(0 = all cores)")
+    _add_fault_args(parser)
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task deadline; a task that overruns it "
+                             "is killed and reported as a failure")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="re-dispatch budget per task after worker "
+                             "loss or in-task errors "
+                             "(default: $REPRO_MAX_RETRIES or 2)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault injection, e.g. "
+                             "'worker_kill:0.1,artifact_corrupt:0.05,"
+                             "io_delay:20ms,seed:7' (env: REPRO_FAULTS)")
 
 
 def _add_sampling(parser: argparse.ArgumentParser) -> None:
@@ -126,11 +155,42 @@ def _benchmarks(arg: str) -> List[str]:
 def _options(args: argparse.Namespace) -> ExecutionOptions:
     """Per-call execution options from the parsed flags (``--jobs`` is
     session-level policy, validated where the Session is built)."""
-    return ExecutionOptions(
-        sampled=getattr(args, "sampled", False),
-        result_cache=(False if getattr(args, "no_result_cache", False)
-                      else None),
-    )
+    try:
+        return ExecutionOptions(
+            sampled=getattr(args, "sampled", False),
+            result_cache=(False if getattr(args, "no_result_cache", False)
+                          else None),
+            task_timeout=getattr(args, "task_timeout", None),
+            max_retries=getattr(args, "max_retries", None),
+            faults=getattr(args, "faults", None),
+        )
+    except ValueError as exc:
+        raise _CliError(str(exc)) from exc
+
+
+def _retry_note(retries: int) -> None:
+    if retries:
+        print(f"note: {retries} task retr"
+              f"{'y' if retries == 1 else 'ies'} "
+              "(worker loss / transient errors)", file=sys.stderr)
+
+
+def _report_failures(failures, total: Optional[int] = None) -> int:
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    if failures:
+        of_total = f" of {total}" if total is not None else ""
+        print(f"error: {len(failures)}{of_total} task(s) failed; "
+              "results above are partial", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _report_faults(result: RunResult) -> int:
+    """Failures and retry totals -> stderr (stdout stays byte-comparable
+    with a fault-free run); returns the process exit code."""
+    _retry_note(result.task_retries)
+    return _report_failures(result.failed_tasks, len(result.results))
 
 
 def _cmd_run(session: Session, args: argparse.Namespace) -> int:
@@ -142,30 +202,54 @@ def _cmd_run(session: Session, args: argparse.Namespace) -> int:
         l1_size_bytes=args.l1_size,
         name="cli-run",
     )
-    results = session.run(spec, options=_options(args)).results
-    for result in results:
+    run = session.run(spec, options=_options(args))
+    succeeded = run.successes
+    for result in succeeded:
         print(result.summary())
-    print(f"{'HMEAN IPC':>18s} : {harmonic_mean_ipc(results):.3f}")
-    return 0
+    if succeeded:
+        print(f"{'HMEAN IPC':>18s} : {harmonic_mean_ipc(succeeded):.3f}")
+    return _report_faults(run)
 
 
 #: Figures renderable by ``repro-clgp figure`` (``all`` runs them all).
 FIGURE_NUMBERS = ("1", "2", "4", "5", "6", "7", "8")
 
 
+def _aggregate_faults(fn) -> int:
+    """Run an aggregate command (figure/speedups) under fault reporting.
+
+    Aggregate builders refuse to render from partial results -- they
+    raise :class:`TaskFailureError` -- so the command reports the typed
+    failures on stderr and exits 1; either way retries observed by the
+    supervisor are noted (stdout stays byte-comparable with a fault-free
+    run)."""
+    from .simulator.runner import supervisor_stats
+
+    try:
+        code = fn()
+    except TaskFailureError as exc:
+        _retry_note(supervisor_stats().retries)
+        return _report_failures(exc.failures) or 1
+    _retry_note(supervisor_stats().retries)
+    return code
+
+
 def _cmd_figure(session: Session, args: argparse.Namespace) -> int:
-    if args.number == "all":
-        # One invocation, one session, one worker pool, one artifact
-        # cache: later figures reuse every workload/trace/profile
-        # artifact the earlier ones computed (in memory with jobs=1, in
-        # the pool workers' caches with jobs>1).
-        for number in FIGURE_NUMBERS:
-            code = _render_figure(session, number, args)
-            if code:
-                return code
-            print()
-        return 0
-    return _render_figure(session, args.number, args)
+    def render() -> int:
+        if args.number == "all":
+            # One invocation, one session, one worker pool, one artifact
+            # cache: later figures reuse every workload/trace/profile
+            # artifact the earlier ones computed (in memory with jobs=1,
+            # in the pool workers' caches with jobs>1).
+            for number in FIGURE_NUMBERS:
+                code = _render_figure(session, number, args)
+                if code:
+                    return code
+                print()
+            return 0
+        return _render_figure(session, args.number, args)
+
+    return _aggregate_faults(render)
 
 
 def _render_figure(session: Session, fig: str,
@@ -250,6 +334,28 @@ def _cmd_cache(session: Session, args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"removed {removed} artifact file(s) from {store.root}")
         return 0
+    if args.action == "stats":
+        from .cache.results import RESULT_CACHE_STATS
+        from .simulator.runner import supervisor_stats
+
+        stats = store.stats
+        print("artifact store (this process)")
+        print(f"  hits {stats.hits}  misses {stats.misses}  "
+              f"stores {stats.stores}  corrupt {stats.corrupt}")
+        print(f"  io_retries {stats.io_retries}  "
+              f"read_errors {stats.read_errors}  "
+              f"write_errors {stats.write_errors}")
+        print("result replay (this process)")
+        print(f"  hits {RESULT_CACHE_STATS.hits}  "
+              f"misses {RESULT_CACHE_STATS.misses}  "
+              f"stores {RESULT_CACHE_STATS.stores}  "
+              f"invalid {RESULT_CACHE_STATS.invalid}")
+        sup = supervisor_stats()
+        print("supervision (this process)")
+        print(f"  retries {sup.retries}  worker_losses {sup.worker_losses}  "
+              f"timeouts {sup.timeouts}  task_errors {sup.task_errors}  "
+              f"pool_respawns {sup.pool_respawns}")
+        return 0
     if args.action == "gc":
         if args.max_size is None:
             raise _CliError("cache gc requires --max-size")
@@ -297,13 +403,17 @@ def _cmd_tables(session: Session, args: argparse.Namespace) -> int:
 
 def _cmd_speedups(session: Session, args: argparse.Namespace) -> int:
     names = _benchmarks(args.benchmarks)
-    data = session.headline_speedups(
-        l1_size_bytes=args.l1_size, benchmarks=names,
-        max_instructions=args.instructions,
-        options=_options(args),
-    )
-    print(format_speedups(data))
-    return 0
+
+    def render() -> int:
+        data = session.headline_speedups(
+            l1_size_bytes=args.l1_size, benchmarks=names,
+            max_instructions=args.instructions,
+            options=_options(args),
+        )
+        print(format_speedups(data))
+        return 0
+
+    return _aggregate_faults(render)
 
 
 def _cmd_sample(session: Session, args: argparse.Namespace) -> int:
@@ -347,9 +457,11 @@ def _cmd_sample(session: Session, args: argparse.Namespace) -> int:
         name="cli-sample",
     )
     start = time.perf_counter()
-    sampled = session.run(
-        run_spec, options=ExecutionOptions(sampled=True, sampling=spec)
-    ).results[0]
+    sampled_run = session.run(
+        run_spec, options=ExecutionOptions(sampled=True, sampling=spec))
+    if sampled_run.failed_tasks:
+        return _report_faults(sampled_run)
+    sampled = sampled_run.results[0]
     sampled_seconds = time.perf_counter() - start
     print(f"\nSampled run ({args.scheme}): IPC {sampled.ipc:.3f} "
           f"[{sampled_seconds:.2f}s]")
@@ -358,9 +470,11 @@ def _cmd_sample(session: Session, args: argparse.Namespace) -> int:
         # result_cache=False: the point of --compare is timing the full
         # simulation against the sampled estimate; replaying a persisted
         # result would report a meaningless ~0s baseline.
-        full = session.run(
-            run_spec, options=ExecutionOptions(result_cache=False)
-        ).results[0]
+        full_run = session.run(
+            run_spec, options=ExecutionOptions(result_cache=False))
+        if full_run.failed_tasks:
+            return _report_faults(full_run)
+        full = full_run.results[0]
         full_seconds = time.perf_counter() - start
         error = sampled.ipc / full.ipc - 1.0 if full.ipc else 0.0
         ratio = full_seconds / sampled_seconds if sampled_seconds else 0.0
@@ -419,7 +533,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cache = sub.add_parser(
         "cache", help="inspect, clear or size-cap the artifact cache")
-    p_cache.add_argument("action", choices=["ls", "clear", "path", "gc"],
+    p_cache.add_argument("action",
+                         choices=["ls", "clear", "path", "gc", "stats"],
                          nargs="?", default="ls")
     p_cache.add_argument("--max-size", default=None, metavar="BYTES",
                          help="gc: evict least-recently-used artifacts "

@@ -7,8 +7,9 @@ Workflow (see README "Sampled simulation"):
    yielding per-interval basic-block vectors,
 2. :func:`select_intervals` -- dependency-free k-means picks K
    representative intervals plus weights,
-3. :func:`run_sampled` -- one warm-up checkpoint per (configuration,
-   benchmark), restored per interval, producing a weighted
+3. a sampled execution (``repro.api.ExecutionOptions(sampled=True)``) --
+   one warm-up checkpoint per (configuration, benchmark), restored per
+   interval, producing a weighted
    :class:`~repro.simulator.stats.SimulationResult` estimate of the full
    run at a fraction of its cost.
 """
@@ -16,7 +17,7 @@ Workflow (see README "Sampled simulation"):
 from .bbv import BBVProfile, DEFAULT_PROJECTION_DIM, profile_workload, project_counts
 from .checkpoint import CheckpointStore, DEFAULT_STORE, clear_checkpoint_store
 from .proxy import FunctionalProfile, functional_profile, proxy_cycles
-from .sampled import DEFAULT_SPEC, SamplingSpec, get_selection, run_sampled
+from .sampled import DEFAULT_SPEC, SamplingSpec, get_selection
 from .simpoint import (
     IntervalSelection,
     SelectedInterval,
@@ -42,7 +43,6 @@ __all__ = [
     "profile_workload",
     "project_counts",
     "proxy_cycles",
-    "run_sampled",
     "select_intervals",
     "select_stratified",
 ]

@@ -48,7 +48,12 @@ from ..cache.shared import (
     dumps_with_workload,
     loads_with_workload,
 )
-from ..cache.store import ArtifactStore, active_store
+from ..cache.store import (
+    ArtifactStore,
+    active_store,
+    frame_digest,
+    unframe_digest,
+)
 from ..simulator.config import SimulationConfig
 from ..simulator.simulator import Simulator, SimulatorCheckpoint
 from ..workloads.trace import Workload
@@ -149,9 +154,13 @@ class CheckpointStore:
         self._checkpoints[key] = checkpoint
         disk = self.artifact_store()
         if disk is not None:
+            # Digest-framed: restoring rotted simulator state would yield
+            # wrong results rather than a crash, so checkpoints prove
+            # their integrity on every restore (see ``frame_digest``).
             disk.put_bytes(
                 "checkpoint", content_key("warm-checkpoint", *key),
-                dumps_with_workload(checkpoint._state, workload),
+                frame_digest(dumps_with_workload(checkpoint._state,
+                                                 workload)),
             )
         return checkpoint
 
@@ -163,8 +172,15 @@ class CheckpointStore:
         if disk is None:
             return None
         disk_key = content_key("warm-checkpoint", *key)
-        data = disk.get_bytes("checkpoint", disk_key)
+        framed = disk.get_bytes("checkpoint", disk_key)
+        if framed is None:
+            return None
+        data = unframe_digest(framed)
         if data is None:
+            # Digest mismatch: the payload rotted after writing (or was
+            # tampered with).  Recompute -- never restore it.
+            disk.stats.corrupt += 1
+            disk.discard("checkpoint", disk_key)
             return None
         try:
             state = loads_with_workload(data, workload)
@@ -292,8 +308,15 @@ class CheckpointStore:
         workload: Workload,
     ) -> Optional[SimulatorCheckpoint]:
         disk_key = content_key("positioned-checkpoint", *key, offset)
-        data = disk.get_bytes("positioned", disk_key)
+        framed = disk.get_bytes("positioned", disk_key)
+        if framed is None:
+            return None
+        data = unframe_digest(framed)
         if data is None:
+            # Digest mismatch: restoring would replay corrupted machine
+            # state into "successful" wrong results.  Recompute instead.
+            disk.stats.corrupt += 1
+            disk.discard("positioned", disk_key)
             return None
         try:
             state = loads_with_workload(data, workload)
@@ -340,7 +363,7 @@ class CheckpointStore:
             return
         disk.put_bytes(
             "positioned", disk_key,
-            dumps_with_workload(checkpoint._state, workload),
+            frame_digest(dumps_with_workload(checkpoint._state, workload)),
         )
         index_key = content_key("positioned-index", *key)
         index = disk.get("positioned-index", index_key)
@@ -460,7 +483,7 @@ class CheckpointStore:
                 + sum(len(v) for v in self._positioned.values()))
 
 
-#: Default per-process store used by :func:`repro.sampling.sampled.run_sampled`.
+#: Default per-process store used by sampled executions.
 DEFAULT_STORE = CheckpointStore()
 
 

@@ -1,7 +1,7 @@
 """Sampled simulation: run K representative intervals instead of everything.
 
-``run_sampled`` is the sampled counterpart of
-:func:`repro.simulator.runner.run_single` and produces the same
+``_execute_sampled`` is the sampled counterpart of the runner's full
+simulation path and produces the same
 :class:`~repro.simulator.stats.SimulationResult` shape, so figure builders
 and reports work unchanged.  The flow per (configuration, benchmark):
 
@@ -339,39 +339,3 @@ def _execute_sampled(
         sampling_coverage=selection.coverage(),
     )
     return result
-
-
-def run_sampled(
-    config: SimulationConfig,
-    workload: Union[Workload, str],
-    max_instructions: Optional[int] = None,
-    spec: Optional[SamplingSpec] = None,
-    store: CheckpointStore = DEFAULT_STORE,
-) -> SimulationResult:
-    """Sampled run of one configuration on one benchmark.
-
-    .. deprecated:: 1.1
-        Use :meth:`repro.api.Session.run` with
-        ``ExecutionOptions(sampled=True, sampling=spec)``.
-    """
-    from ..api._deprecation import warn_legacy
-
-    warn_legacy("repro.sampling.sampled.run_sampled",
-                "repro.api.Session.run(..., "
-                "options=ExecutionOptions(sampled=True))")
-    if isinstance(workload, str) and store is DEFAULT_STORE:
-        # Registry benchmark on the default store: the exact façade path.
-        from ..api.session import default_session
-        from ..api.spec import ExecutionOptions
-        from ..simulator.plan import ExperimentPlan
-
-        plan = ExperimentPlan("legacy-run-sampled")
-        plan.add(config, workload, max_instructions,
-                 sampled=True, sampling=spec)
-        return default_session().run(
-            plan, options=ExecutionOptions()).results[0]
-    # Custom Workload objects / checkpoint stores cannot ride a SimTask;
-    # run the primitive directly (bit-identical either way).
-    return _execute_sampled(config, workload,
-                            max_instructions=max_instructions,
-                            spec=spec, store=store)

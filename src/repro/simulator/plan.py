@@ -15,7 +15,7 @@ multiprocessing pool.  Results come back in task order regardless of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from .config import SimulationConfig
 from .stats import SimulationResult, harmonic_mean_ipc
@@ -41,12 +41,60 @@ class SimTask:
     key: Tuple = ()
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """Terminal failure of one task, surfaced in place of its result.
+
+    Produced by the supervised executor when a task exhausts its retry
+    budget: ``kind`` says how it died (``"timeout"`` for a deadline
+    overrun, ``"worker-lost"`` when the worker process kept dying,
+    ``"error"`` for a repeated in-task exception).  Failures occupy the
+    task's slot in ``PlanResults.results`` so the run stays aligned and
+    partial -- :meth:`PlanResults.by_key` and the IPC aggregations skip
+    them; :meth:`PlanResults.require_success` raises if any exist.
+    """
+
+    index: int
+    benchmark: str
+    key: Tuple = ()
+    kind: str = "error"     # "timeout" | "worker-lost" | "error"
+    message: str = ""
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        detail = f": {self.message}" if self.message else ""
+        return (f"task {self.index} ({self.benchmark}) {self.kind} "
+                f"after {self.attempts} attempt(s){detail}")
+
+
+class TaskFailureError(RuntimeError):
+    """Raised by strict surfaces (``run_tasks``, figure builders) when a
+    plan finished with failed tasks; carries the typed failures."""
+
+    def __init__(self, failures: List[TaskFailure]):
+        self.failures = list(failures)
+        lines = "; ".join(str(f) for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} task(s) failed after retries: {lines}")
+
+
+#: What a task slot holds once executed.
+TaskOutcome = Union[SimulationResult, TaskFailure]
+
+
 @dataclass
 class PlanResults:
-    """Executed plan: tasks and their results, aligned and in task order."""
+    """Executed plan: tasks and their outcomes, aligned and in task order.
+
+    Outcomes are :class:`SimulationResult`, or :class:`TaskFailure` for
+    tasks the supervised executor gave up on (a *partial* result).  The
+    grouping/aggregation helpers skip failures so figures degrade to the
+    tasks that did finish; callers that need completeness use
+    :meth:`require_success` or inspect :attr:`failures`.
+    """
 
     tasks: List[SimTask]
-    results: List[SimulationResult]
+    results: List[TaskOutcome]
 
     def __len__(self) -> int:
         return len(self.results)
@@ -54,10 +102,29 @@ class PlanResults:
     def __iter__(self):
         return iter(self.results)
 
+    @property
+    def failures(self) -> List[TaskFailure]:
+        return [r for r in self.results if isinstance(r, TaskFailure)]
+
+    @property
+    def successes(self) -> List[SimulationResult]:
+        return [r for r in self.results if not isinstance(r, TaskFailure)]
+
+    def require_success(self) -> "PlanResults":
+        """Return self, raising :class:`TaskFailureError` on any failure."""
+        failures = self.failures
+        if failures:
+            raise TaskFailureError(failures)
+        return self
+
     def by_key(self) -> Dict[Tuple, List[SimulationResult]]:
-        """Results grouped by task key, keys in first-insertion order."""
+        """Successful results grouped by task key, keys in first-insertion
+        order (failed tasks are skipped; their key still appears if any
+        sibling succeeded)."""
         grouped: Dict[Tuple, List[SimulationResult]] = {}
         for task, result in zip(self.tasks, self.results):
+            if isinstance(result, TaskFailure):
+                continue
             grouped.setdefault(task.key, []).append(result)
         return grouped
 

@@ -23,23 +23,41 @@ in-memory caches between sweeps.  ``jobs=1`` (the default) runs inline
 with identical results and identical ordering.  Tasks flagged
 ``sampled=True`` dispatch to the sampled-simulation runner in
 :mod:`repro.sampling` instead of a full run.
+
+The pool drive loop is **supervised**: workers announce each chunk they
+pick up over a sentinel queue before running it, so when a worker
+process dies (OOM kill, crash, injected chaos -- see
+:mod:`repro.faults`) the supervisor attributes the loss to exactly the
+chunks that were on it, re-dispatches only their unfinished tasks with
+exponential backoff, and lets ``multiprocessing.Pool`` respawn the
+worker -- a sweep survives worker loss instead of hanging on a result
+that will never arrive.  Each task has a bounded retry budget
+(``max_retries``, env ``REPRO_MAX_RETRIES``) and an optional per-task
+deadline (``task_timeout``); a task that exhausts either surfaces a
+typed :class:`~repro.simulator.plan.TaskFailure` in its result slot and
+the rest of the sweep completes normally.
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing
+import itertools
 import os
+import queue
+import signal
 import time
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from .. import faults
 from ..cache.traces import ensure_compiled_trace
 from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES, profile_for
 from ..workloads.trace import Workload, build_workload
 from .config import SimulationConfig
-from .plan import ExperimentPlan, SimTask
+from .plan import SimTask, TaskFailure, TaskFailureError, TaskOutcome
 from .simulator import Simulator
-from .stats import SimulationResult, harmonic_mean_ipc
+from .stats import SimulationResult
 
 #: Cache of built workloads, keyed by (benchmark name, seed).
 _WORKLOAD_CACHE: Dict[tuple, Workload] = {}
@@ -203,39 +221,51 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 _POOL: Optional[multiprocessing.pool.Pool] = None
 _POOL_PROCESSES = 0
 _POOL_CACHE_STATE: Optional[tuple] = None
+#: Parent-side handle of the worker start-event queue (one per pool).
+_POOL_EVENTS = None
+#: Worker-side handle of the same queue, installed by ``_worker_init``.
+_WORKER_EVENTS = None
 
 
-def _worker_init(cache_dir: str, cache_on: bool, result_cache_on: bool) -> None:
+def _worker_init(cache_dir: str, cache_on: bool, result_cache_on: bool,
+                 fault_plan=None, events=None) -> None:
     """Apply the parent's resolved artifact-cache settings in a worker.
 
     ``configure()``/``--no-cache`` state lives in module globals, which
     spawn-start platforms do not inherit (and forked workers freeze at
     fork time); passing the resolved values through the pool initializer
     keeps every worker on the parent's store (and on the parent's
-    result-replay policy).
+    result-replay policy).  The active fault plan rides along for the
+    same reason -- chaos must inject identically in every worker -- and
+    ``events`` is the sentinel queue workers announce chunk pickups on.
     """
     from ..cache.results import configure_result_cache
     from ..cache.store import configure
 
+    global _WORKER_EVENTS
     configure(cache_dir=cache_dir, enabled=cache_on)
     configure_result_cache(result_cache_on)
+    faults.configure_faults(fault_plan)
+    faults.mark_worker()
+    _WORKER_EVENTS = events
 
 
 def _shared_pool(processes: int) -> multiprocessing.pool.Pool:
     from ..cache.results import result_cache_enabled
     from ..cache.store import cache_enabled, resolved_cache_dir
 
-    global _POOL, _POOL_PROCESSES, _POOL_CACHE_STATE
+    global _POOL, _POOL_PROCESSES, _POOL_CACHE_STATE, _POOL_EVENTS
     cache_state = (resolved_cache_dir(), cache_enabled(),
-                   result_cache_enabled())
+                   result_cache_enabled(), faults.active_plan())
     if _POOL is not None and (_POOL_PROCESSES != processes
                               or _POOL_CACHE_STATE != cache_state):
         shutdown_pool()
     if _POOL is None:
+        _POOL_EVENTS = multiprocessing.SimpleQueue()
         _POOL = multiprocessing.Pool(
             processes=processes,
             initializer=_worker_init,
-            initargs=cache_state,
+            initargs=cache_state + (_POOL_EVENTS,),
         )
         _POOL_PROCESSES = processes
         _POOL_CACHE_STATE = cache_state
@@ -251,13 +281,16 @@ def shutdown_pool() -> None:
     abandoned simulations take (the behaviour ``with Pool(...)`` used to
     provide via its ``__exit__``).
     """
-    global _POOL, _POOL_PROCESSES, _POOL_CACHE_STATE
+    global _POOL, _POOL_PROCESSES, _POOL_CACHE_STATE, _POOL_EVENTS
     if _POOL is not None:
         _POOL.terminate()
         _POOL.join()
         _POOL = None
         _POOL_PROCESSES = 0
         _POOL_CACHE_STATE = None
+    if _POOL_EVENTS is not None:
+        _POOL_EVENTS.close()
+        _POOL_EVENTS = None
 
 
 atexit.register(shutdown_pool)
@@ -314,8 +347,9 @@ def _timed_task(
             _result_hits() - result_hits_before)
 
 
-def _run_task_chunk(chunk) -> list:
-    """Pool worker: run one workload-affine chunk of (index, task) pairs.
+def _run_supervised_chunk(payload) -> tuple:
+    """Pool worker: run one dispatched chunk of (index, attempt, task)
+    items and return per-task outcomes.
 
     All tasks of a chunk share one benchmark, so the worker builds (or
     loads from the artifact store) that benchmark's program, compiled
@@ -323,8 +357,24 @@ def _run_task_chunk(chunk) -> list:
     every configuration from them.  Per-task timing and store-hit deltas
     ride along so progress consumers (:class:`repro.api.RunHandle`) can
     stream them without a second channel.
+
+    The worker announces the pickup on the sentinel queue *before* doing
+    anything that can die (including the injected ``worker_kill`` site),
+    so the supervisor can attribute a worker loss to exactly this chunk.
+    A task that raises becomes an ``("err", ...)`` outcome rather than
+    poisoning the chunk: its chunk-mates' finished work still returns.
     """
-    return [_timed_task(index, task) for index, task in chunk]
+    chunk_id, items = payload
+    if _WORKER_EVENTS is not None:
+        _WORKER_EVENTS.put((chunk_id, os.getpid()))
+    faults.maybe_kill_worker(items[0][0], items[0][1])
+    outcomes = []
+    for index, _attempt, task in items:
+        try:
+            outcomes.append(("ok", _timed_task(index, task)))
+        except Exception as exc:
+            outcomes.append(("err", index, f"{type(exc).__name__}: {exc}"))
+    return chunk_id, outcomes
 
 
 def _affine_chunks(
@@ -369,209 +419,420 @@ def _affine_chunks(
     return [chunk for _weight, chunk in weighted_chunks]
 
 
+# ----------------------------------------------------------------------
+# the supervised drive loop
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskCompletion:
+    """One finished task as yielded by :func:`iter_task_results`.
+
+    ``result`` is the :class:`SimulationResult`, or a typed
+    :class:`~repro.simulator.plan.TaskFailure` when the task exhausted
+    its retry budget or deadline.  ``attempts`` counts dispatches
+    (1 = first try succeeded); ``cache_hits``/``result_cache_hits`` are
+    the store-hit deltas attributable to this task.
+    """
+
+    index: int
+    result: TaskOutcome
+    seconds: float
+    cache_hits: int
+    result_cache_hits: int
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return isinstance(self.result, TaskFailure)
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
+
+@dataclass
+class SupervisorStats:
+    """Process-wide counters kept by the supervised drive loop.
+
+    Chaos tests and the CLI's retry report read these; they accumulate
+    across runs until :func:`reset_supervisor_stats`.
+    """
+
+    retries: int = 0          #: task re-dispatches, any cause
+    worker_losses: int = 0    #: chunks lost to a dead worker process
+    timeouts: int = 0         #: per-task deadline overruns
+    task_errors: int = 0      #: in-task exceptions caught by a worker
+    pool_respawns: int = 0    #: full pool rebuilds after brokenness
+
+
+SUPERVISOR_STATS = SupervisorStats()
+
+
+def supervisor_stats() -> SupervisorStats:
+    return SUPERVISOR_STATS
+
+
+def reset_supervisor_stats() -> None:
+    SUPERVISOR_STATS.__init__()
+
+
+#: Default per-task retry budget (env: ``REPRO_MAX_RETRIES``).
+DEFAULT_MAX_RETRIES = 2
+
+#: How long the supervisor blocks for a completion before running its
+#: housekeeping pass (deadlines, dead-worker scan, deferred retries).
+SUPERVISION_TICK = 0.2
+
+#: Exponential-backoff base/cap for task re-dispatch, in seconds.
+RETRY_BACKOFF = 0.05
+RETRY_BACKOFF_CAP = 2.0
+
+#: Chunk ids must be unique across every run sharing the pool (stale
+#: sentinel events from a previous sweep must never attribute to a new
+#: chunk), so the counter is module-level.
+_CHUNK_IDS = itertools.count()
+
+
+def default_max_retries() -> int:
+    """Per-task retry budget (env: ``REPRO_MAX_RETRIES``, default 2)."""
+    try:
+        return max(0, int(os.environ.get("REPRO_MAX_RETRIES",
+                                         DEFAULT_MAX_RETRIES)))
+    except ValueError:
+        return DEFAULT_MAX_RETRIES
+
+
+def _backoff(attempt: int) -> float:
+    return min(RETRY_BACKOFF_CAP, RETRY_BACKOFF * (2 ** max(0, attempt - 1)))
+
+
+def _task_key(task: Union[SimTask, tuple]) -> Tuple:
+    return task.key if isinstance(task, SimTask) else ()
+
+
+def _failure(index: int, task: Union[SimTask, tuple], kind: str,
+             message: str, attempts: int) -> TaskCompletion:
+    failure = TaskFailure(index=index, benchmark=_task_benchmark(task),
+                          key=_task_key(task), kind=kind, message=message,
+                          attempts=attempts)
+    return TaskCompletion(index, failure, 0.0, 0, 0, attempts)
+
+
+def _run_inline(tasks, cancel, max_retries) -> Iterator[TaskCompletion]:
+    """The ``jobs=1`` executor: in task order, with the same retry budget
+    as the pool path (an in-task exception is retried with backoff, then
+    surfaces as a :class:`TaskFailure` rather than aborting the sweep)."""
+    for index, task in enumerate(tasks):
+        if cancel is not None and cancel.is_set():
+            return
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                _index, result, seconds, hits, result_hits = \
+                    _timed_task(index, task)
+            except Exception as exc:
+                SUPERVISOR_STATS.task_errors += 1
+                if attempt > max_retries:
+                    yield _failure(index, task, "error",
+                                   f"{type(exc).__name__}: {exc}", attempt)
+                    break
+                SUPERVISOR_STATS.retries += 1
+                time.sleep(_backoff(attempt))
+                continue
+            yield TaskCompletion(index, result, seconds, hits, result_hits,
+                                 attempt)
+            break
+
+
+def _run_supervised(tasks, jobs, cancel, task_timeout,
+                    max_retries) -> Iterator[TaskCompletion]:
+    """The pool executor: dispatch workload-affine chunks, supervise the
+    workers, survive their deaths.
+
+    Chunks are submitted with ``apply_async`` and completions funnel into
+    a local queue the supervisor *blocks* on (no polling); every
+    ``SUPERVISION_TICK`` it additionally enforces deadlines, scans for
+    vanished worker pids, and fires deferred (backed-off) re-dispatches.
+    Worker-loss attribution comes from the sentinel pickup events: a
+    chunk whose worker died is re-dispatched (its already-yielded tasks
+    excluded) while ``multiprocessing.Pool`` replaces the worker.  With
+    ``task_timeout`` chunks are singletons, so cancelling a stuck task
+    is exactly one ``SIGKILL`` of its worker; a deadline overrun is
+    terminal (a deterministic simulation that blew its deadline once
+    will blow it again) and yields a ``TaskFailure(kind="timeout")``.
+    """
+    if task_timeout is not None:
+        chunks = [[pair] for chunk in _affine_chunks(tasks, jobs)
+                  for pair in chunk]
+    else:
+        chunks = _affine_chunks(tasks, jobs)
+    processes = min(jobs, len(chunks))
+    pool = _shared_pool(processes)
+    completions: queue.Queue = queue.Queue()
+    attempts = {index: 0 for index in range(len(tasks))}
+    inflight: Dict[int, dict] = {}   # chunk_id -> {items, pid, started}
+    deferred: List[Tuple[float, list]] = []   # (eligible_at, items)
+    done = set()
+    known_pids: set = set()
+    expected_deaths: set = set()     # pids we SIGKILLed on a deadline
+
+    def dispatch(items) -> None:
+        nonlocal pool
+        chunk_id = next(_CHUNK_IDS)
+        payload = []
+        for index, task in items:
+            attempts[index] += 1
+            payload.append((index, attempts[index], task))
+
+        def on_done(result):
+            completions.put(("done", result))
+
+        def on_error(exc, cid=chunk_id):
+            completions.put(("chunk-error", cid, exc))
+
+        for resubmission in (False, True):
+            try:
+                pool.apply_async(_run_supervised_chunk,
+                                 ((chunk_id, payload),),
+                                 callback=on_done, error_callback=on_error)
+                break
+            except Exception:
+                # The pool died under us (terminated/broken): rebuild it,
+                # requeue its in-flight chunks, resubmit this one once.
+                if resubmission:
+                    raise
+                respawn_pool()
+        inflight[chunk_id] = {"items": list(items), "pid": None,
+                              "started": None}
+
+    def resolve_chunk(chunk_id: int, kind: str, message: str,
+                      retry: bool = True) -> None:
+        """Retire a lost/expired chunk: unfinished tasks go back to the
+        deferred queue if budget (and ``retry``) allow, else fail."""
+        entry = inflight.pop(chunk_id, None)
+        if entry is None:
+            return
+        retry_items = []
+        for index, task in entry["items"]:
+            if index in done:
+                continue
+            if retry and attempts[index] <= max_retries:
+                retry_items.append((index, task))
+            else:
+                completions.put(("failed", index, kind, message))
+        if retry_items:
+            SUPERVISOR_STATS.retries += len(retry_items)
+            delay = _backoff(max(attempts[index] for index, _ in retry_items))
+            deferred.append((time.monotonic() + delay, retry_items))
+
+    def respawn_pool() -> None:
+        nonlocal pool
+        SUPERVISOR_STATS.pool_respawns += 1
+        shutdown_pool()
+        pool = _shared_pool(processes)
+        known_pids.clear()
+        for chunk_id in list(inflight):
+            SUPERVISOR_STATS.worker_losses += 1
+            resolve_chunk(chunk_id, "worker-lost", "worker pool respawned")
+
+    def drain_pickup_events() -> None:
+        events = _POOL_EVENTS
+        if events is None:
+            return
+        while not events.empty():
+            try:
+                chunk_id, pid = events.get()
+            except (EOFError, OSError):
+                return
+            entry = inflight.get(chunk_id)
+            if entry is not None:
+                entry["pid"] = pid
+                entry["started"] = time.monotonic()
+
+    def enforce_deadlines() -> None:
+        if task_timeout is None:
+            return
+        now = time.monotonic()
+        for chunk_id in list(inflight):
+            entry = inflight[chunk_id]
+            if entry["started"] is None \
+                    or now - entry["started"] <= task_timeout:
+                continue
+            SUPERVISOR_STATS.timeouts += 1
+            pid = entry["pid"]
+            if pid is not None:
+                expected_deaths.add(pid)
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+            resolve_chunk(
+                chunk_id, "timeout",
+                f"exceeded task deadline of {task_timeout}s", retry=False)
+
+    def scan_for_dead_workers() -> None:
+        workers = getattr(pool, "_pool", None)
+        if workers is None:
+            return
+        current = {worker.pid for worker in workers
+                   if worker.pid is not None}
+        vanished = (known_pids - current) - expected_deaths
+        expected_deaths.intersection_update(known_pids - current)
+        known_pids.clear()
+        known_pids.update(current)
+        # An attributed pid that is no longer a live pool worker is a
+        # loss even if the pid-set diff missed it: a worker can pick up
+        # a chunk, die, and be replaced between two scans (the pool
+        # respawns workers on its own), so the dead pid may never have
+        # been observed in ``known_pids`` at all.
+        lost = [chunk_id for chunk_id, entry in inflight.items()
+                if entry["pid"] is not None
+                and entry["pid"] not in current
+                and entry["pid"] not in expected_deaths]
+        if not lost:
+            if not vanished:
+                return
+            # A worker died before its pickup event could attribute a
+            # chunk to it (or while idle): conservatively requeue every
+            # unattributed chunk -- duplicate completions dedupe on the
+            # ``done`` set, a hang would not.
+            lost = [chunk_id for chunk_id, entry in inflight.items()
+                    if entry["pid"] is None]
+        for chunk_id in lost:
+            SUPERVISOR_STATS.worker_losses += 1
+            resolve_chunk(chunk_id, "worker-lost",
+                          "worker process died mid-chunk")
+
+    for chunk in chunks:
+        dispatch(chunk)
+    while len(done) < len(tasks):
+        if cancel is not None and cancel.is_set():
+            shutdown_pool()
+            return
+        now = time.monotonic()
+        ready = [items for eligible_at, items in deferred
+                 if eligible_at <= now]
+        deferred[:] = [(eligible_at, items) for eligible_at, items
+                       in deferred if eligible_at > now]
+        for items in ready:
+            dispatch(items)
+        drain_pickup_events()
+        enforce_deadlines()
+        scan_for_dead_workers()
+        tick = SUPERVISION_TICK
+        if deferred:
+            tick = min(tick, max(0.01, min(
+                eligible_at for eligible_at, _ in deferred) - now))
+        try:
+            message = completions.get(timeout=tick)
+        except queue.Empty:
+            continue
+        while message is not None:
+            if message[0] == "done":
+                chunk_id, outcomes = message[1]
+                inflight.pop(chunk_id, None)
+                for outcome in outcomes:
+                    if outcome[0] == "ok":
+                        index, result, seconds, hits, result_hits = \
+                            outcome[1]
+                        if index in done:
+                            continue
+                        done.add(index)
+                        yield TaskCompletion(index, result, seconds, hits,
+                                             result_hits, attempts[index])
+                    else:
+                        _tag, index, error = outcome
+                        if index in done:
+                            continue
+                        SUPERVISOR_STATS.task_errors += 1
+                        if attempts[index] <= max_retries:
+                            SUPERVISOR_STATS.retries += 1
+                            deferred.append((
+                                time.monotonic() + _backoff(attempts[index]),
+                                [(index, tasks[index])]))
+                        else:
+                            done.add(index)
+                            yield _failure(index, tasks[index], "error",
+                                           error, attempts[index])
+            elif message[0] == "chunk-error":
+                _tag, chunk_id, exc = message
+                SUPERVISOR_STATS.worker_losses += 1
+                resolve_chunk(chunk_id, "worker-lost",
+                              f"{type(exc).__name__}: {exc}")
+            elif message[0] == "failed":
+                _tag, index, kind, error = message
+                if index not in done:
+                    done.add(index)
+                    yield _failure(index, tasks[index], kind, error,
+                                   attempts[index])
+            try:
+                message = completions.get_nowait()
+            except queue.Empty:
+                message = None
+
+
 def iter_task_results(
     tasks: Sequence[Union[SimTask, tuple]],
     jobs: int = 1,
     cancel=None,
-) -> Iterator[Tuple[int, SimulationResult, float, int, int]]:
-    """Yield ``(task index, result, seconds, cache hits, result-cache
-    hits)`` as tasks finish.
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+) -> Iterator[TaskCompletion]:
+    """Yield a :class:`TaskCompletion` per task as tasks finish.
 
     The incremental counterpart of :func:`run_tasks` and the channel
     :class:`repro.api.RunHandle` streams progress from.  ``jobs=1`` runs
     inline in task order; ``jobs>1`` fans workload-affine chunks over the
-    shared pool and yields completions unordered (consumers reassemble by
-    index).  ``cancel`` is an optional ``threading.Event``: once set, no
-    further task is started -- inline runs stop between tasks, pool runs
-    stop between chunk completions and tear the pool down so outstanding
+    shared pool under the supervisor (see :func:`_run_supervised`) and
+    yields completions unordered (consumers reassemble by index).
+
+    ``max_retries`` bounds re-dispatches per task (default: env
+    ``REPRO_MAX_RETRIES`` or 2); a task that exhausts it completes with
+    a :class:`~repro.simulator.plan.TaskFailure` result instead of
+    raising, so the rest of the sweep still finishes.  ``task_timeout``
+    (seconds) adds a per-task deadline; deadlines need a killable
+    process, so a timeout forces the pool path even for ``jobs=1``.
+    ``cancel`` is an optional ``threading.Event``: once set, no further
+    task is started -- inline runs stop between tasks, pool runs stop at
+    the next supervision tick and tear the pool down so outstanding
     chunks die with it.
     """
     jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(tasks) <= 1:
-        for index, task in enumerate(tasks):
-            if cancel is not None and cancel.is_set():
-                return
-            yield _timed_task(index, task)
+    if max_retries is None:
+        max_retries = default_max_retries()
+    if task_timeout is None and (jobs == 1 or len(tasks) <= 1):
+        yield from _run_inline(tasks, cancel, max_retries)
         return
-    chunks = _affine_chunks(tasks, jobs)
-    # Never fork more workers than there are chunks to serve; a later,
-    # larger sweep recreates the pool at its size.
-    pool = _shared_pool(min(jobs, len(chunks)))
-    # chunksize=1: chunks are coarse (>> pool overhead) and may have very
-    # uneven durations; unordered completion is fine because consumers
-    # reassemble by task index.
-    iterator = pool.imap_unordered(_run_task_chunk, chunks, chunksize=1)
-    if cancel is None:
-        for completed in iterator:
-            yield from completed
+    if not tasks:
         return
-    pending = len(chunks)
-    while pending:
-        if cancel.is_set():
-            shutdown_pool()
-            return
-        try:
-            # Short poll so a cancel() does not wait for a whole chunk.
-            completed = iterator.next(timeout=0.05)
-        except multiprocessing.TimeoutError:
-            continue
-        except StopIteration:
-            return
-        pending -= 1
-        yield from completed
+    yield from _run_supervised(tasks, max(jobs, 1), cancel, task_timeout,
+                               max_retries)
 
 
 def run_tasks(
     tasks: Sequence[Union[SimTask, tuple]],
     jobs: int = 1,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> List[SimulationResult]:
     """Run :class:`SimTask` entries (or legacy ``(config, benchmark,
     max_instructions)`` tuples), optionally on the shared process pool.
-    Results keep task order regardless of ``jobs``."""
-    results: List[Optional[SimulationResult]] = [None] * len(tasks)
-    for index, result, _seconds, _hits, _result_hits in iter_task_results(
-            tasks, jobs=jobs):
-        results[index] = result
+    Results keep task order regardless of ``jobs``.
+
+    This is the strict surface: tasks that still failed after the retry
+    budget raise :class:`~repro.simulator.plan.TaskFailureError` (the
+    partial-result surface is :class:`repro.api.Session`, which reports
+    failures in ``RunResult.failed_tasks`` instead).
+    """
+    results: List[Optional[TaskOutcome]] = [None] * len(tasks)
+    failures: List[TaskFailure] = []
+    for completion in iter_task_results(tasks, jobs=jobs,
+                                        task_timeout=task_timeout,
+                                        max_retries=max_retries):
+        results[completion.index] = completion.result
+        if completion.failed:
+            failures.append(completion.result)
+    if failures:
+        raise TaskFailureError(failures)
     return results
 
-
-# ----------------------------------------------------------------------
-# deprecated free-function entry points (v1 surface: repro.api.Session)
-# ----------------------------------------------------------------------
-def _session_run(plan: ExperimentPlan, jobs: int = 1):
-    """Route a legacy call through the default :class:`repro.api.Session`,
-    so shims return results identical to the façade path.
-
-    ``jobs`` keeps its legacy meaning (``None``/``0`` = all cores,
-    negative = ValueError): it is resolved here, because inside
-    :class:`ExecutionOptions` a ``None`` would mean "inherit the
-    session's default" instead.
-    """
-    from ..api.session import default_session
-    from ..api.spec import ExecutionOptions
-
-    return default_session().run(
-        plan, options=ExecutionOptions(jobs=resolve_jobs(jobs)))
-
-
-def run_single(
-    config: SimulationConfig,
-    benchmark: str,
-    max_instructions: Optional[int] = None,
-) -> SimulationResult:
-    """Run one configuration on one benchmark.
-
-    .. deprecated:: 1.1
-        Use :meth:`repro.api.Session.run` with an
-        :class:`repro.api.ExperimentSpec` (or an ``ExperimentPlan``).
-    """
-    from ..api._deprecation import warn_legacy
-
-    warn_legacy("repro.simulator.runner.run_single",
-                "repro.api.Session.run(ExperimentSpec(...))")
-    plan = ExperimentPlan("legacy-run-single")
-    plan.add(config, benchmark, max_instructions)
-    return _session_run(plan).results[0]
-
-
-def run_benchmarks(
-    config: SimulationConfig,
-    benchmarks: Iterable[str],
-    max_instructions: Optional[int] = None,
-    jobs: int = 1,
-    sampled: bool = False,
-    sampling=None,
-) -> List[SimulationResult]:
-    """Run one configuration across several benchmarks.
-
-    .. deprecated:: 1.1
-        Use :meth:`repro.api.Session.run` with an
-        :class:`repro.api.ExperimentSpec` naming the benchmarks.
-    """
-    from ..api._deprecation import warn_legacy
-
-    warn_legacy("repro.simulator.runner.run_benchmarks",
-                "repro.api.Session.run(ExperimentSpec(...))")
-    plan = ExperimentPlan("legacy-run-benchmarks")
-    for name in benchmarks:
-        plan.add(config, name, max_instructions,
-                 sampled=sampled, sampling=sampling)
-    return _session_run(plan, jobs=jobs).results
-
-
-def run_mix(
-    config: SimulationConfig,
-    benchmarks: Optional[Iterable[str]] = None,
-    max_instructions: Optional[int] = None,
-    jobs: int = 1,
-    sampled: bool = False,
-    sampling=None,
-) -> Dict[str, object]:
-    """Run a configuration on a benchmark mix and aggregate.
-
-    Returns ``{"results": [...], "hmean_ipc": float}``.
-
-    .. deprecated:: 1.1
-        Use :meth:`repro.api.Session.run`; ``RunResult.hmean_by_key()``
-        (or :func:`harmonic_mean_ipc` over ``results``) covers the
-        aggregation.
-    """
-    from ..api._deprecation import warn_legacy
-
-    warn_legacy("repro.simulator.runner.run_mix",
-                "repro.api.Session.run(ExperimentSpec(...))")
-    names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
-    plan = ExperimentPlan("legacy-run-mix")
-    for name in names:
-        plan.add(config, name, max_instructions,
-                 sampled=sampled, sampling=sampling)
-    results = _session_run(plan, jobs=jobs).results
-    return {"results": results, "hmean_ipc": harmonic_mean_ipc(results)}
-
-
-def sweep_l1_sizes(
-    configs_by_size,
-    benchmarks: Optional[Iterable[str]] = None,
-    max_instructions: Optional[int] = None,
-    jobs: int = 1,
-    sampled: bool = False,
-    sampling=None,
-) -> Dict[int, Dict[str, object]]:
-    """Run ``{size: config}`` (or ``{size: [configs]}``) over a benchmark mix.
-
-    Returns ``{size: {label: {"results": [...], "hmean_ipc": float}}}``.
-
-    .. deprecated:: 1.1
-        Use :meth:`repro.api.Session.run` with an
-        :class:`repro.api.ExperimentSpec` carrying an ``l1_sizes`` sweep
-        axis.
-    """
-    from ..api._deprecation import warn_legacy
-
-    warn_legacy("repro.simulator.runner.sweep_l1_sizes",
-                "repro.api.Session.run(ExperimentSpec(..., l1_sizes=...))")
-    names = list(benchmarks) if benchmarks is not None else list(DEFAULT_MIX)
-    plan = ExperimentPlan("legacy-sweep-l1-sizes")
-    occurrences: Dict[tuple, int] = {}
-    for size, configs in configs_by_size.items():
-        if isinstance(configs, SimulationConfig):
-            configs = [configs]
-        for config in configs:
-            label = config.derived_label()
-            # Configs that share a label at one size stay separate task
-            # groups; the output keeps the last one (label collisions can
-            # only surface one entry in the returned mapping anyway).
-            occurrence = occurrences.get((size, label), 0)
-            occurrences[(size, label)] = occurrence + 1
-            for name in names:
-                plan.add(config, name, max_instructions,
-                         key=(size, label, occurrence),
-                         sampled=sampled, sampling=sampling)
-    out: Dict[int, Dict[str, object]] = {}
-    for (size, label, _), results in _session_run(
-            plan, jobs=jobs).by_key().items():
-        out.setdefault(size, {})[label] = {
-            "results": results,
-            "hmean_ipc": harmonic_mean_ipc(results),
-        }
-    return out

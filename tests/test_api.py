@@ -2,9 +2,7 @@
 
 Covers the v1 surface: session lifecycle (shared-pool shutdown on
 ``__exit__``), eager spec validation, sampled-vs-full parity through
-``submit()``, progress-event ordering and payloads, cancellation, and
-that every deprecated legacy entry point warns and returns results
-identical to the façade path.
+``submit()``, progress-event ordering and payloads, and cancellation.
 """
 
 import threading
@@ -275,24 +273,23 @@ class TestSampledParity:
 
 
 class TestFigure5SampledParity:
-    def test_sampled_figure5_byte_identical_to_legacy_path(self, tmp_path):
-        """Acceptance: the façade reproduces `figure 5 --sampled` output
-        byte-identically to the legacy free-function path."""
-        from repro.analysis import figures
+    def test_sampled_figure5_byte_identical_across_jobs(self, tmp_path):
+        """Acceptance: `figure 5 --sampled` output is byte-identical
+        whether the grid runs inline or fanned out over workers."""
         from repro.api import format_ipc_sweep
         from repro.cache import temporary_cache_dir
 
         kwargs = dict(benchmarks=["gzip"], l1_sizes=[1024],
-                      max_instructions=4000)
+                      max_instructions=4000,
+                      options=ExecutionOptions(sampled=True))
         with temporary_cache_dir(tmp_path / "fig5-parity"):
-            with Session() as session:
-                facade = session.figure5_series(
-                    options=ExecutionOptions(sampled=True), **kwargs)
-            with pytest.warns(DeprecationWarning, match="figure5_series"):
-                legacy = figures.figure5_series(sampled=True, **kwargs)
+            with Session() as inline:
+                serial = inline.figure5_series(**kwargs)
+            with Session(jobs=2) as parallel:
+                fanned = parallel.figure5_series(**kwargs)
         title = "Figure 5: main comparison [sampled]"
-        assert (format_ipc_sweep(facade, title)
-                == format_ipc_sweep(legacy, title))
+        assert (format_ipc_sweep(serial, title)
+                == format_ipc_sweep(fanned, title))
 
 
 class TestResultCacheReporting:
@@ -377,127 +374,6 @@ class TestDefaultSession:
         reopened = default_session()
         assert reopened is not session
         assert not reopened.closed
-
-
-class TestDeprecatedShims:
-    """Every legacy entry point warns and matches the façade result."""
-
-    def test_run_single(self):
-        config = fast_config()
-        with Session() as session:
-            plan = ExperimentPlan("t")
-            plan.add(config, "gzip", 800)
-            facade = session.run(plan).results[0]
-        with pytest.warns(DeprecationWarning, match="repro.api"):
-            legacy = runner_module.run_single(config, "gzip", 800)
-        assert legacy == facade
-
-    def test_run_benchmarks(self):
-        config = fast_config()
-        with Session() as session:
-            plan = ExperimentPlan("t")
-            for name in ("gzip", "mcf"):
-                plan.add(config, name, 600)
-            facade = session.run(plan).results
-        with pytest.warns(DeprecationWarning, match="Session.run"):
-            legacy = runner_module.run_benchmarks(config, ["gzip", "mcf"], 600)
-        assert legacy == facade
-
-    def test_run_mix(self):
-        config = fast_config()
-        with pytest.warns(DeprecationWarning, match="Session.run"):
-            legacy = runner_module.run_mix(config, ["gzip"], 600)
-        assert set(legacy) == {"results", "hmean_ipc"}
-        assert legacy["hmean_ipc"] > 0
-
-    def test_shim_jobs_none_keeps_all_cores_meaning(self, monkeypatch):
-        """Legacy contract: jobs=None/0 = all cores.  Inside
-        ExecutionOptions a None means 'inherit the session default'
-        (jobs=1), so the shims must resolve jobs before delegating."""
-        import repro.api.session as session_module
-
-        seen = {}
-        real = session_module.iter_task_results
-
-        def spy(tasks, jobs=1, cancel=None):
-            seen["jobs"] = jobs
-            return real(tasks, jobs=jobs, cancel=cancel)
-
-        monkeypatch.setattr(session_module, "iter_task_results", spy)
-        with pytest.warns(DeprecationWarning):
-            runner_module.run_benchmarks(fast_config(), ["gzip"], 500,
-                                         jobs=None)
-        assert seen["jobs"] == runner_module.resolve_jobs(0)
-
-    def test_sweep_l1_sizes(self):
-        configs = {1024: fast_config(l1_size_bytes=1024)}
-        with pytest.warns(DeprecationWarning, match="l1_sizes"):
-            legacy = runner_module.sweep_l1_sizes(configs, ["gzip"], 500)
-        assert set(legacy) == {1024}
-
-    def test_run_sampled(self):
-        from repro.sampling.sampled import _execute_sampled, run_sampled
-
-        config = fast_config(max_instructions=4000)
-        with pytest.warns(DeprecationWarning, match="sampled=True"):
-            legacy = run_sampled(config, "gzip", 4000)
-        assert legacy == _execute_sampled(config, "gzip", 4000)
-
-    @pytest.mark.parametrize("name", [
-        "figure1_series", "figure2_series", "figure4_series",
-        "figure5_series", "figure8_series",
-    ])
-    def test_figure_builders(self, name):
-        from repro.analysis import figures
-
-        kwargs = dict(benchmarks=["gzip"], l1_sizes=[1024],
-                      max_instructions=600)
-        with Session() as session:
-            facade = getattr(session, name)(**kwargs)
-        with pytest.warns(DeprecationWarning, match=f"Session.{name}"):
-            legacy = getattr(figures, name)(**kwargs)
-        assert legacy == facade
-
-    def test_figure6_series(self):
-        from repro.analysis import figures
-
-        kwargs = dict(benchmarks=["gzip"], max_instructions=600)
-        with Session() as session:
-            facade = session.figure6_series(**kwargs)
-        with pytest.warns(DeprecationWarning, match="figure6_series"):
-            legacy = figures.figure6_series(**kwargs)
-        assert legacy == facade
-
-    def test_figure7_series(self):
-        from repro.analysis import figures
-
-        kwargs = dict(with_l0=False, benchmarks=["gzip"], l1_sizes=[1024],
-                      max_instructions=600)
-        with Session() as session:
-            facade = session.figure7_series(**kwargs)
-        with pytest.warns(DeprecationWarning, match="figure7_series"):
-            legacy = figures.figure7_series(**kwargs)
-        assert legacy == facade
-
-    def test_headline_speedups(self):
-        from repro.analysis import figures
-
-        kwargs = dict(benchmarks=["gzip"], max_instructions=600)
-        with Session() as session:
-            facade = session.headline_speedups(**kwargs)
-        with pytest.warns(DeprecationWarning, match="headline_speedups"):
-            legacy = figures.headline_speedups(**kwargs)
-        assert legacy == facade
-
-    def test_ablation_series(self):
-        from repro.analysis import figures
-
-        kwargs = dict(benchmarks=["gzip"], max_instructions=600)
-        with Session() as session:
-            facade = session.ablation_series(**kwargs)
-        with pytest.warns(DeprecationWarning, match="ablation_series"):
-            legacy = figures.ablation_series(**kwargs)
-        assert legacy == facade
 
 
 class TestWeightedAffineChunks:

@@ -1,0 +1,434 @@
+"""Tests for fault-tolerant execution: the deterministic fault injector,
+the supervised runner (worker loss, retry with backoff, deadlines), the
+resilient artifact store, and the typed-failure surfaces of the façade
+and the CLI.
+
+The chaos tests are the point of the subsystem: with a fixed fault seed,
+runs under injected worker kills and artifact corruption must complete
+without hanging and produce results bit-identical to a fault-free run.
+"""
+
+import errno
+import os
+import warnings
+
+import pytest
+
+from repro import faults
+from repro.cache import ArtifactStore, temporary_cache_dir
+from repro.cache.store import frame_digest, unframe_digest
+from repro.faults import (
+    NO_FAULTS,
+    FaultPlan,
+    active_plan,
+    configure_faults,
+    corrupt_artifact,
+    maybe_kill_worker,
+    resolve_plan,
+    restore_faults,
+    snapshot_faults,
+)
+from repro.simulator.config import SimulationConfig
+from repro.simulator.plan import (
+    ExperimentPlan,
+    TaskFailure,
+    TaskFailureError,
+)
+from repro.simulator.runner import (
+    _execute_single,
+    clear_process_caches,
+    reset_supervisor_stats,
+    run_tasks,
+    shutdown_pool,
+    supervisor_stats,
+)
+
+
+def fast_config(**kw):
+    base = dict(engine="baseline", technology="0.045um", l1_size_bytes=4096,
+                max_instructions=800, warmup_instructions=2000)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Fault plans and supervisor counters are process-wide; never let a
+    chaos test leak its configuration into the next one."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_MAX_RETRIES", raising=False)
+    yield
+    configure_faults(None)
+    reset_supervisor_stats()
+    shutdown_pool()
+    clear_process_caches()
+
+
+# ----------------------------------------------------------------------
+# plan parsing and resolution
+# ----------------------------------------------------------------------
+class TestFaultPlanParsing:
+    def test_full_spec(self):
+        plan = FaultPlan.parse(
+            "worker_kill:0.1,artifact_corrupt:0.05,io_delay:20ms,seed:7")
+        assert plan == FaultPlan(worker_kill=0.1, artifact_corrupt=0.05,
+                                 io_delay=0.02, seed=7)
+
+    @pytest.mark.parametrize("token,seconds", [
+        ("20ms", 0.02), ("1.5s", 1.5), ("0.25", 0.25), ("0", 0.0),
+    ])
+    def test_io_delay_units(self, token, seconds):
+        assert FaultPlan.parse(f"io_delay:{token}").io_delay == seconds
+
+    def test_empty_spec_is_no_faults(self):
+        assert FaultPlan.parse("") == NO_FAULTS
+        assert not NO_FAULTS.active()
+
+    def test_describe_round_trips(self):
+        plan = FaultPlan(worker_kill=0.25, artifact_corrupt=0.5,
+                         io_delay=0.01, seed=42)
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    @pytest.mark.parametrize("spec", [
+        "worker_kill:2.0",          # probability out of range
+        "worker_kill:lots",         # not a number
+        "explode:0.5",              # unknown fault
+        "worker_kill",              # missing value
+        "seed:7.5",                 # non-integer seed
+        "io_delay:-5ms",            # negative duration
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_resolve_plan(self):
+        assert resolve_plan(None) is None
+        plan = FaultPlan(worker_kill=0.1)
+        assert resolve_plan(plan) is plan
+        assert resolve_plan("worker_kill:0.1") == plan
+
+
+class TestPlanResolution:
+    def test_environment_activates_and_tracks_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:0.3")
+        assert active_plan().worker_kill == 0.3
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:0.6")
+        assert active_plan().worker_kill == 0.6
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert active_plan() == NO_FAULTS
+
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:0.3")
+        configure_faults("worker_kill:0.9")
+        assert active_plan().worker_kill == 0.9
+        configure_faults(None)
+        assert active_plan().worker_kill == 0.3
+
+    def test_snapshot_restore(self):
+        snapshot = snapshot_faults()
+        configure_faults("io_delay:5ms")
+        assert active_plan().io_delay == 0.005
+        restore_faults(snapshot)
+        assert active_plan() == NO_FAULTS
+
+
+# ----------------------------------------------------------------------
+# deterministic decisions
+# ----------------------------------------------------------------------
+class TestDecisions:
+    def test_decisions_are_pure_and_distinct(self):
+        a = faults._decision(7, "worker_kill", 3, 1)
+        assert a == faults._decision(7, "worker_kill", 3, 1)
+        assert 0.0 <= a < 1.0
+        assert a != faults._decision(7, "worker_kill", 3, 2)
+        assert a != faults._decision(8, "worker_kill", 3, 1)
+        assert a != faults._decision(7, "artifact_corrupt", 3, 1)
+
+    def test_corrupt_artifact_is_deterministic_per_key(self):
+        configure_faults("artifact_corrupt:1.0,seed:3")
+        payload = bytes(range(256)) * 8
+        once = corrupt_artifact("trace", "k1", payload)
+        assert once == corrupt_artifact("trace", "k1", payload)
+        assert once != payload
+        assert corrupt_artifact("trace", "k2", payload) != payload
+
+    def test_corrupt_artifact_noop_without_plan(self):
+        payload = b"untouched"
+        assert corrupt_artifact("trace", "k1", payload) == payload
+
+    def test_kill_is_noop_outside_workers(self):
+        configure_faults("worker_kill:1.0")
+        maybe_kill_worker(0, 1)   # would os._exit if worker-gated wrongly
+
+
+# ----------------------------------------------------------------------
+# chaos execution: the acceptance criteria
+# ----------------------------------------------------------------------
+class TestChaosExecution:
+    def _tasks(self, count=4, instructions=600):
+        names = ("gzip", "mcf", "eon", "gcc")
+        return [(fast_config(), names[i % len(names)], instructions)
+                for i in range(count)]
+
+    def test_worker_kills_retry_to_bit_identical_results(self):
+        """A chaos run under heavy worker kills completes, retries at
+        least once, and matches the fault-free results exactly."""
+        baseline = run_tasks(self._tasks(), jobs=2)
+        shutdown_pool()
+        reset_supervisor_stats()
+        configure_faults("worker_kill:0.7,seed:1")
+        chaotic = run_tasks(self._tasks(), jobs=2, max_retries=10)
+        assert chaotic == baseline
+        stats = supervisor_stats()
+        assert stats.retries > 0
+        assert stats.worker_losses > 0
+
+    def test_certain_kills_exhaust_retries_without_hanging(self):
+        configure_faults("worker_kill:1.0,seed:1")
+        with pytest.raises(TaskFailureError) as excinfo:
+            run_tasks(self._tasks(count=2), jobs=2, max_retries=1)
+        failures = excinfo.value.failures
+        assert failures
+        assert all(f.kind == "worker-lost" for f in failures)
+        assert all(f.attempts == 2 for f in failures)
+
+    def test_env_chaos_is_reproducible_end_to_end(self, monkeypatch):
+        """REPRO_FAULTS with a fixed seed: two chaos runs agree with each
+        other and with the fault-free run (decisions are pure functions,
+        not RNG state)."""
+        baseline = run_tasks(self._tasks(count=3), jobs=2)
+        shutdown_pool()
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:0.5,seed:9")
+        first = run_tasks(self._tasks(count=3), jobs=2, max_retries=10)
+        shutdown_pool()
+        second = run_tasks(self._tasks(count=3), jobs=2, max_retries=10)
+        assert first == second == baseline
+
+    def test_in_task_errors_are_typed_failures(self):
+        bad = SimulationConfig(engine="baseline", technology="0.045um",
+                               l1_size_bytes=4096, max_instructions=800)
+        tasks = [(bad, "no-such-benchmark", 800)]
+        with pytest.raises(TaskFailureError) as excinfo:
+            run_tasks(tasks, jobs=1, max_retries=0)
+        (failure,) = excinfo.value.failures
+        assert failure.kind == "error"
+        assert failure.benchmark == "no-such-benchmark"
+        assert "no-such-benchmark" in str(failure)
+
+
+class TestDeadlines:
+    def test_overrunning_task_fails_typed_and_siblings_succeed(self):
+        """A task past its deadline is killed and completes as a typed
+        TaskFailure while the other task's result still arrives."""
+        from repro.api import ExecutionOptions, Session
+
+        plan = ExperimentPlan("deadline")
+        plan.add(fast_config(max_instructions=50_000_000), "gzip",
+                 50_000_000, key=("slow",))
+        plan.add(fast_config(), "mcf", 600, key=("fast",))
+        with Session(cache=False) as session:
+            handle = session.submit(
+                plan, options=ExecutionOptions(task_timeout=1.0))
+            result = handle.result()
+        (failure,) = result.failed_tasks
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "timeout"
+        assert failure.benchmark == "gzip"
+        assert len(result.successes) == 1
+        assert result.successes[0].workload == "mcf"
+        kinds = [e.kind for e in handle.event_log]
+        assert "task-failed" in kinds
+        assert kinds[-1] == "done"
+        failed_events = [e for e in handle.event_log
+                         if e.kind == "task-failed"]
+        assert failed_events[0].error.startswith("timeout")
+        stats = supervisor_stats()
+        assert stats.timeouts >= 1
+
+    def test_strict_surface_raises_on_timeout(self):
+        with pytest.raises(TaskFailureError):
+            run_tasks([(fast_config(max_instructions=50_000_000),
+                        "gzip", 50_000_000)],
+                      jobs=1, task_timeout=1.0)
+
+
+class TestArtifactCorruptionChaos:
+    def test_full_corruption_still_produces_correct_results(self, tmp_path):
+        """artifact_corrupt:1.0 -- every write is damaged; every read must
+        detect it and recompute, so results match the fault-free run."""
+        config = fast_config(engine="clgp", max_instructions=1500)
+        with temporary_cache_dir(tmp_path / "clean"):
+            clear_process_caches()
+            clean = _execute_single(config, "gzip", 1500)
+        configure_faults("artifact_corrupt:1.0,seed:5")
+        with temporary_cache_dir(tmp_path / "chaos") as disk:
+            clear_process_caches()
+            first = _execute_single(config, "gzip", 1500)
+            clear_process_caches()
+            second = _execute_single(config, "gzip", 1500)
+            assert disk.stats.corrupt > 0
+        assert first == second == clean
+
+    def test_io_delay_only_slows_io(self, tmp_path):
+        configure_faults("io_delay:1ms")
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("kindA", "key", [1, 2, 3])
+        assert store.get("kindA", "key") == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# store resilience
+# ----------------------------------------------------------------------
+class TestStoreIoResilience:
+    @staticmethod
+    def _flaky_replace(fail_times):
+        real_replace = os.replace
+        remaining = {"n": fail_times}
+
+        def replace(src, dst):
+            if remaining["n"] > 0:
+                remaining["n"] -= 1
+                raise OSError(errno.EIO, "injected I/O error")
+            return real_replace(src, dst)
+
+        return replace
+
+    def test_transient_write_error_is_retried(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "cache")
+        monkeypatch.setattr(os, "replace", self._flaky_replace(1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")   # a retried write must not warn
+            store.put("kindA", "key", [1, 2])
+        assert store.stats.io_retries == 1
+        assert store.stats.write_errors == 0
+        assert store.get("kindA", "key") == [1, 2]
+
+    def test_persistent_write_failure_degrades_and_warns_once(
+            self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "cache")
+        monkeypatch.setattr(os, "replace", self._flaky_replace(10 ** 9))
+        with pytest.warns(RuntimeWarning, match="cache stats"):
+            store.put("kindA", "key", [1, 2])
+        assert store.stats.write_errors == 1
+        assert store.stats.stores == 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")   # second failure stays quiet
+            store.put("kindA", "key2", [3])
+        assert store.stats.write_errors == 2
+        # No temp litter, and reads degrade to ordinary misses.
+        assert not list((tmp_path / "cache").rglob("*.tmp"))
+        assert store.get("kindA", "key") is None
+
+    def test_transient_read_error_is_retried(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("kindA", "key", [1, 2])
+        real_read = Path.read_bytes
+        remaining = {"n": 1}
+
+        def flaky_read(self):
+            if remaining["n"] > 0:
+                remaining["n"] -= 1
+                raise OSError(errno.EIO, "injected I/O error")
+            return real_read(self)
+
+        monkeypatch.setattr(Path, "read_bytes", flaky_read)
+        assert store.get("kindA", "key") == [1, 2]
+        assert store.stats.io_retries == 1
+        assert store.stats.read_errors == 0
+
+
+class TestDigestFraming:
+    def test_round_trip(self):
+        payload = b"simulator state" * 100
+        assert unframe_digest(frame_digest(payload)) == payload
+
+    def test_tampered_payload_is_rejected(self):
+        framed = bytearray(frame_digest(b"simulator state" * 100))
+        framed[40] ^= 0x01
+        assert unframe_digest(bytes(framed)) is None
+
+    def test_short_or_missing_frames_are_rejected(self):
+        assert unframe_digest(None) is None
+        assert unframe_digest(b"short") is None
+        assert unframe_digest(b"\x00" * 32) is None
+
+
+# ----------------------------------------------------------------------
+# façade and CLI surfaces
+# ----------------------------------------------------------------------
+class TestFacadeFaultSurface:
+    def test_execution_options_validate_fault_knobs(self):
+        from repro.api import ExecutionOptions
+
+        with pytest.raises(ValueError, match="task_timeout"):
+            ExecutionOptions(task_timeout=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ExecutionOptions(max_retries=-1)
+        with pytest.raises(ValueError, match="unknown fault"):
+            ExecutionOptions(faults="explode:0.5")
+        options = ExecutionOptions(faults="worker_kill:0.1")
+        assert isinstance(options.faults, FaultPlan)
+
+    def test_session_scopes_faults_to_the_submission(self):
+        from repro.api import ExecutionOptions, ExperimentSpec, Session
+
+        spec = ExperimentSpec("base", benchmarks=("gzip",),
+                              max_instructions=600)
+        with Session(jobs=2, cache=False) as session:
+            result = session.run(spec, options=ExecutionOptions(
+                faults="worker_kill:0.7,seed:1", max_retries=10))
+            assert active_plan() == NO_FAULTS   # restored after the run
+        assert not result.failed_tasks
+        assert result.task_retries >= 0
+
+    def test_run_events_report_retries(self):
+        from repro.api import ExecutionOptions, ExperimentSpec, Session
+
+        spec = ExperimentSpec("base", benchmarks=("gzip", "mcf", "eon"),
+                              max_instructions=600)
+        with Session(jobs=2, cache=False) as session:
+            baseline = session.run(spec)
+            handle = session.submit(spec, options=ExecutionOptions(
+                faults="worker_kill:0.7,seed:1", max_retries=10))
+            chaotic = handle.result()
+        assert chaotic.results == baseline.results
+        assert chaotic.task_retries > 0
+        task_events = [e for e in handle.event_log if e.kind == "task"]
+        assert sum(e.retries for e in task_events) == chaotic.task_retries
+
+
+class TestCliFaults:
+    RUN_ARGS = ["run", "base", "--benchmarks", "gzip,mcf",
+                "--instructions", "800", "--no-cache"]
+
+    def test_chaos_stdout_matches_fault_free_run(self, capsys):
+        from repro.cli import main
+
+        assert main(self.RUN_ARGS + ["--jobs", "1"]) == 0
+        clean = capsys.readouterr()
+        clear_process_caches()
+        assert main(self.RUN_ARGS + [
+            "--jobs", "2", "--faults", "worker_kill:0.7,seed:1",
+            "--max-retries", "10"]) == 0
+        chaos = capsys.readouterr()
+        assert chaos.out == clean.out          # stdout is byte-comparable
+        assert "retr" in chaos.err             # retries reported on stderr
+
+    def test_invalid_faults_spec_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(self.RUN_ARGS + ["--faults", "explode:1"]) == 2
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_exhausted_retries_exit_nonzero_with_partial_output(
+            self, capsys):
+        from repro.cli import main
+
+        assert main(self.RUN_ARGS + [
+            "--jobs", "2", "--faults", "worker_kill:1.0,seed:1",
+            "--max-retries", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "worker-lost" in captured.err
+        assert "failed" in captured.err

@@ -1,29 +1,28 @@
 """Tests for the figure data builders (small, fast parameterisations).
 
-These are integration tests: they run real (tiny) simulations and check the
-structure of the returned series plus a few coarse sanity properties.  The
-full-size reproductions live in ``benchmarks/``.
+These are integration tests: they run real (tiny) simulations through the
+:class:`repro.api.Session` figure methods and check the structure of the
+returned series plus a few coarse sanity properties.  The full-size
+reproductions live in ``benchmarks/``.
 """
 
 import pytest
 
-from repro.analysis.figures import (
-    ablation_series,
-    figure1_series,
-    figure5_series,
-    figure6_series,
-    figure7_series,
-    figure8_series,
-    headline_speedups,
-)
+from repro.api import Session
 
 FAST = dict(benchmarks=["gzip"], max_instructions=1200)
 TWO_SIZES = [1024, 16384]
 
 
 @pytest.fixture(scope="module")
-def fig1():
-    return figure1_series(l1_sizes=TWO_SIZES, **FAST)
+def session():
+    with Session() as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def fig1(session):
+    return session.figure1_series(l1_sizes=TWO_SIZES, **FAST)
 
 
 class TestFigure1:
@@ -39,14 +38,14 @@ class TestFigure1:
 
 
 class TestFigure5And6:
-    def test_figure5_structure(self):
-        series = figure5_series(l1_sizes=[4096], **FAST)
+    def test_figure5_structure(self, session):
+        series = session.figure5_series(l1_sizes=[4096], **FAST)
         assert len(series) == 6
         assert all(4096 in per for per in series.values())
 
-    def test_figure6_structure(self):
-        series = figure6_series(benchmarks=["gzip", "mcf"],
-                                max_instructions=1200)
+    def test_figure6_structure(self, session):
+        series = session.figure6_series(benchmarks=["gzip", "mcf"],
+                                        max_instructions=1200)
         assert set(series) == {"gzip", "mcf", "HMEAN"}
         for per_scheme in series.values():
             assert len(per_scheme) == 3
@@ -54,31 +53,35 @@ class TestFigure5And6:
 
 
 class TestSourceDistributions:
-    def test_figure7_fractions_sum_to_one(self):
-        series = figure7_series(with_l0=True, l1_sizes=[4096], **FAST)
+    def test_figure7_fractions_sum_to_one(self, session):
+        series = session.figure7_series(with_l0=True, l1_sizes=[4096], **FAST)
         for scheme, per_size in series.items():
             dist = per_size[4096]
             assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6)
 
-    def test_figure7_clgp_uses_prebuffer_more_than_fdp(self):
-        series = figure7_series(with_l0=False, l1_sizes=[4096],
-                                benchmarks=["gcc"], max_instructions=2000)
+    def test_figure7_clgp_uses_prebuffer_more_than_fdp(self, session):
+        series = session.figure7_series(with_l0=False, l1_sizes=[4096],
+                                        benchmarks=["gcc"],
+                                        max_instructions=2000)
         assert series["CLGP"][4096]["PB"] > series["FDP"][4096]["PB"]
 
-    def test_figure8_structure(self):
-        series = figure8_series(l1_sizes=[4096], **FAST)
+    def test_figure8_structure(self, session):
+        series = session.figure8_series(l1_sizes=[4096], **FAST)
         assert set(series) == {"FDP", "CLGP"}
 
 
 class TestHeadlineAndAblation:
-    def test_headline_speedups_structure(self):
-        data = headline_speedups(benchmarks=["gzip"], max_instructions=1200)
+    def test_headline_speedups_structure(self, session):
+        data = session.headline_speedups(benchmarks=["gzip"],
+                                         max_instructions=1200)
         assert set(data) == {"0.09um", "0.045um"}
         for tech in data.values():
-            assert {"clgp_over_fdp", "clgp_over_base_pipelined", "ipc"} <= set(tech)
+            assert {"clgp_over_fdp", "clgp_over_base_pipelined",
+                    "ipc"} <= set(tech)
 
-    def test_ablation_series_contains_all_variants(self):
-        data = ablation_series(benchmarks=["gzip"], max_instructions=1200)
+    def test_ablation_series_contains_all_variants(self, session):
+        data = session.ablation_series(benchmarks=["gzip"],
+                                       max_instructions=1200)
         assert "CLGP+L0 (full)" in data
         assert "FDP+L0 (reference)" in data
         assert len(data) == 5

@@ -18,7 +18,7 @@ noise:
 import pytest
 
 from repro.simulator.presets import paper_config
-from repro.simulator.runner import run_single
+from repro.simulator.runner import _execute_single
 
 INSTRUCTIONS = 6000
 BENCH = "gcc"          # large instruction footprint
@@ -27,7 +27,7 @@ BENCH = "gcc"          # large instruction footprint
 def run(scheme, benchmark=BENCH, l1_size=4096, tech="0.045um", **overrides):
     config = paper_config(scheme, l1_size_bytes=l1_size, technology=tech,
                           max_instructions=INSTRUCTIONS, **overrides)
-    return run_single(config, benchmark, INSTRUCTIONS)
+    return _execute_single(config, benchmark, INSTRUCTIONS)
 
 
 @pytest.fixture(scope="module")

@@ -11,11 +11,7 @@ from repro.simulator.runner import (
     clear_workload_cache,
     get_workload,
     resolve_jobs,
-    run_benchmarks,
-    run_mix,
-    run_single,
     run_tasks,
-    sweep_l1_sizes,
 )
 
 
@@ -24,6 +20,14 @@ def fast_config(**kw):
                 max_instructions=800, warmup_instructions=2000)
     base.update(kw)
     return SimulationConfig(**base)
+
+
+def run_plan(config, benchmarks, instructions, jobs=1, key=None):
+    plan = ExperimentPlan("t")
+    for name in benchmarks:
+        plan.add(config, name, instructions,
+                 key=key if key is not None else ())
+    return plan.run(jobs=jobs)
 
 
 class TestWorkloadCache:
@@ -77,31 +81,20 @@ class TestEnvironmentKnobs:
 
 
 class TestRunning:
-    def test_run_single(self):
-        result = run_single(fast_config(), "gzip", 800)
+    def test_single_task(self):
+        (result,) = run_tasks([(fast_config(), "gzip", 800)])
         assert result.workload == "gzip"
         assert result.committed_instructions >= 800
 
-    def test_run_benchmarks_order(self):
-        results = run_benchmarks(fast_config(), ["mcf", "gzip"], 600)
+    def test_results_keep_task_order(self):
+        results = run_tasks([(fast_config(), name, 600)
+                             for name in ("mcf", "gzip")])
         assert [r.workload for r in results] == ["mcf", "gzip"]
 
-    def test_run_mix_aggregates(self):
-        out = run_mix(fast_config(), ["gzip", "mcf"], 600)
-        assert set(out) == {"results", "hmean_ipc"}
-        assert out["hmean_ipc"] > 0
-        assert len(out["results"]) == 2
-
-    def test_sweep_l1_sizes(self):
-        configs = {
-            1024: fast_config(l1_size_bytes=1024),
-            4096: [fast_config(l1_size_bytes=4096)],
-        }
-        out = sweep_l1_sizes(configs, ["gzip"], 500)
-        assert set(out) == {1024, 4096}
-        for per_size in out.values():
-            for data in per_size.values():
-                assert data["hmean_ipc"] > 0
+    def test_plan_hmean_aggregates(self):
+        out = run_plan(fast_config(), ["gzip", "mcf"], 600, key=("mix",))
+        assert len(out.results) == 2
+        assert out.hmean_by_key()[("mix",)] > 0
 
 
 class TestResolveJobs:
@@ -157,26 +150,23 @@ class TestExperimentPlan:
 
 class TestParallelOrdering:
     def test_sweep_results_identical_to_serial(self):
-        """jobs>1 must reproduce the serial sweep exactly: same sizes, same
-        labels, same per-benchmark result ordering, same numbers."""
-        configs = {
-            1024: [fast_config(l1_size_bytes=1024),
-                   fast_config(l1_size_bytes=1024, engine="fdp")],
-            4096: fast_config(l1_size_bytes=4096),
-        }
-        serial = sweep_l1_sizes(configs, ["gzip", "mcf"], 500, jobs=1)
-        parallel = sweep_l1_sizes(configs, ["gzip", "mcf"], 500, jobs=2)
-        assert list(serial) == list(parallel)
-        for size in serial:
-            assert list(serial[size]) == list(parallel[size])   # label order
-            for label in serial[size]:
-                s, p = serial[size][label], parallel[size][label]
-                assert s["hmean_ipc"] == p["hmean_ipc"]
-                assert [r.workload for r in s["results"]] == \
-                       [r.workload for r in p["results"]]
-                assert s["results"] == p["results"]
+        """jobs>1 must reproduce the serial run exactly: same keys, same
+        per-benchmark result ordering, same numbers."""
+        def sweep(jobs):
+            plan = ExperimentPlan("sweep")
+            for size, engine in ((1024, "baseline"), (1024, "fdp"),
+                                 (4096, "baseline")):
+                config = fast_config(l1_size_bytes=size, engine=engine)
+                for name in ("gzip", "mcf"):
+                    plan.add(config, name, 500, key=(engine, size))
+            return plan.run(jobs=jobs)
 
-    def test_run_benchmarks_parallel_order(self):
-        results = run_benchmarks(fast_config(), ["mcf", "gzip", "eon"], 500,
-                                 jobs=2)
+        serial, parallel = sweep(1), sweep(2)
+        assert serial.results == parallel.results
+        assert serial.hmean_by_key() == parallel.hmean_by_key()
+        assert list(serial.by_key()) == list(parallel.by_key())
+
+    def test_parallel_results_keep_task_order(self):
+        results = run_tasks([(fast_config(), name, 500)
+                             for name in ("mcf", "gzip", "eon")], jobs=2)
         assert [r.workload for r in results] == ["mcf", "gzip", "eon"]

@@ -8,10 +8,10 @@ from repro.sampling import (
     kmeans,
     profile_workload,
     project_counts,
-    run_sampled,
     select_intervals,
     select_stratified,
 )
+from repro.sampling.sampled import _execute_sampled
 from repro.sampling.checkpoint import CheckpointStore
 from repro.sampling.proxy import functional_profile, proxy_cycles
 from repro.simulator.simulator import Simulator
@@ -153,17 +153,17 @@ class TestRunSampled:
     def test_sampled_run_is_deterministic(self, medium_workload, method):
         config = make_sim_config(engine="clgp", max_instructions=8000)
         spec = SamplingSpec(method=method)
-        a = run_sampled(config, medium_workload, spec=spec,
-                        store=CheckpointStore())
-        b = run_sampled(config, medium_workload, spec=spec,
-                        store=CheckpointStore())
+        a = _execute_sampled(config, medium_workload, spec=spec,
+                             store=CheckpointStore())
+        b = _execute_sampled(config, medium_workload, spec=spec,
+                             store=CheckpointStore())
         assert a == b
 
     def test_sampled_run_estimates_the_full_run(self, medium_workload):
         config = make_sim_config(engine="clgp", max_instructions=10_000)
         full = Simulator(config, medium_workload).run()
-        sampled = run_sampled(config, medium_workload,
-                              store=CheckpointStore())
+        sampled = _execute_sampled(config, medium_workload,
+                                   store=CheckpointStore())
         # The sampled estimate is normalised to the exact budget; the full
         # run may overshoot by up to a commit-width of instructions.
         assert sampled.committed_instructions == config.max_instructions
@@ -176,7 +176,8 @@ class TestRunSampled:
 
     def test_sampled_metadata(self, medium_workload):
         config = make_sim_config(max_instructions=8000)
-        result = run_sampled(config, medium_workload, store=CheckpointStore())
+        result = _execute_sampled(config, medium_workload,
+                                  store=CheckpointStore())
         assert result.workload == medium_workload.name
         assert result.extras["sampling_intervals"] >= 1
         assert (result.extras["sampled_instructions"]
