@@ -213,12 +213,38 @@ class StreamPredictor:
             source="none",
         )
 
+    def predict_pair(self, addr: int, history: int) -> tuple:
+        """Lean :meth:`predict` for batched replay: same table lookups --
+        including their recency (MRU) side effects, which later victim
+        choices depend on -- and the same priority order, returning only
+        ``(length, next_addr)``.  Statistics counters are *not* updated;
+        the batched proxy base pass runs on a throwaway predictor clone
+        whose counters are never read.
+        """
+        hist_entry = self.history_table.lookup(self._history_key(addr, history))
+        if hist_entry is not None and hist_entry.confidence >= 2:
+            return hist_entry.length, hist_entry.next_addr
+        base_entry = self.base_table.lookup(addr >> 2)
+        if base_entry is not None:
+            return base_entry.length, base_entry.next_addr
+        if hist_entry is not None:
+            return hist_entry.length, hist_entry.next_addr
+        return self.default_length, addr + 4 * self.default_length
+
     def train(self, addr: int, history: int, actual: ActualStream) -> None:
         """Train both tables with the actual stream outcome."""
         kind = actual.terminator_kind if actual.ends_taken else BranchKind.NONE
-        self.base_table.update(addr >> 2, actual.length, actual.next_addr, kind)
+        self.train_parts(addr, history, actual.length, actual.next_addr, kind)
+
+    def train_parts(self, addr: int, history: int, length: int,
+                    next_addr: int, kind: BranchKind) -> None:
+        """:meth:`train` with the stream already destructured into its
+        fields and the *effective* terminator kind (``BranchKind.NONE``
+        for streams that do not end taken) pre-resolved -- the form the
+        batched passes read straight out of the segment columns."""
+        self.base_table.update(addr >> 2, length, next_addr, kind)
         self.history_table.update(
-            self._history_key(addr, history), actual.length, actual.next_addr, kind
+            self._history_key(addr, history), length, next_addr, kind
         )
 
     # ------------------------------------------------------------------

@@ -166,6 +166,58 @@ class Cache:
         self.stats.fills += 1
         return evicted
 
+    def fill_span(self, addrs) -> None:
+        """Insert a pre-computed run of line addresses, as :meth:`fill`
+        would one by one.
+
+        The batched functional pass (``simulator.warming``) replays whole
+        fetch-stream spans at once; per-line ``fill`` calls then dominate.
+        For the default LRU policy the set/policy bookkeeping is inlined
+        here -- contents, stamp order, clock values and statistics evolve
+        exactly as the equivalent ``fill`` sequence (evicted lines are not
+        reported; no batched caller consumes them).  Other policies fall
+        back to plain ``fill`` calls.
+        """
+        if self.policy_name != "lru":
+            for addr in addrs:
+                self.fill(addr)
+            return
+        mask = self._line_mask
+        line_size = self.line_size
+        num_sets = self.num_sets
+        associativity = self.associativity
+        sets = self._sets
+        policies = self._policies
+        fills = 0
+        evictions = 0
+        for addr in addrs:
+            line = addr & mask if mask is not None else addr - (addr % line_size)
+            idx = (line // line_size) % num_sets
+            cset = sets.get(idx)
+            if cset is None:
+                cset = sets[idx] = {}
+                policy = policies[idx] = make_policy(
+                    self.policy_name, self._policy_seed + idx
+                )
+            else:
+                policy = policies[idx]
+            stamps = policy._stamp
+            if line in cset:
+                policy._clock += 1
+                stamps[line] = policy._clock
+                continue
+            if len(cset) >= associativity:
+                victim = min(cset, key=lambda tag: stamps.get(tag, -1))
+                del cset[victim]
+                stamps.pop(victim, None)
+                evictions += 1
+            cset[line] = True
+            policy._clock += 1
+            stamps[line] = policy._clock
+            fills += 1
+        self.stats.fills += fills
+        self.stats.evictions += evictions
+
     def invalidate(self, addr: int) -> bool:
         """Remove the line containing ``addr``; returns True if present."""
         line = self.line_address(addr)

@@ -15,6 +15,11 @@ time would swamp the savings, so this store caches
   before its skip target and only fast-forwards the delta instead of
   re-skipping the whole prefix from the warm checkpoint (the mechanism
   behind gem5's LoopPoint flow and rv8's riscv-ckpt),
+* **frontier checkpoints**: the exact end state of every completed
+  full (non-sampled) run keyed by (frontier key, workload, committed
+  instructions), so increasing a run's instruction budget resumes the
+  timed loop from the previous budget's frontier instead of
+  resimulating the shared prefix,
 * the interval selection (and the BBV profile behind it) per (workload,
   sampling parameters) -- the profiling pass and k-means run once per
   benchmark no matter how many configurations a sweep evaluates, and
@@ -95,6 +100,27 @@ def position_key(config: SimulationConfig) -> str:
     ))
 
 
+def frontier_key(config: SimulationConfig) -> str:
+    """Identity of everything that shapes *mid-timed-run* machine state.
+
+    Frontier checkpoints (the end state of a completed full run) are
+    reused by runs of the same configuration with a **larger instruction
+    budget**, so only ``max_instructions`` is neutralized -- the budget
+    bounds the run without steering it.  Unlike :func:`position_key`,
+    ``max_cycles`` stays bound: it sets the safety cycle limit, and a
+    restored state whose cycle count already exceeds a smaller limit
+    would diverge from a fresh run.  ``sim_loop`` is neutralized (event
+    and cycle loops are bit-identical by contract), and the resolved
+    warm-up budget is pinned because it defaults from
+    ``max_instructions``.
+    """
+    return stable_repr(config.with_overrides(
+        max_instructions=1,
+        sim_loop="event",
+        warmup_instructions=config.resolved_warmup_instructions(),
+    ))
+
+
 class CheckpointStore:
     """Cache of warm checkpoints, selections and profiles.
 
@@ -124,6 +150,12 @@ class CheckpointStore:
         self.positioned_hits = 0
         self.positioned_misses = 0
         self.positioned_publishes = 0
+        #: Frontier (end-of-completed-run) checkpoints: {(frontier key,
+        #: workload name, seed): {committed instructions: checkpoint}}.
+        self._frontier: Dict[Tuple, Dict[int, SimulatorCheckpoint]] = {}
+        self.frontier_hits = 0
+        self.frontier_misses = 0
+        self.frontier_publishes = 0
 
     def artifact_store(self) -> Optional[ArtifactStore]:
         """The persistent tier in effect, or ``None`` (memory only)."""
@@ -371,6 +403,134 @@ class CheckpointStore:
         offsets.add(offset)
         disk.put("positioned-index", index_key, sorted(offsets))
 
+    # -- frontier (end-of-completed-run) checkpoints -------------------
+    def frontier_checkpoint(
+        self,
+        config: SimulationConfig,
+        workload: Workload,
+        max_offset: int,
+    ) -> Optional[Tuple[int, SimulatorCheckpoint]]:
+        """The deepest frontier checkpoint strictly before ``max_offset``.
+
+        Returns ``(committed instructions, checkpoint)`` for the largest
+        published frontier ``0 < offset < max_offset`` of this (frontier
+        key, workload), or ``None``.  A frontier checkpoint is the exact
+        machine state at the end of a *completed* (never cycle-clamped)
+        full run, so a run of the same configuration with a larger
+        instruction budget restores it and resumes the timed loop from
+        the frontier instead of resimulating the prefix -- bit-identical
+        to the continuous run, because ``Simulator.run`` only consults
+        the budget to decide when to stop.  Strictly ``< max_offset``:
+        an equal-budget rerun must resimulate (a run that returns its
+        own restored end state would turn ``--no-result-cache`` into a
+        silent replay).
+        """
+        key = (frontier_key(config), workload.name, workload.profile.seed)
+        memo = self._frontier.get(key, {})
+        candidates = {off for off in memo if 0 < off < max_offset}
+        disk = self.artifact_store()
+        if disk is not None:
+            index = disk.get("frontier-index",
+                             content_key("frontier-index", *key))
+            if isinstance(index, (list, tuple)):
+                candidates.update(
+                    off for off in index
+                    if isinstance(off, int) and 0 < off < max_offset
+                )
+        for offset in sorted(candidates, reverse=True):
+            checkpoint = memo.get(offset)
+            if checkpoint is None and disk is not None:
+                checkpoint = self._load_frontier(disk, key, offset,
+                                                 workload)
+            if checkpoint is not None:
+                self.frontier_hits += 1
+                return offset, checkpoint
+        self.frontier_misses += 1
+        return None
+
+    def has_frontier(
+        self, config: SimulationConfig, workload: Workload, offset: int
+    ) -> bool:
+        """Whether a frontier at exactly ``offset`` is already recorded.
+
+        Checked *before* snapshotting at the end of a full run: repeated
+        identical runs (bench rounds, sweeps re-entered per scheme) would
+        otherwise pay the snapshot-and-pickle cost every time for a
+        checkpoint that is already published.
+        """
+        key = (frontier_key(config), workload.name, workload.profile.seed)
+        if offset in self._frontier.get(key, {}):
+            return True
+        disk = self.artifact_store()
+        if disk is None:
+            return False
+        index = disk.get("frontier-index", content_key("frontier-index", *key))
+        return isinstance(index, (list, tuple)) and offset in index
+
+    def _load_frontier(
+        self, disk: ArtifactStore, key: Tuple, offset: int,
+        workload: Workload,
+    ) -> Optional[SimulatorCheckpoint]:
+        disk_key = content_key("frontier-checkpoint", *key, offset)
+        framed = disk.get_bytes("frontier", disk_key)
+        if framed is None:
+            return None
+        data = unframe_digest(framed)
+        if data is None:
+            # Digest mismatch: restoring would resume from corrupted
+            # machine state into "successful" wrong results.
+            disk.stats.corrupt += 1
+            disk.discard("frontier", disk_key)
+            return None
+        try:
+            state = loads_with_workload(data, workload)
+        except SharedObjectUnavailable:
+            # References a compiled trace this process lacks: still
+            # usable by other processes, so leave it on disk.
+            return None
+        except Exception:
+            disk.stats.corrupt += 1
+            disk.discard("frontier", disk_key)
+            return None
+        checkpoint = SimulatorCheckpoint(state)
+        self._frontier.setdefault(key, {})[offset] = checkpoint
+        return checkpoint
+
+    def publish_frontier(
+        self,
+        config: SimulationConfig,
+        workload: Workload,
+        offset: int,
+        checkpoint: SimulatorCheckpoint,
+    ) -> None:
+        """Record an end-of-run snapshot at ``offset`` committed
+        instructions for later budget-increase fast-forwarding.
+
+        Same read-merge-write index discipline as
+        :meth:`publish_positioned`: a concurrent-publisher race can lose
+        an index entry (costing a future reuse), never correctness.
+        """
+        if offset <= 0:
+            return
+        key = (frontier_key(config), workload.name, workload.profile.seed)
+        self._frontier.setdefault(key, {})[offset] = checkpoint
+        self.frontier_publishes += 1
+        disk = self.artifact_store()
+        if disk is None:
+            return
+        disk_key = content_key("frontier-checkpoint", *key, offset)
+        if disk.path_for("frontier", disk_key).exists():
+            return
+        disk.put_bytes(
+            "frontier", disk_key,
+            frame_digest(dumps_with_workload(checkpoint._state, workload)),
+        )
+        index_key = content_key("frontier-index", *key)
+        index = disk.get("frontier-index", index_key)
+        offsets = set(index) if isinstance(index, (list, tuple)) else set()
+        offsets.add(offset)
+        disk.put("frontier-index", index_key, sorted(offsets))
+
     # -- the memory-then-disk tier for plain-pickle artifacts ----------
     def _cached(self, memo: Dict, kind: str, key: Tuple,
                 expected_type: type, compute):
@@ -476,11 +636,16 @@ class CheckpointStore:
         self.positioned_hits = 0
         self.positioned_misses = 0
         self.positioned_publishes = 0
+        self._frontier.clear()
+        self.frontier_hits = 0
+        self.frontier_misses = 0
+        self.frontier_publishes = 0
 
     def __len__(self) -> int:
         return (len(self._checkpoints) + len(self._selections)
                 + len(self._profiles) + len(self._bbv_profiles)
-                + sum(len(v) for v in self._positioned.values()))
+                + sum(len(v) for v in self._positioned.values())
+                + sum(len(v) for v in self._frontier.values()))
 
 
 #: Default per-process store used by sampled executions.

@@ -36,9 +36,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from .. import kernels
 from ..backend.dcache import _hash01
 from ..frontend.stream_predictor import StreamPredictor
-from ..memory.cache import Cache
 from ..memory.hierarchy import MemoryHierarchy
 from ..simulator.config import SimulationConfig
 from ..simulator.warming import get_warmup_artifacts
@@ -147,6 +147,27 @@ def _base_pass(
         line_size=config.line_size,
     )
     predictor = artifacts.predictor.clone()
+    if workload._compiled_trace is not None and not kernels.batch_disabled():
+        result = _base_pass_batched(
+            workload, config, predictor, total_instructions, interval_length
+        )
+    else:
+        result = _base_pass_generic(
+            workload, config, predictor, total_instructions, interval_length
+        )
+    _BASE_CACHE[key] = result
+    return result
+
+
+def _base_pass_generic(
+    workload: Workload,
+    config: SimulationConfig,
+    predictor: StreamPredictor,
+    total_instructions: int,
+    interval_length: int,
+) -> tuple:
+    """Block-by-block reference walk (kept for trace-less workloads and
+    as the differential baseline for the batched path)."""
     oracle = workload.new_oracle()
     load_miss_probs = workload.bbdict.load_miss_probs
     seed = workload.profile.seed
@@ -191,9 +212,76 @@ def _base_pass(
             )
         oracle.advance(take)
         consumed += take
-    result = (rows, spans)
-    _BASE_CACHE[key] = result
-    return result
+    return (rows, spans)
+
+
+def _base_pass_batched(
+    workload: Workload,
+    config: SimulationConfig,
+    predictor: StreamPredictor,
+    total_instructions: int,
+    interval_length: int,
+) -> tuple:
+    """:func:`_base_pass_generic` over the canonical stream segmentation.
+
+    The walk strides over pre-segmented streams (no ``peek_stream``
+    re-derivation); the miss-draw loop is deferred entirely -- chunks
+    record their probability tuples in dynamic order, and one call to
+    :func:`repro.kernels.grouped_load_miss_counts` accumulates every
+    interval's L1-D/L2 counts at the end.  Bit-identical to the generic
+    pass (``tests/test_kernels.py`` holds both paths together).
+    """
+    segments = workload._compiled_trace.segments(
+        config.max_stream_instructions
+    )
+    load_miss_probs = workload.bbdict.load_miss_probs
+    fold = StreamPredictor.fold_history
+    predict_pair = predictor.predict_pair
+    train = predictor.train_parts
+    history = 0
+    consumed = 0
+    count = -(-total_instructions // interval_length)      # ceil division
+    rows = [dict(m=0, d=0, dm=0) for _ in range(count)]
+    spans: List[List[Tuple[int, int]]] = [[] for _ in range(count)]
+    chunk_probs: List[Tuple[int, Tuple[float, ...]]] = []
+    start_a = segments.start_addr
+    length_a = segments.length
+    next_a = segments.next_addr
+    taken_a = segments.ends_taken
+    kind_l = segments.kind
+    i = 0
+    while consumed < total_instructions:
+        if i >= len(length_a):
+            segments.ensure_count(i + 128)
+        addr = start_a[i]
+        length = length_a[i]
+        next_addr = next_a[i]
+        predicted_length, predicted_next = predict_pair(addr, history)
+        train(addr, history, length, next_addr, kind_l[i])
+        take = min(length, total_instructions - consumed)
+        if predicted_length != length or predicted_next != next_addr:
+            rows[consumed // interval_length]["m"] += 1
+        done = 0
+        while done < take:
+            index = (consumed + done) // interval_length
+            boundary = (index + 1) * interval_length
+            chunk = min(take - done, boundary - (consumed + done))
+            chunk_addr = addr + done * INSTRUCTION_BYTES
+            chunk_probs.append((index, load_miss_probs(chunk_addr, chunk)))
+            spans[index].append((chunk_addr, chunk))
+            done += chunk
+        if length <= take:
+            history = fold(history, next_addr, bool(taken_a[i]))
+        consumed += take
+        i += 1
+    d_counts, dm_counts = kernels.grouped_load_miss_counts(
+        chunk_probs, count, 0,
+        workload.profile.seed, workload.profile.l2_data_miss_rate,
+    )
+    for row, d, dm in zip(rows, d_counts, dm_counts):
+        row["d"] = d
+        row["dm"] = dm
+    return (rows, spans)
 
 
 def functional_profile(
@@ -223,13 +311,14 @@ def functional_profile(
         max_stream_instructions=config.max_stream_instructions,
         line_size=config.line_size,
     )
-    l1 = Cache("fp-l1", config.l1_size_bytes, config.line_size,
-               config.l1_associativity)
-    l2 = Cache("fp-l2", config.l2_size_bytes, config.l2_line_size,
-               config.l2_associativity)
-    for line in artifacts.line_trace:
-        l2.fill(line)
-        l1.fill(line)
+    # The per-size caches here are throwaway (only miss counts escape),
+    # so the replay runs on the lean ordered-dict LRU model -- count-
+    # equivalent to a Cache pair by construction (see TwoLevelLRUReplay).
+    replay = kernels.TwoLevelLRUReplay(
+        config.l1_size_bytes, config.line_size, config.l1_associativity,
+        config.l2_size_bytes, config.l2_line_size, config.l2_associativity,
+    )
+    replay.warm(artifacts.line_trace)
 
     line_size = config.line_size
     span_cache: dict = {}    # (addr, take) -> touched cache lines
@@ -242,13 +331,9 @@ def functional_profile(
                 lines = span_cache[(addr, take)] = tuple(
                     span_lines(addr, take, line_size)
                 )
-            for line in lines:
-                if not l1.contains(line):
-                    i1 += 1
-                    if not l2.contains(line):
-                        i2 += 1
-                    l2.fill(line)
-                l1.fill(line)
+            d1, d2 = replay.replay(lines)
+            i1 += d1
+            i2 += d2
         counts.append((i1, i2))
 
     count = len(rows)

@@ -56,7 +56,7 @@ from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES, profile_for
 from ..workloads.trace import Workload, build_workload
 from .config import SimulationConfig
 from .plan import SimTask, TaskFailure, TaskFailureError, TaskOutcome
-from .simulator import Simulator
+from .simulator import _DEFAULT_MAX_CPI, Simulator
 from .stats import SimulationResult
 
 #: Cache of built workloads, keyed by (benchmark name, seed).
@@ -173,7 +173,29 @@ def _execute_single(
     ensure_compiled_trace(
         workload, max(total, config.resolved_warmup_instructions())
     )
-    result = Simulator(config, workload).run(max_instructions)
+    # Imported lazily: repro.sampling imports this module.
+    from ..sampling.checkpoint import DEFAULT_STORE
+
+    simulator = Simulator(config, workload)
+    if total:
+        # A completed smaller-budget run of the same configuration left
+        # its end state as a frontier checkpoint: resume the timed loop
+        # from there instead of resimulating the shared prefix
+        # (bit-identical -- the budget only decides when to stop).
+        restored = DEFAULT_STORE.frontier_checkpoint(config, workload, total)
+        if restored is not None:
+            simulator.restore(restored[1])
+    result = simulator.run(max_instructions)
+    if total:
+        committed = result.committed_instructions
+        limit = config.max_cycles or total * _DEFAULT_MAX_CPI
+        if (committed >= total and result.cycles < limit
+                and not DEFAULT_STORE.has_frontier(config, workload,
+                                                   committed)):
+            # Completed without hitting the cycle clamp: the end state is
+            # exact mid-run state, safe for any larger budget to resume.
+            DEFAULT_STORE.publish_frontier(config, workload, committed,
+                                           simulator.snapshot())
     store_result(config, profile.name, profile.seed, total, result)
     return result
 
@@ -388,8 +410,11 @@ def _affine_chunks(
     benchmarks than workers the heaviest groups are split so parallelism
     never drops below ``jobs``.  Chunks are balanced by summed
     *instruction budget*, not task count, so plans mixing short and long
-    runs split where the work actually is.  Deterministic for a given
-    task list.
+    runs split where the work actually is -- but never below
+    ``_MIN_CHUNK_WEIGHT`` instructions per chunk: dispatching a chunk
+    costs real wall-clock (pickling, queueing, result marshalling), so
+    slicing a tiny plan into many sub-millisecond chunks buys overhead,
+    not parallelism.  Deterministic for a given task list.
     """
     groups: Dict[str, List[int]] = {}
     total_weight = 0
@@ -399,7 +424,7 @@ def _affine_chunks(
     # Per-chunk weight budget that still yields >= max(jobs, #groups)
     # chunks overall.
     target_chunks = max(jobs, len(groups))
-    weight_cap = max(1, -(-total_weight // target_chunks))
+    weight_cap = max(_MIN_CHUNK_WEIGHT, -(-total_weight // target_chunks))
     weighted_chunks: List[Tuple[int, List[Tuple[int, Union[SimTask, tuple]]]]] = []
     for indices in groups.values():
         current: List[Tuple[int, Union[SimTask, tuple]]] = []
@@ -417,6 +442,82 @@ def _affine_chunks(
     # sort() is stable, so equal weights keep group order.
     weighted_chunks.sort(key=lambda entry: entry[0], reverse=True)
     return [chunk for _weight, chunk in weighted_chunks]
+
+
+# ----------------------------------------------------------------------
+# overhead-aware inline fallback for small parallel plans
+# ----------------------------------------------------------------------
+#: Never split a benchmark's tasks into chunks lighter than this many
+#: instructions: below it, per-chunk dispatch overhead exceeds the work.
+_MIN_CHUNK_WEIGHT = 2000
+
+#: Measured per-chunk dispatch cost on a warm pool (pickle + queue +
+#: result marshalling) and the one-time cost of spawning a cold pool.
+_CHUNK_OVERHEAD_S = 0.004
+_POOL_SPAWN_S = 0.35
+
+#: EWMA of observed full-simulation throughput (instructions/second),
+#: fed by real (non-replayed) task completions so the inline-vs-pool
+#: estimate tracks the machine it is running on.
+_DEFAULT_TASK_RATE = 80_000.0
+_task_rate_ewma = _DEFAULT_TASK_RATE
+
+
+def _observe_task_rate(weight: int, seconds: float,
+                       result_cache_hits: int) -> None:
+    """Fold one completed task into the throughput EWMA.
+
+    Result-cache replays and sub-millisecond completions are skipped:
+    they measure cache latency, not simulation throughput, and would
+    inflate the estimate until the planner routed real work inline.
+    """
+    global _task_rate_ewma
+    if result_cache_hits or seconds < 0.0005:
+        return
+    rate = min(1e9, max(1e3, weight / seconds))
+    _task_rate_ewma += 0.2 * (rate - _task_rate_ewma)
+
+
+def _effective_parallelism(jobs: int) -> int:
+    """How many tasks can actually run at once: ``jobs`` capped by the
+    CPUs this process may schedule on (affinity-aware -- in a one-core
+    container ``jobs=2`` buys context switches, not concurrency)."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cores = os.cpu_count() or 1
+    return max(1, min(jobs, cores))
+
+
+def _plan_prefers_inline(
+    tasks: Sequence[Union[SimTask, tuple]], jobs: int
+) -> bool:
+    """Whether running this plan inline beats fanning it over the pool.
+
+    The pool only pays off when the parallel saving (serial estimate
+    from the throughput EWMA, scaled by the parallelism actually
+    available) exceeds dispatch overhead plus -- when no pool exists
+    yet -- the spawn cost.  Small sweeps at small budgets therefore run
+    inline even with ``jobs>1``, which is also the only way ``jobs=2``
+    can avoid losing to ``jobs=1`` on a single-CPU host.  Disabled by
+    ``REPRO_NO_INLINE_FALLBACK=1`` (tests that assert pool behaviour)
+    and whenever a fault plan is active: chaos must exercise the real
+    supervised pool path it is designed to test.
+    """
+    if os.environ.get("REPRO_NO_INLINE_FALLBACK"):
+        return False
+    if faults.active_plan() is not faults.NO_FAULTS:
+        return False
+    effective = _effective_parallelism(jobs)
+    if effective <= 1:
+        return True
+    total_weight = sum(_task_weight(task) for task in tasks)
+    est_serial = total_weight / max(1.0, _task_rate_ewma)
+    savings = est_serial * (1.0 - 1.0 / effective)
+    overhead = len(_affine_chunks(tasks, jobs)) * _CHUNK_OVERHEAD_S
+    if _POOL is None:
+        overhead += _POOL_SPAWN_S
+    return savings <= overhead
 
 
 # ----------------------------------------------------------------------
@@ -539,6 +640,7 @@ def _run_inline(tasks, cancel, max_retries) -> Iterator[TaskCompletion]:
                 SUPERVISOR_STATS.retries += 1
                 time.sleep(_backoff(attempt))
                 continue
+            _observe_task_rate(_task_weight(task), seconds, result_hits)
             yield TaskCompletion(index, result, seconds, hits, result_hits,
                                  attempt)
             break
@@ -738,6 +840,8 @@ def _run_supervised(tasks, jobs, cancel, task_timeout,
                         if index in done:
                             continue
                         done.add(index)
+                        _observe_task_rate(_task_weight(tasks[index]),
+                                           seconds, result_hits)
                         yield TaskCompletion(index, result, seconds, hits,
                                              result_hits, attempts[index])
                     else:
@@ -784,7 +888,10 @@ def iter_task_results(
     :class:`repro.api.RunHandle` streams progress from.  ``jobs=1`` runs
     inline in task order; ``jobs>1`` fans workload-affine chunks over the
     shared pool under the supervisor (see :func:`_run_supervised`) and
-    yields completions unordered (consumers reassemble by index).
+    yields completions unordered (consumers reassemble by index) --
+    unless the plan is small enough that pool dispatch overhead would
+    exceed the parallel saving (see :func:`_plan_prefers_inline`), in
+    which case it runs inline with identical results.
 
     ``max_retries`` bounds re-dispatches per task (default: env
     ``REPRO_MAX_RETRIES`` or 2); a task that exhausts it completes with
@@ -800,7 +907,8 @@ def iter_task_results(
     jobs = resolve_jobs(jobs)
     if max_retries is None:
         max_retries = default_max_retries()
-    if task_timeout is None and (jobs == 1 or len(tasks) <= 1):
+    if task_timeout is None and (jobs == 1 or len(tasks) <= 1
+                                 or _plan_prefers_inline(tasks, jobs)):
         yield from _run_inline(tasks, cancel, max_retries)
         return
     if not tasks:

@@ -32,10 +32,11 @@ from typing import Dict, List, Optional, Tuple
 from ..cache.keys import content_key
 from ..cache.store import active_store
 from ..frontend.stream_predictor import StreamPredictor
+from ..kernels import batch_disabled
 from ..memory.cache import Cache
 from ..memory.hierarchy import MemoryHierarchy
-from ..workloads.isa import span_lines
-from ..workloads.trace import Workload
+from ..workloads.isa import INSTRUCTION_BYTES, BranchKind, span_lines
+from ..workloads.trace import ActualStream, CompiledPathOracle, Workload
 
 
 @dataclass
@@ -257,7 +258,26 @@ def functional_advance(
                 prediction._skip_partial = (
                     oracle.consumed_instructions, actual, consumed + take
                 )
+    # Batched stride: when the oracle replays a compiled trace and the
+    # cursor sits exactly on a canonical stream boundary, consume whole
+    # pre-segmented streams straight from the segment columns -- no
+    # peek_stream re-derivation, no per-block dict work, O(1) cursor
+    # jumps.  A cursor left mid-stream by the timed loop realigns after
+    # the next taken-ended stream (see StreamSegments), so at most a few
+    # generic iterations run before the batched path takes over.
+    batchable = (
+        isinstance(oracle, CompiledPathOracle) and not batch_disabled()
+    )
     while oracle.consumed_instructions < target_instructions:
+        if batchable:
+            segments = oracle.segments(prediction.max_stream)
+            index = segments.aligned_index(oracle.consumed_instructions)
+            if index is not None:
+                loads += _advance_segments(
+                    prediction, hierarchy, segments, index,
+                    target_instructions, fill_caches, line_size,
+                )
+                break
         addr = oracle.current_address()
         actual = oracle.peek_stream(prediction.max_stream)
         predictor.train(addr, prediction.history, actual)
@@ -279,6 +299,107 @@ def functional_advance(
                 oracle.consumed_instructions, actual, take
             )
     return oracle.consumed_instructions - start, loads
+
+
+def _advance_segments(
+    prediction,
+    hierarchy: Optional[MemoryHierarchy],
+    segments,
+    index: int,
+    target_instructions: int,
+    fill_caches: bool,
+    line_size: int,
+) -> int:
+    """Consume canonical streams from segment ``index`` up to the target.
+
+    Performs exactly the per-stream work of the generic loop in
+    :func:`functional_advance` -- predictor training, RAS/history
+    updates, load counting and cache fills -- but reads every stream from
+    the shared :class:`~repro.workloads.trace.StreamSegments` columns and
+    moves the oracle cursor once at the end.  Returns the skipped load
+    count; always reaches the target (cutting the final stream and
+    recording ``_skip_partial`` exactly like the generic path).
+    """
+    oracle = prediction.oracle
+    ras = prediction.ras
+    bbdict = prediction.bbdict
+    train = prediction.predictor.train_parts
+    fold = StreamPredictor.fold_history
+    history = prediction.history
+    pos = oracle.consumed_instructions
+    loads = 0
+    if fill_caches:
+        l1_span = hierarchy.l1.fill_span
+        l2_span = hierarchy.l2.fill_span
+        spans = segments.lines(line_size, 0)
+    start_a = segments.start_addr
+    length_a = segments.length
+    next_a = segments.next_addr
+    taken_a = segments.ends_taken
+    term_a = segments.term_addr
+    kind_l = segments.kind
+    loads_a = segments.loads
+    end_index_a = segments.end_index
+    end_offset_a = segments.end_offset
+    CALL, RETURN = BranchKind.CALL, BranchKind.RETURN
+    #: Derived per-segment data is grown this many segments at a time.
+    grow = 128
+    i = index
+    cursor_index = oracle._index
+    cursor_offset = oracle._offset
+    while pos < target_instructions:
+        if i >= len(length_a):
+            segments.ensure_count(i + grow)
+        addr = start_a[i]
+        length = length_a[i]
+        next_addr = next_a[i]
+        kind = kind_l[i]
+        train(addr, history, length, next_addr, kind)
+        remaining = target_instructions - pos
+        if length <= remaining:
+            if i >= len(loads_a):
+                segments.ensure_loads(bbdict, i + grow)
+            loads += loads_a[i]
+            if fill_caches:
+                if i >= len(spans):
+                    segments.lines(line_size, i + grow)
+                lines = spans[i]
+                l2_span(lines)
+                l1_span(lines)
+            if kind is CALL:
+                ras.push(term_a[i] + INSTRUCTION_BYTES)
+            elif kind is RETURN:
+                ras.pop()
+            history = fold(history, next_addr, bool(taken_a[i]))
+            pos += length
+            cursor_index = end_index_a[i]
+            cursor_offset = end_offset_a[i]
+            i += 1
+        else:
+            # The stream straddles the target: consume only the prefix
+            # and remember the cut stream, as the generic path does.
+            take = remaining
+            loads += bbdict.loads_for(addr, take)
+            if fill_caches:
+                lines = span_lines(addr, take, line_size)
+                l2_span(lines)
+                l1_span(lines)
+            oracle._set_position(cursor_index, cursor_offset, pos)
+            oracle.advance(take)
+            prediction.history = history
+            prediction._skip_partial = (
+                pos + take,
+                ActualStream(
+                    start=addr, length=length, next_addr=next_addr,
+                    ends_taken=bool(taken_a[i]), terminator_kind=kind,
+                    terminator_addr=term_a[i],
+                ),
+                take,
+            )
+            return loads
+    oracle._set_position(cursor_index, cursor_offset, pos)
+    prediction.history = history
+    return loads
 
 
 def functional_warmup(

@@ -22,13 +22,14 @@ from __future__ import annotations
 
 import random
 from array import array
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from .bbdict import BasicBlockDictionary
 from .cfg import ControlFlowGraph
 from .generator import WorkloadProfile, generate_program
-from .isa import INSTRUCTION_BYTES, BranchKind
+from .isa import INSTRUCTION_BYTES, BranchKind, span_lines
 
 #: Maximum call depth tracked by the walker; deeper calls fall through (the
 #: generator builds an acyclic call graph so this is only a safety net).
@@ -307,7 +308,7 @@ class CompiledTrace:
     __slots__ = (
         "name", "seed", "compiled_instructions",
         "addr", "size", "kind", "taken", "next_addr", "terminator_addr",
-        "_tail_state", "_cfg", "_tail_walker",
+        "_tail_state", "_cfg", "_tail_walker", "_segments",
     )
 
     def __init__(
@@ -335,9 +336,24 @@ class CompiledTrace:
         self._tail_state = tail_state
         self._cfg: Optional[ControlFlowGraph] = None
         self._tail_walker: Optional[ProgramWalker] = None
+        # Derived, process-local (never pickled; __getstate__ is explicit):
+        # canonical stream segmentations, keyed by stream cap.
+        self._segments: Dict[int, "StreamSegments"] = {}
 
     def __len__(self) -> int:
         return len(self.size)
+
+    def segments(self, max_stream_instructions: int) -> "StreamSegments":
+        """The canonical stream segmentation for the given stream cap.
+
+        Memoized per cap: every batched consumer of this trace shares the
+        segment columns (and their derived load counts / line spans).
+        """
+        segments = self._segments.get(max_stream_instructions)
+        if segments is None:
+            segments = StreamSegments(self, max_stream_instructions)
+            self._segments[max_stream_instructions] = segments
+        return segments
 
     def bind(self, cfg: ControlFlowGraph) -> None:
         """Attach the CFG needed to extend past the compiled prefix."""
@@ -426,6 +442,165 @@ def compile_trace(workload: "Workload", instructions: int) -> CompiledTrace:
     return trace
 
 
+class StreamSegments:
+    """The canonical fetch-stream segmentation of a :class:`CompiledTrace`.
+
+    Cutting the correct path into fetch streams from instruction 0 with a
+    fixed cap yields a *canonical* segmentation: one entry per stream,
+    again stored as flat columns.  The batched passes (``sampling.bbv``,
+    ``sampling.proxy``, ``simulator.warming``) stride over these columns
+    one stream at a time instead of re-deriving each stream block by
+    block through ``peek_stream``.
+
+    Alignment: a position produced by consuming whole canonical streams
+    is itself a canonical stream start.  Positions reached some other way
+    (e.g. a mispredict redirect stopping mid-stream in the timed loop)
+    realign after the next *taken*-ended stream, because a capped stream
+    never ends exactly at a taken block's terminator (``peek_stream``
+    extends through it) -- so every taken-block end the generic walk
+    stops at is also a boundary of the from-zero segmentation.
+
+    Each segment row records, besides the :class:`ActualStream` fields,
+    the oracle block cursor *after* the stream (``end_index`` /
+    ``end_offset``, normalized exactly as ``advance`` would leave it) so
+    a batched consumer can jump the oracle in O(1), plus lazily-derived
+    per-segment LOAD counts and touched-line spans.
+    """
+
+    __slots__ = (
+        "trace", "cap", "start_addr", "length", "next_addr", "ends_taken",
+        "term_addr", "kind", "start_pos", "end_index", "end_offset",
+        "loads", "_lines", "_build_index", "_build_offset", "_build_pos",
+    )
+
+    def __init__(self, trace: CompiledTrace, cap: int) -> None:
+        if cap <= 0:
+            raise ValueError("stream cap must be positive")
+        self.trace = trace
+        self.cap = cap
+        self.start_addr = array("q")
+        self.length = array("q")
+        self.next_addr = array("q")
+        self.ends_taken = array("b")
+        self.term_addr = array("q")
+        self.kind: List[BranchKind] = []      # effective terminator kind
+        self.start_pos = array("q")           # cumulative start position
+        self.end_index = array("q")
+        self.end_offset = array("q")
+        self.loads = array("q")               # lazily filled per bbdict
+        self._lines: Dict[int, List[tuple]] = {}   # line_size -> spans
+        self._build_index = 0
+        self._build_offset = 0
+        self._build_pos = 0
+
+    def __len__(self) -> int:
+        return len(self.length)
+
+    def ensure_count(self, count: int) -> None:
+        """Materialise at least ``count`` segments."""
+        while len(self.length) < count:
+            self._build_one()
+
+    def aligned_index(self, position: int) -> Optional[int]:
+        """Segment index starting exactly at ``position``, else ``None``."""
+        while self._build_pos <= position:
+            self._build_one()
+        index = bisect_right(self.start_pos, position) - 1
+        if self.start_pos[index] != position:
+            return None
+        return index
+
+    def _build_one(self) -> None:
+        """Append the next segment, mirroring ``peek_stream`` +
+        ``advance(length)`` from the current build cursor."""
+        trace = self.trace
+        addr_a, size_a, taken_a = trace.addr, trace.size, trace.taken
+        ensure = trace.ensure
+        cap = self.cap
+        idx = self._build_index
+        off = self._build_offset
+        if idx >= len(size_a):
+            ensure(idx)
+        start = addr_a[idx] + off * INSTRUCTION_BYTES
+        length = 0
+        while True:
+            if idx >= len(size_a):
+                ensure(idx)
+            size = size_a[idx]
+            taken = taken_a[idx]
+            available = size - off
+            remaining = cap - length
+            if available >= remaining and not (taken and available <= remaining):
+                length += remaining
+                end_addr = addr_a[idx] + (off + remaining) * INSTRUCTION_BYTES
+                next_addr = end_addr
+                ends_taken = 0
+                kind = BranchKind.NONE
+                term = end_addr - INSTRUCTION_BYTES
+                if off + remaining == size:
+                    end_idx, end_off = idx + 1, 0
+                else:
+                    end_idx, end_off = idx, off + remaining
+                break
+            length += available
+            if taken:
+                next_addr = trace.next_addr[idx]
+                ends_taken = 1
+                kind = BranchKind(trace.kind[idx])
+                term = trace.terminator_addr[idx]
+                end_idx, end_off = idx + 1, 0
+                break
+            if length >= cap:                      # defensive; see peek_stream
+                end_addr = addr_a[idx] + size * INSTRUCTION_BYTES
+                next_addr = end_addr
+                ends_taken = 0
+                kind = BranchKind.NONE
+                term = end_addr - INSTRUCTION_BYTES
+                end_idx, end_off = idx + 1, 0
+                break
+            idx += 1
+            off = 0
+        self.start_addr.append(start)
+        self.length.append(length)
+        self.next_addr.append(next_addr)
+        self.ends_taken.append(ends_taken)
+        self.term_addr.append(term)
+        self.kind.append(kind)
+        self.start_pos.append(self._build_pos)
+        self.end_index.append(end_idx)
+        self.end_offset.append(end_off)
+        self._build_pos += length
+        self._build_index = end_idx
+        self._build_offset = end_off
+
+    # -- lazily derived per-segment data --------------------------------
+    def ensure_loads(self, bbdict: BasicBlockDictionary, count: int) -> None:
+        """Fill per-segment LOAD-class instruction counts up to ``count``."""
+        self.ensure_count(count)
+        loads = self.loads
+        loads_for = bbdict.loads_for
+        start_addr = self.start_addr
+        length = self.length
+        for i in range(len(loads), count):
+            loads.append(loads_for(start_addr[i], length[i]))
+
+    def lines(self, line_size: int, count: int) -> List[tuple]:
+        """Per-segment touched-line tuples for ``line_size``, through
+        ``count`` segments (grown on demand, memoized per line size)."""
+        spans = self._lines.get(line_size)
+        if spans is None:
+            spans = self._lines[line_size] = []
+        if len(spans) < count:
+            self.ensure_count(count)
+            start_addr = self.start_addr
+            length = self.length
+            for i in range(len(spans), count):
+                spans.append(
+                    tuple(span_lines(start_addr[i], length[i], line_size))
+                )
+        return spans
+
+
 class CompiledPathOracle:
     """Array-backed drop-in for :class:`CorrectPathOracle`.
 
@@ -512,6 +687,28 @@ class CompiledPathOracle:
                 )
             idx += 1
             off = 0
+
+    def segments(
+        self, max_stream_instructions: Optional[int] = None
+    ) -> StreamSegments:
+        """Canonical segmentation of the backing trace (shared across all
+        consumers of the trace) for the given stream cap."""
+        return self._trace.segments(
+            max_stream_instructions or self.max_stream_instructions
+        )
+
+    def _set_position(
+        self, index: int, offset: int, consumed_instructions: int
+    ) -> None:
+        """Jump the cursor in O(1) (batched stride in ``simulator.warming``).
+
+        The coordinates must come from :class:`StreamSegments`, whose
+        ``end_index``/``end_offset`` are normalized exactly as a
+        block-by-block ``advance`` to the same position would leave them.
+        """
+        self._index = index
+        self._offset = offset
+        self._consumed_instructions = consumed_instructions
 
     def advance(self, n_instructions: int) -> None:
         if n_instructions < 0:

@@ -101,7 +101,10 @@ class TestSpecPlans:
 
 
 class TestSessionLifecycle:
-    def test_context_manager_shuts_down_pool(self):
+    def test_context_manager_shuts_down_pool(self, monkeypatch):
+        # Force the pool path: this fast plan is small enough that the
+        # overhead-aware planner would otherwise run it inline.
+        monkeypatch.setenv("REPRO_NO_INLINE_FALLBACK", "1")
         with Session(jobs=2) as session:
             session.run(fast_spec(benchmarks=("gzip", "mcf")))
             assert runner_module._POOL is not None

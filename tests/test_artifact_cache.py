@@ -506,7 +506,8 @@ class TestEveryKindSurvivesCorruption:
     #: all of them, so a new kind fails this test until it is covered.
     EXPECTED_KINDS = {
         "trace", "warmup", "bbv", "fprofile", "selection", "checkpoint",
-        "positioned", "positioned-index", "measurement", "result",
+        "positioned", "positioned-index", "frontier", "frontier-index",
+        "measurement", "result",
     }
 
     @classmethod

@@ -1,0 +1,103 @@
+"""Frontier checkpoints: budget increases fast-forward, reruns don't.
+
+A completed full run publishes its end state ("frontier") keyed by
+configuration identity and committed-instruction offset.  A later run of
+the same configuration with a **larger** budget restores the frontier
+and resumes the timed loop -- bit-identical to a continuous run, because
+the budget only decides when the loop stops.  An **equal** budget must
+keep resimulating (strictly-smaller reuse): ``--no-result-cache`` means
+"do the work again", and frontier reuse at the same offset would quietly
+turn it back into a replay.
+"""
+
+import pytest
+
+from repro.cache.store import temporary_cache_dir
+from repro.sampling.checkpoint import DEFAULT_STORE, frontier_key
+from repro.simulator.config import SimulationConfig
+from repro.simulator.runner import _execute_single, clear_process_caches
+
+
+def fast_config(**overrides):
+    params = dict(engine="clgp", technology="0.045um", l1_size_bytes=4096,
+                  max_instructions=1500, warmup_instructions=2000)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_process_caches()
+    yield
+    clear_process_caches()
+
+
+class TestFrontierKey:
+    def test_budget_is_neutralized_but_cycles_are_not(self):
+        base = fast_config()
+        assert frontier_key(base) == frontier_key(
+            fast_config(max_instructions=9999)
+        )
+        assert frontier_key(base) != frontier_key(
+            fast_config(max_cycles=10_000)
+        )
+        assert frontier_key(base) != frontier_key(
+            fast_config(l1_size_bytes=1024)
+        )
+
+    def test_derived_warmup_stays_distinct(self):
+        # warmup defaults from max_instructions, so two budgets with
+        # *different resolved warm-ups* must not share frontiers.
+        a = fast_config(warmup_instructions=None, max_instructions=20_000)
+        b = fast_config(warmup_instructions=None, max_instructions=40_000)
+        assert a.resolved_warmup_instructions() \
+            != b.resolved_warmup_instructions()
+        assert frontier_key(a) != frontier_key(b)
+
+
+class TestFrontierFastForward:
+    def test_budget_increase_resumes_and_matches_continuous(self, tmp_path):
+        config = fast_config()
+        with temporary_cache_dir(tmp_path / "off", enabled=False):
+            # Continuous reference at the large budget, from cold caches.
+            reference = _execute_single(config, "gzip", 3000)
+            clear_process_caches()
+
+            publishes = DEFAULT_STORE.frontier_publishes
+            small = _execute_single(config, "gzip", 1500)
+            assert small.committed_instructions >= 1500
+            assert DEFAULT_STORE.frontier_publishes == publishes + 1
+
+            hits = DEFAULT_STORE.frontier_hits
+            resumed = _execute_single(config, "gzip", 3000)
+            assert DEFAULT_STORE.frontier_hits == hits + 1
+            assert resumed == reference
+
+    def test_equal_budget_rerun_resimulates(self, tmp_path):
+        config = fast_config()
+        with temporary_cache_dir(tmp_path / "off", enabled=False):
+            first = _execute_single(config, "gzip", 1500)
+            hits = DEFAULT_STORE.frontier_hits
+            publishes = DEFAULT_STORE.frontier_publishes
+            second = _execute_single(config, "gzip", 1500)
+            assert second == first
+            # Reuse is strictly-smaller-offset only, and the end state is
+            # already published, so the rerun neither restores nor
+            # re-snapshots.
+            assert DEFAULT_STORE.frontier_hits == hits
+            assert DEFAULT_STORE.frontier_publishes == publishes
+
+    def test_frontier_persists_through_the_artifact_store(self, tmp_path):
+        config = fast_config()
+        with temporary_cache_dir(tmp_path / "ref", enabled=False):
+            reference = _execute_single(config, "gzip", 3000)
+        clear_process_caches()
+        with temporary_cache_dir(tmp_path / "disk"):
+            _execute_single(config, "gzip", 1500)
+            # Drop every in-memory cache: only the on-disk artifact store
+            # survives, as it would across CLI invocations.
+            clear_process_caches()
+            hits = DEFAULT_STORE.frontier_hits
+            resumed = _execute_single(config, "gzip", 3000)
+            assert DEFAULT_STORE.frontier_hits == hits + 1
+            assert resumed == reference

@@ -1,0 +1,271 @@
+"""Differential suite for the batch kernels (:mod:`repro.kernels`).
+
+Every batch kernel must be *bit-identical* to the block-by-block
+reference interpreter it replaces -- numpy fast path and pure-python
+fallback alike -- because profiles, proxy features and checkpoints are
+persisted and compared across processes by their serialized bytes.
+The tests here therefore compare pickled bytes and exact dict key
+order, not just values, between:
+
+* the numpy path and the pure-python fallback of every kernel,
+* the batched BBV / proxy / functional-skip passes and the original
+  block-by-block interpreters (toggled via ``REPRO_NO_BATCH``).
+"""
+
+import pickle
+import random
+from array import array
+
+import pytest
+
+from repro import kernels
+from repro.cache.shared import dumps_with_workload
+from repro.cache.traces import ensure_compiled_trace
+from repro.memory.cache import Cache
+from repro.sampling import proxy as proxy_module
+from repro.sampling.bbv import profile_workload
+from repro.simulator.config import SimulationConfig
+from repro.simulator.runner import clear_process_caches, get_workload
+from repro.simulator.simulator import Simulator
+
+needs_numpy = pytest.mark.skipif(
+    kernels.numpy_or_none() is None, reason="numpy unavailable"
+)
+
+
+@pytest.fixture
+def numpy_fallback():
+    """Force the pure-python kernels for the duration of a test."""
+    kernels.set_numpy_enabled(False)
+    try:
+        yield
+    finally:
+        kernels.set_numpy_enabled(True)
+
+
+def _with_fallback(fn, *args):
+    kernels.set_numpy_enabled(False)
+    try:
+        return fn(*args)
+    finally:
+        kernels.set_numpy_enabled(True)
+
+
+# ----------------------------------------------------------------------
+# the hash lattice behind the deterministic miss draws
+# ----------------------------------------------------------------------
+@needs_numpy
+def test_hash_lattice_matches_scalar():
+    np = kernels.numpy_or_none()
+    for salt in (0, 7, 977 ^ 0x5A5A5A5A, 2**31 - 1, 2**63 + 11):
+        for start in (0, 1, 977, 10**12):
+            vec = kernels._hash01_array(np, start, 257, salt)
+            ref = [kernels._hash01(start + i, salt) for i in range(257)]
+            assert vec.tolist() == ref
+
+
+# ----------------------------------------------------------------------
+# grouped_load_miss_counts (proxy base pass)
+# ----------------------------------------------------------------------
+def _random_chunks(rng, group_count):
+    chunks = []
+    for _ in range(rng.randint(5, 40)):
+        group = rng.randrange(group_count)
+        probs = tuple(rng.random() for _ in range(rng.randint(0, 12)))
+        chunks.append((group, probs))
+    return chunks
+
+
+@needs_numpy
+def test_grouped_load_miss_counts_numpy_matches_python():
+    rng = random.Random(1234)
+    for _trial in range(12):
+        group_count = rng.randint(1, 9)
+        chunks = _random_chunks(rng, group_count)
+        args = (chunks, group_count, rng.randrange(10**6),
+                rng.randrange(2**32), rng.random())
+        fast = kernels.grouped_load_miss_counts(*args)
+        slow = _with_fallback(kernels.grouped_load_miss_counts, *args)
+        assert fast == slow
+
+
+def test_grouped_load_miss_counts_empty_and_certain():
+    for l2_rate in (0.0, 1.0):
+        d, dm = kernels.grouped_load_miss_counts(
+            [(0, (1.0, 1.0)), (1, ()), (0, (0.0,))], 2, 5, 42, l2_rate
+        )
+        assert d == [2, 0]
+        assert dm == ([2, 0] if l2_rate == 1.0 else [0, 0])
+
+
+# ----------------------------------------------------------------------
+# interval_block_counts (BBV slicing)
+# ----------------------------------------------------------------------
+def _random_columns(rng, blocks):
+    addrs = array("q")
+    sizes = array("q")
+    for _ in range(blocks):
+        # A small address pool guarantees repeats, exercising both the
+        # count aggregation and the first-occurrence key ordering.
+        addrs.append(0x1000 + 4 * rng.randrange(0, 64))
+        sizes.append(rng.randint(1, 24))
+    return addrs, sizes
+
+
+@needs_numpy
+def test_interval_block_counts_numpy_matches_python():
+    rng = random.Random(99)
+    for _trial in range(10):
+        addrs, sizes = _random_columns(rng, rng.randint(40, 200))
+        covered = sum(sizes)
+        total = rng.randint(1, covered)
+        length = rng.choice([1, 7, 64, 257, covered])
+        fast = kernels.interval_block_counts(addrs, sizes, total, length)
+        slow = _with_fallback(
+            kernels.interval_block_counts, addrs, sizes, total, length
+        )
+        # Key *order* is part of the contract (profile pickles depend
+        # on it), so compare item lists, not just dict equality.
+        assert [list(d.items()) for d in fast] \
+            == [list(d.items()) for d in slow]
+
+
+# ----------------------------------------------------------------------
+# TwoLevelLRUReplay vs a real Cache pair
+# ----------------------------------------------------------------------
+def _reference_replay(l1, l2, lines):
+    """The exact probe/fill sequence of the proxy feature interpreter."""
+    i1 = i2 = 0
+    for line in lines:
+        if not l1.contains(line):
+            i1 += 1
+            if not l2.contains(line):
+                i2 += 1
+            l2.fill(line)
+        l1.fill(line)
+    return i1, i2
+
+
+def test_two_level_lru_replay_matches_cache_pair():
+    rng = random.Random(4242)
+    geometries = [
+        (1024, 32, 2, 8192, 64, 8),
+        (512, 32, None, 4096, 64, None),
+        (256, 16, 1, 2048, 32, 4),
+    ]
+    for l1_size, l1_line, l1_assoc, l2_size, l2_line, l2_assoc in geometries:
+        replay = kernels.TwoLevelLRUReplay(
+            l1_size, l1_line, l1_assoc, l2_size, l2_line, l2_assoc
+        )
+        l1 = Cache("il1", l1_size, line_size=l1_line, associativity=l1_assoc)
+        l2 = Cache("ul2", l2_size, line_size=l2_line, associativity=l2_assoc)
+        warm = [l1_line * rng.randrange(0, 512) for _ in range(300)]
+        replay.warm(warm)
+        for line in warm:
+            l2.fill(line)
+            l1.fill(line)
+        for _round in range(5):
+            lines = [l1_line * rng.randrange(0, 512) for _ in range(400)]
+            assert replay.replay(lines) == _reference_replay(l1, l2, lines)
+
+
+def test_fill_span_matches_fill_sequence():
+    rng = random.Random(7)
+    batched = Cache("il1", 1024, line_size=32, associativity=2)
+    reference = Cache("il1", 1024, line_size=32, associativity=2)
+    for _round in range(20):
+        addrs = [4 * rng.randrange(0, 2048) for _ in range(rng.randint(1, 40))]
+        batched.fill_span(addrs)
+        for addr in addrs:
+            reference.fill(addr)
+        assert batched._sets == reference._sets
+        assert batched.stats == reference.stats
+
+
+# ----------------------------------------------------------------------
+# end-to-end: batched BBV profiling == the block-by-block walker
+# ----------------------------------------------------------------------
+BBV_CASES = [(10_000, 1000), (9_999, 257), (500, 1000)]
+
+
+@pytest.mark.parametrize("workload_name", ["gzip", "mcf"])
+def test_bbv_profile_batched_matches_walker(workload_name, monkeypatch):
+    workload = get_workload(workload_name)
+    for total, length in BBV_CASES:
+        ensure_compiled_trace(workload, total)
+        monkeypatch.setenv("REPRO_NO_BATCH", "1")
+        reference = profile_workload(workload, total, length)
+        monkeypatch.delenv("REPRO_NO_BATCH")
+        batched = profile_workload(workload, total, length)
+        assert pickle.dumps(batched) == pickle.dumps(reference)
+        fallback = _with_fallback(profile_workload, workload, total, length)
+        assert pickle.dumps(fallback) == pickle.dumps(reference)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: batched proxy pass == the oracle interpreter
+# ----------------------------------------------------------------------
+PROXY_CONFIGS = [
+    SimulationConfig(engine="clgp", technology="0.045um",
+                     l1_size_bytes=4096, max_instructions=4000,
+                     warmup_instructions=3000),
+    SimulationConfig(engine="clgp", technology="0.045um",
+                     l1_size_bytes=1024, l1_associativity=1,
+                     max_instructions=4000, warmup_instructions=3000),
+]
+
+
+def _proxy_profile(config, total, length):
+    clear_process_caches()
+    workload = get_workload("gzip")
+    ensure_compiled_trace(
+        workload, max(total, config.resolved_warmup_instructions())
+    )
+    return proxy_module.functional_profile(workload, config, total, length)
+
+
+@pytest.mark.parametrize("config", PROXY_CONFIGS,
+                         ids=["l1-4096", "l1-1024-direct"])
+def test_functional_profile_batched_matches_generic(config, monkeypatch):
+    total, length = 6000, 500
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    reference = _proxy_profile(config, total, length)
+    monkeypatch.delenv("REPRO_NO_BATCH")
+    batched = _proxy_profile(config, total, length)
+    assert pickle.dumps(batched) == pickle.dumps(reference)
+    fallback = _with_fallback(_proxy_profile, config, total, length)
+    assert pickle.dumps(fallback) == pickle.dumps(reference)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: batched functional skip == the single-stream stepper
+# ----------------------------------------------------------------------
+def test_functional_skip_batched_matches_generic(monkeypatch):
+    """Snapshot *bytes* after every skip -- and the timed continuation --
+    must be identical with and without the batched segment stride."""
+    config = SimulationConfig(engine="clgp", technology="0.045um",
+                              l1_size_bytes=4096, max_instructions=4000,
+                              warmup_instructions=3000)
+
+    def states(batched):
+        if batched:
+            monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_NO_BATCH", "1")
+        clear_process_caches()
+        workload = get_workload("gzip")
+        ensure_compiled_trace(workload, 20_000)
+        sim = Simulator(config, workload)
+        sim.warm_up()
+        blobs = []
+        # Successive targets land mid-block, mid-stream and far past the
+        # already-compiled prefix; each snapshot must match byte for byte.
+        for target in (1300, 2900, 6001):
+            sim.skip_to(target)
+            blobs.append(dumps_with_workload(sim.snapshot()._state, workload))
+        return blobs, sim.run(500)
+
+    generic_blobs, generic_result = states(batched=False)
+    batched_blobs, batched_result = states(batched=True)
+    assert batched_blobs == generic_blobs
+    assert batched_result == generic_result
