@@ -307,6 +307,42 @@ class Session:
             restore_configuration(self._cache_snapshot)
             self._cache_snapshot = None
 
+    # -- observability ------------------------------------------------------
+    def cache_counters(self) -> Dict[str, object]:
+        """This process's cache/supervision counters as a JSON-able dict.
+
+        One machine-readable surface (the CLI's ``cache stats --json``)
+        over the artifact store (:class:`~repro.cache.store.StoreStats`,
+        plus the store's location, per-kind contents and last ``fsck``
+        report when one ran), result replay and the supervised
+        executor -- so CI jobs and service probes can assert on counters
+        instead of scraping human-formatted output.
+        """
+        import dataclasses
+
+        from ..cache.results import RESULT_CACHE_STATS
+        from ..cache.store import cache_enabled, get_store
+        from ..simulator.runner import supervisor_stats
+
+        store = get_store()
+        return {
+            "store": {
+                "root": str(store.root),
+                "schema_version": store.version,
+                "enabled": cache_enabled(),
+                "read_only": store.read_only(),
+                "total_bytes": store.total_size(),
+                "kinds": {kind: {"files": count, "bytes": size}
+                          for kind, (count, size)
+                          in sorted(store.describe().items())},
+                **dataclasses.asdict(store.stats),
+            },
+            "result_cache": dataclasses.asdict(RESULT_CACHE_STATS),
+            "supervision": dataclasses.asdict(supervisor_stats()),
+            "fsck": (store.last_fsck.as_dict()
+                     if store.last_fsck is not None else None),
+        }
+
     # -- workload registry --------------------------------------------------
     def workloads(self) -> Tuple[str, ...]:
         """Names of every registered synthetic benchmark."""

@@ -27,14 +27,18 @@ from .store import (
     ENV_CACHE_DISABLE,
     SCHEMA_VERSION,
     ArtifactStore,
+    FsckReport,
+    GcReport,
     active_store,
     cache_enabled,
     configure,
+    frame_digest,
     get_store,
     reset_configuration,
     restore_configuration,
     snapshot_configuration,
     temporary_cache_dir,
+    unframe_digest,
 )
 from .traces import clear_trace_cache, ensure_compiled_trace, trace_bucket
 
@@ -44,6 +48,8 @@ __all__ = [
     "ENV_CACHE_DIR",
     "ENV_CACHE_DISABLE",
     "ENV_RESULT_CACHE_DISABLE",
+    "FsckReport",
+    "GcReport",
     "RESULT_CACHE_STATS",
     "SCHEMA_VERSION",
     "active_store",
@@ -53,6 +59,7 @@ __all__ = [
     "configure_result_cache",
     "content_key",
     "ensure_compiled_trace",
+    "frame_digest",
     "get_store",
     "reset_configuration",
     "reset_result_stats",
@@ -62,4 +69,5 @@ __all__ = [
     "stable_repr",
     "temporary_cache_dir",
     "trace_bucket",
+    "unframe_digest",
 ]

@@ -26,7 +26,9 @@ simulation left to observe):
 Keys bind the full configuration (:func:`repro.cache.keys.stable_repr`),
 the workload identity (name + generator seed) and the resolved
 instruction budget; the store's ``SCHEMA_VERSION`` guards format
-evolution.  Hits/misses/stores are counted in :data:`RESULT_CACHE_STATS`
+evolution, and the store's universal digest frame (schema v4) rejects a
+torn or bit-rotted result file before it can replay as a wrong result.
+Hits/misses/stores are counted in :data:`RESULT_CACHE_STATS`
 so callers (``repro.api.RunHandle`` progress events, tests) can report
 result replays distinctly from ordinary artifact-store hits.
 """

@@ -5,6 +5,10 @@ a handful of trace artifacts at most (one per magnitude), not one per
 exact instruction budget; the bucket floor comfortably covers the
 default functional warm-up (<= 200k instructions), which is the deepest
 any single oracle of a typical run reads.
+
+Trace payloads are stored through the ordinary artifact store, so they
+inherit its digest framing (schema v4): a corrupted compiled trace is a
+miss-and-recompile, never a silently wrong instruction stream.
 """
 
 from __future__ import annotations

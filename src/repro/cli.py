@@ -15,8 +15,9 @@ Subcommands:
 * ``sample``   -- profile a benchmark, select representative intervals, and
   (optionally) compare a sampled run against the full run,
 * ``cache``    -- inspect (``ls``), locate (``path``), empty (``clear``),
-  size-cap (``gc --max-size``) the persistent artifact cache, or print
-  this process's cache/supervision counters (``stats``).
+  size-cap (``gc --max-size``) or audit/repair (``fsck [--repair]``)
+  the persistent artifact cache, or print this process's
+  cache/supervision counters (``stats``, ``--json`` for machines).
 
 ``run``, ``figure`` and ``speedups`` accept ``--jobs N`` (0 = all cores)
 -- the session plans each sweep as a flat task list, so the whole grid
@@ -46,6 +47,7 @@ run with failures exits with status 1.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -335,6 +337,10 @@ def _cmd_cache(session: Session, args: argparse.Namespace) -> int:
         print(f"removed {removed} artifact file(s) from {store.root}")
         return 0
     if args.action == "stats":
+        if args.json:
+            print(json.dumps(session.cache_counters(), indent=2,
+                             sort_keys=True))
+            return 0
         from .cache.results import RESULT_CACHE_STATS
         from .simulator.runner import supervisor_stats
 
@@ -345,6 +351,10 @@ def _cmd_cache(session: Session, args: argparse.Namespace) -> int:
         print(f"  io_retries {stats.io_retries}  "
               f"read_errors {stats.read_errors}  "
               f"write_errors {stats.write_errors}")
+        print(f"  crashed_writes {stats.crashed_writes}  "
+              f"skipped_writes {stats.skipped_writes}  "
+              f"reprobes {stats.reprobes}  "
+              f"recoveries {stats.recoveries}")
         print("result replay (this process)")
         print(f"  hits {RESULT_CACHE_STATS.hits}  "
               f"misses {RESULT_CACHE_STATS.misses}  "
@@ -360,12 +370,41 @@ def _cmd_cache(session: Session, args: argparse.Namespace) -> int:
         if args.max_size is None:
             raise _CliError("cache gc requires --max-size")
         limit = _parse_size(args.max_size)
-        removed_files, removed_bytes = store.gc(limit)
-        print(f"evicted {removed_files} artifact file(s) "
-              f"({removed_bytes / 1024:.1f} KiB) from {store.root}")
+        report = store.gc(limit)
+        print(f"evicted {report.files_removed} artifact file(s) "
+              f"({report.bytes_removed / 1024:.1f} KiB) from {store.root}")
+        print(f"reaped {report.tmp_files_removed} orphaned temp file(s) "
+              f"({report.tmp_bytes_removed / 1024:.1f} KiB)")
         print(f"store now holds {store.total_size() / 1024:.1f} KiB "
               f"(limit {limit / 1024:.1f} KiB)")
         return 0
+    if args.action == "fsck":
+        report = store.fsck(repair=args.repair)
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        else:
+            action = "repaired" if args.repair else "found"
+            print(f"fsck of {store.root} (schema v{store.version})")
+            for kind in sorted(report.per_kind):
+                ok, corrupt = report.per_kind[kind]
+                note = f"  {corrupt} corrupt ({action})" if corrupt else ""
+                print(f"  {kind:>12s} : {ok:>5d} ok{note}")
+            if report.tmp_files:
+                print(f"  {report.tmp_files} orphaned temp file(s) "
+                      f"({report.tmp_bytes / 1024:.1f} KiB) {action}")
+            if report.other_version_files:
+                print(f"  plus {report.other_version_files} file(s) from "
+                      f"other schema versions (reclaim with `repro-clgp "
+                      f"cache clear`)")
+            verdict = "clean" if report.clean() else (
+                "repaired" if args.repair else "damaged")
+            print(f"  store is {verdict}: {report.ok} ok, "
+                  f"{report.corrupt} corrupt, {report.tmp_files} orphaned "
+                  f"temp file(s)")
+        # Damage that was only *reported* is an error exit; a repair pass
+        # (or an already-clean store) exits 0 so scripted
+        # `fsck --repair && fsck` pipelines read naturally.
+        return 0 if (report.clean() or args.repair) else 1
     # ls
     status = "enabled" if cache_enabled() else "disabled"
     print(f"artifact cache at {store.root} "
@@ -532,10 +571,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample.set_defaults(func=_cmd_sample)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect, clear or size-cap the artifact cache")
+        "cache", help="inspect, clear, size-cap or fsck the artifact cache")
     p_cache.add_argument("action",
-                         choices=["ls", "clear", "path", "gc", "stats"],
+                         choices=["ls", "clear", "path", "gc", "stats",
+                                  "fsck"],
                          nargs="?", default="ls")
+    p_cache.add_argument("--repair", action="store_true",
+                         help="fsck: unlink corrupt artifacts and reap "
+                              "orphaned temp files (default: report only)")
+    p_cache.add_argument("--json", action="store_true",
+                         help="stats/fsck: machine-readable JSON output")
     p_cache.add_argument("--max-size", default=None, metavar="BYTES",
                          help="gc: evict least-recently-used artifacts "
                               "until the store fits this size "

@@ -9,6 +9,11 @@ executor (:mod:`repro.simulator.runner`) and the artifact store
   boundary, exactly as if the OS had OOM-killed it mid-sweep,
 * ``artifact_corrupt`` -- bytes are truncated or bit-flipped at artifact
   *write* time, exactly as a torn write or bad disk would,
+* ``io_error`` -- store I/O raises ``OSError`` (``ENOSPC`` on writes,
+  ``EIO`` on reads), exercising the retry/degradation/re-probe path,
+* ``write_crash`` -- a writer "dies" between its temp-file write and
+  the atomic ``os.replace``, stranding a ``.tmp`` file exactly as a
+  ``kill -9`` mid-publish would (``cache gc``/``fsck`` must reap it),
 * ``io_delay`` -- every store read/write is delayed by a fixed amount,
   modelling slow or contended storage.
 
@@ -33,6 +38,7 @@ parent.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import time
@@ -47,7 +53,8 @@ ENV_FAULTS = "REPRO_FAULTS"
 WORKER_KILL_EXIT = 117
 
 #: Fault names accepted by :meth:`FaultPlan.parse`.
-_PROBABILITY_FAULTS = ("worker_kill", "artifact_corrupt")
+_PROBABILITY_FAULTS = ("worker_kill", "artifact_corrupt", "io_error",
+                       "write_crash")
 
 
 def _parse_probability(name: str, token: str) -> float:
@@ -89,6 +96,8 @@ class FaultPlan:
 
     worker_kill: float = 0.0        #: P(kill worker) per chunk boundary
     artifact_corrupt: float = 0.0   #: P(corrupt payload) per artifact write
+    io_error: float = 0.0           #: P(OSError) per store read/write
+    write_crash: float = 0.0        #: P(die between write and rename)
     io_delay: float = 0.0           #: seconds added to every store I/O
     seed: int = 0                   #: decision seed (reproducibility knob)
 
@@ -97,8 +106,8 @@ class FaultPlan:
         """Parse a ``REPRO_FAULTS`` spec string.
 
         Comma-separated ``name:value`` entries; names are
-        ``worker_kill``/``artifact_corrupt`` (probabilities),
-        ``io_delay`` (duration) and ``seed`` (integer).
+        ``worker_kill``/``artifact_corrupt``/``io_error``/``write_crash``
+        (probabilities), ``io_delay`` (duration) and ``seed`` (integer).
         """
         fields = {}
         for entry in text.split(","):
@@ -129,6 +138,7 @@ class FaultPlan:
     def active(self) -> bool:
         """Whether this plan injects anything at all."""
         return bool(self.worker_kill or self.artifact_corrupt
+                    or self.io_error or self.write_crash
                     or self.io_delay)
 
     def describe(self) -> str:
@@ -138,6 +148,10 @@ class FaultPlan:
             parts.append(f"worker_kill:{self.worker_kill}")
         if self.artifact_corrupt:
             parts.append(f"artifact_corrupt:{self.artifact_corrupt}")
+        if self.io_error:
+            parts.append(f"io_error:{self.io_error}")
+        if self.write_crash:
+            parts.append(f"write_crash:{self.write_crash}")
         if self.io_delay:
             parts.append(f"io_delay:{self.io_delay}s")
         if self.seed:
@@ -259,6 +273,38 @@ def corrupt_artifact(kind: str, key: str, payload: bytes) -> bytes:
     flipped = bytearray(payload)
     flipped[offset] ^= 0x40
     return bytes(flipped)
+
+
+def maybe_io_error(op: str, kind: str, key: str) -> None:
+    """Raise an ``OSError`` at a store I/O site if the plan says so.
+
+    Writes fail with ``ENOSPC`` (the disk-pressure case the store must
+    degrade gracefully on), reads with ``EIO``.  The decision is keyed
+    on (op, kind, key), so a doomed artifact stays doomed for the whole
+    run: every access must fall back to recompute, and the final output
+    must still be byte-identical.
+    """
+    plan = active_plan()
+    if not plan.io_error:
+        return
+    if _decision(plan.seed, "io_error", op, kind, key) < plan.io_error:
+        code = errno.ENOSPC if op == "write" else errno.EIO
+        raise OSError(code, os.strerror(code), f"{kind}/{key}")
+
+
+def maybe_write_crash(kind: str, key: str) -> bool:
+    """Whether a writer should "die" between its temp write and the
+    atomic rename, stranding the temp file.
+
+    Keyed on (kind, key) like :func:`corrupt_artifact`: a crashing
+    publish crashes every time, so the artifact is never cached and the
+    orphaned ``.tmp`` litter keeps accumulating until ``gc``/``fsck``
+    reaps it -- the worst case the store must stay correct under.
+    """
+    plan = active_plan()
+    if not plan.write_crash:
+        return False
+    return _decision(plan.seed, "write_crash", kind, key) < plan.write_crash
 
 
 def io_pause() -> None:

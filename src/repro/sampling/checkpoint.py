@@ -53,12 +53,7 @@ from ..cache.shared import (
     dumps_with_workload,
     loads_with_workload,
 )
-from ..cache.store import (
-    ArtifactStore,
-    active_store,
-    frame_digest,
-    unframe_digest,
-)
+from ..cache.store import ArtifactStore, active_store
 from ..simulator.config import SimulationConfig
 from ..simulator.simulator import Simulator, SimulatorCheckpoint
 from ..workloads.trace import Workload
@@ -186,13 +181,12 @@ class CheckpointStore:
         self._checkpoints[key] = checkpoint
         disk = self.artifact_store()
         if disk is not None:
-            # Digest-framed: restoring rotted simulator state would yield
-            # wrong results rather than a crash, so checkpoints prove
-            # their integrity on every restore (see ``frame_digest``).
+            # The store digest-frames every payload (schema v4), so a
+            # rotted checkpoint is rejected on read instead of replaying
+            # wrong simulator state.
             disk.put_bytes(
                 "checkpoint", content_key("warm-checkpoint", *key),
-                frame_digest(dumps_with_workload(checkpoint._state,
-                                                 workload)),
+                dumps_with_workload(checkpoint._state, workload),
             )
         return checkpoint
 
@@ -204,15 +198,10 @@ class CheckpointStore:
         if disk is None:
             return None
         disk_key = content_key("warm-checkpoint", *key)
-        framed = disk.get_bytes("checkpoint", disk_key)
-        if framed is None:
-            return None
-        data = unframe_digest(framed)
+        # A digest mismatch (payload rotted after writing, or tampering)
+        # surfaces as a miss here: the store verifies the frame on read.
+        data = disk.get_bytes("checkpoint", disk_key)
         if data is None:
-            # Digest mismatch: the payload rotted after writing (or was
-            # tampered with).  Recompute -- never restore it.
-            disk.stats.corrupt += 1
-            disk.discard("checkpoint", disk_key)
             return None
         try:
             state = loads_with_workload(data, workload)
@@ -340,15 +329,10 @@ class CheckpointStore:
         workload: Workload,
     ) -> Optional[SimulatorCheckpoint]:
         disk_key = content_key("positioned-checkpoint", *key, offset)
-        framed = disk.get_bytes("positioned", disk_key)
-        if framed is None:
-            return None
-        data = unframe_digest(framed)
+        # Digest-verified by the store: a corrupted checkpoint reads as
+        # a miss, never as "successful" wrong machine state.
+        data = disk.get_bytes("positioned", disk_key)
         if data is None:
-            # Digest mismatch: restoring would replay corrupted machine
-            # state into "successful" wrong results.  Recompute instead.
-            disk.stats.corrupt += 1
-            disk.discard("positioned", disk_key)
             return None
         try:
             state = loads_with_workload(data, workload)
@@ -395,7 +379,7 @@ class CheckpointStore:
             return
         disk.put_bytes(
             "positioned", disk_key,
-            frame_digest(dumps_with_workload(checkpoint._state, workload)),
+            dumps_with_workload(checkpoint._state, workload),
         )
         index_key = content_key("positioned-index", *key)
         index = disk.get("positioned-index", index_key)
@@ -472,15 +456,10 @@ class CheckpointStore:
         workload: Workload,
     ) -> Optional[SimulatorCheckpoint]:
         disk_key = content_key("frontier-checkpoint", *key, offset)
-        framed = disk.get_bytes("frontier", disk_key)
-        if framed is None:
-            return None
-        data = unframe_digest(framed)
+        # Digest-verified by the store: a corrupted checkpoint reads as
+        # a miss, never as resumable wrong machine state.
+        data = disk.get_bytes("frontier", disk_key)
         if data is None:
-            # Digest mismatch: restoring would resume from corrupted
-            # machine state into "successful" wrong results.
-            disk.stats.corrupt += 1
-            disk.discard("frontier", disk_key)
             return None
         try:
             state = loads_with_workload(data, workload)
@@ -523,7 +502,7 @@ class CheckpointStore:
             return
         disk.put_bytes(
             "frontier", disk_key,
-            frame_digest(dumps_with_workload(checkpoint._state, workload)),
+            dumps_with_workload(checkpoint._state, workload),
         )
         index_key = content_key("frontier-index", *key)
         index = disk.get("frontier-index", index_key)

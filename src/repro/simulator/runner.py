@@ -36,6 +36,11 @@ that will never arrive.  Each task has a bounded retry budget
 deadline (``task_timeout``); a task that exhausts either surfaces a
 typed :class:`~repro.simulator.plan.TaskFailure` in its result slot and
 the rest of the sweep completes normally.
+
+Workers and the parent all publish through the artifact store's
+advisory cross-process locking (see :mod:`repro.cache.store`), so many
+*runner processes* -- not just many workers of one runner -- may share
+one ``.repro-cache/`` while ``cache gc``/``fsck`` run against it.
 """
 
 from __future__ import annotations

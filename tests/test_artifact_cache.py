@@ -405,9 +405,15 @@ class TestCacheReuse:
             )
             import zlib
 
-            payload = pickle.loads(zlib.decompress(path.read_bytes()))
+            from repro.cache.store import frame_digest, unframe_digest
+
+            payload = pickle.loads(
+                zlib.decompress(unframe_digest(path.read_bytes())))
             payload["selection"] = "0" * 64
-            path.write_bytes(zlib.compress(pickle.dumps(payload)))
+            # Re-frame: the rewrite simulates a *valid* artifact from an
+            # older algorithm, not on-disk corruption.
+            path.write_bytes(
+                frame_digest(zlib.compress(pickle.dumps(payload))))
             warm = _sampled_once(self.CONFIG, self.SPEC)
             assert warm == cold
 
@@ -552,6 +558,43 @@ class TestEveryKindSurvivesCorruption:
             assert rerun == cold
             assert disk.stats.corrupt > 0
 
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_detection_happens_at_the_framing_layer(
+            self, tmp_path, mode, monkeypatch):
+        """Every kind's on-disk payload is digest-framed (schema v4), and
+        corruption is rejected by the frame check -- before zlib or
+        pickle ever see the bytes -- not by an incidental
+        decompress/unpickle failure."""
+        import zlib
+
+        from repro.cache.store import unframe_digest
+
+        with temporary_cache_dir(tmp_path / "cache") as disk:
+            self._produce_everything()
+            entries = list(disk.entries())
+            assert {kind for kind, _ in entries} == self.EXPECTED_KINDS
+            for kind, path in entries:
+                assert unframe_digest(path.read_bytes()) is not None, (
+                    f"{kind} artifact is not digest-framed")
+                self._corrupt(path, mode)
+                assert unframe_digest(path.read_bytes()) is None
+
+            def no_decompress(*_a, **_k):
+                raise AssertionError(
+                    "zlib ran on a payload the frame should have rejected")
+
+            def no_loads(*_a, **_k):
+                raise AssertionError(
+                    "pickle ran on a payload the frame should have rejected")
+
+            monkeypatch.setattr(zlib, "decompress", no_decompress)
+            monkeypatch.setattr(pickle, "loads", no_loads)
+            before = disk.stats.corrupt
+            for kind, path in entries:
+                assert disk.get_bytes(kind, path.stem) is None
+                assert not path.exists()        # discarded for recompute
+            assert disk.stats.corrupt == before + len(entries)
+
     @pytest.mark.parametrize("kind", sorted(EXPECTED_KINDS))
     def test_single_kind_bitflip_is_contained(self, tmp_path, kind):
         """Corrupting only one kind must recompute just that kind's data
@@ -588,6 +631,66 @@ class TestCacheCli:
         capsys.readouterr()
         assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
         assert "(empty)" in capsys.readouterr().out
+
+    def test_cache_fsck_reports_then_repairs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cli-fsck"
+        store = ArtifactStore(cache_dir)
+        store.put("kindA", "good", b"g" * 500)
+        store.put("kindA", "bad", b"b" * 500)
+        bad = store.path_for("kindA", "bad")
+        rotted = bytearray(bad.read_bytes())
+        rotted[40] ^= 0x01
+        bad.write_bytes(bytes(rotted))
+        (store.versioned_root / "kindA" / ".orphan.1.tmp").write_bytes(b"x")
+
+        # Report-only: damage means a non-zero exit and nothing removed.
+        assert main(["cache", "fsck", "--cache-dir", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "orphaned temp" in out
+        assert bad.exists()
+
+        assert main(["cache", "fsck", "--repair",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert not bad.exists()
+        assert not list(cache_dir.rglob("*.tmp"))
+        assert store.path_for("kindA", "good").exists()
+
+        assert main(["cache", "fsck", "--cache-dir", str(cache_dir)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cache_fsck_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cli-fsck-json"
+        ArtifactStore(cache_dir).put("kindA", "k", b"x" * 100)
+        assert main(["cache", "fsck", "--json",
+                     "--cache-dir", str(cache_dir)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+        assert report["per_kind"]["kindA"] == {"ok": 1, "corrupt": 0}
+
+    def test_cache_stats_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cli-stats-json"
+        ArtifactStore(cache_dir).put("kindA", "k", b"x" * 100)
+        assert main(["cache", "stats", "--json",
+                     "--cache-dir", str(cache_dir)]) == 0
+        counters = json.loads(capsys.readouterr().out)
+        assert counters["store"]["schema_version"] == SCHEMA_VERSION
+        assert counters["store"]["root"] == str(cache_dir)
+        assert counters["store"]["kinds"]["kindA"]["files"] == 1
+        for section in ("store", "result_cache", "supervision", "fsck"):
+            assert section in counters
+        assert "hits" in counters["store"]
+        assert "retries" in counters["supervision"]
 
     def test_no_cache_flag_bypasses_disk(self, tmp_path, capsys):
         from repro.cli import main
@@ -629,22 +732,22 @@ class TestCacheGc:
         store, paths = self._populated(tmp_path)
         total = store.total_size()
         per_file = paths[0].stat().st_size
-        removed_files, removed_bytes = store.gc(total - per_file)
-        assert removed_files == 1
-        assert removed_bytes == per_file
+        report = store.gc(total - per_file)
+        assert report.files_removed == 1
+        assert report.bytes_removed == per_file
         assert not paths[0].exists()            # oldest went first
         assert all(path.exists() for path in paths[1:])
         assert store.total_size() <= total - per_file
 
     def test_generous_limit_removes_nothing(self, tmp_path):
         store, paths = self._populated(tmp_path)
-        assert store.gc(store.total_size()) == (0, 0)
+        report = store.gc(store.total_size())
+        assert report.files_removed == 0 and report.bytes_removed == 0
         assert all(path.exists() for path in paths)
 
     def test_zero_limit_empties_the_store(self, tmp_path):
         store, paths = self._populated(tmp_path)
-        removed_files, _ = store.gc(0)
-        assert removed_files == 4
+        assert store.gc(0).files_removed == 4
         assert store.total_size() == 0
 
     def test_negative_limit_rejected(self, tmp_path):
@@ -698,11 +801,26 @@ class TestCacheGc:
         orphan.put("kindB", "old", b"y" * 2000)
         orphan_path = orphan.path_for("kindB", "old")
         os.utime(orphan_path, (999_000, 999_000))   # older than everything
-        removed_files, _ = store.gc(store.total_size()
-                                    - orphan_path.stat().st_size)
-        assert removed_files == 1
+        report = store.gc(store.total_size() - orphan_path.stat().st_size)
+        assert report.files_removed == 1
         assert not orphan_path.exists()
         assert all(path.exists() for path in paths)
+
+    def test_gc_reaps_orphaned_temp_files(self, tmp_path):
+        """A `.tmp` stranded by a killed writer is counted by
+        `total_size` and reaped (and reported) by the next gc pass."""
+        store, paths = self._populated(tmp_path)
+        pkl_size = store.total_size()
+        stranded = store.versioned_root / "kindA" / ".stranded.4242.tmp"
+        stranded.write_bytes(b"t" * 321)
+        assert store.total_size() == pkl_size + 321
+        report = store.gc(pkl_size)             # generous for the .pkl set
+        assert report.tmp_files_removed == 1
+        assert report.tmp_bytes_removed == 321
+        assert report.files_removed == 0        # no artifact was evicted
+        assert not stranded.exists()
+        assert all(path.exists() for path in paths)
+        assert store.total_size() == pkl_size
 
     def test_cli_gc_subcommand(self, tmp_path, capsys):
         from repro.cli import main

@@ -70,8 +70,10 @@ def _clean_fault_state(monkeypatch):
 class TestFaultPlanParsing:
     def test_full_spec(self):
         plan = FaultPlan.parse(
-            "worker_kill:0.1,artifact_corrupt:0.05,io_delay:20ms,seed:7")
+            "worker_kill:0.1,artifact_corrupt:0.05,io_error:0.02,"
+            "write_crash:0.03,io_delay:20ms,seed:7")
         assert plan == FaultPlan(worker_kill=0.1, artifact_corrupt=0.05,
+                                 io_error=0.02, write_crash=0.03,
                                  io_delay=0.02, seed=7)
 
     @pytest.mark.parametrize("token,seconds", [
@@ -86,8 +88,13 @@ class TestFaultPlanParsing:
 
     def test_describe_round_trips(self):
         plan = FaultPlan(worker_kill=0.25, artifact_corrupt=0.5,
+                         io_error=0.125, write_crash=0.75,
                          io_delay=0.01, seed=42)
         assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_store_fault_sites_activate_the_plan(self):
+        assert FaultPlan.parse("io_error:0.1").active()
+        assert FaultPlan.parse("write_crash:0.1").active()
 
     @pytest.mark.parametrize("spec", [
         "worker_kill:2.0",          # probability out of range
@@ -96,6 +103,8 @@ class TestFaultPlanParsing:
         "worker_kill",              # missing value
         "seed:7.5",                 # non-integer seed
         "io_delay:-5ms",            # negative duration
+        "io_error:1.5",             # probability out of range
+        "write_crash:nope",         # not a number
     ])
     def test_bad_specs_raise(self, spec):
         with pytest.raises(ValueError):
@@ -337,6 +346,79 @@ class TestStoreIoResilience:
         assert store.get("kindA", "key") == [1, 2]
         assert store.stats.io_retries == 1
         assert store.stats.read_errors == 0
+
+
+class TestStoreFaultSites:
+    """The storage-layer chaos sites: injected I/O errors and simulated
+    writer death between the temp write and the atomic rename."""
+
+    def test_write_crash_leaves_tmp_without_publishing(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        configure_faults("write_crash:1.0,seed:3")
+        store.put("kindA", "key", [1, 2])
+        assert store.stats.crashed_writes == 1
+        assert store.stats.stores == 0
+        assert not store.path_for("kindA", "key").exists()
+        assert len(list((tmp_path / "cache").rglob(".*.tmp"))) == 1
+        # The next gc pass reaps (and reports) the stranded temp file.
+        configure_faults(None)
+        report = store.gc(10 ** 9)
+        assert report.tmp_files_removed == 1
+        assert not list((tmp_path / "cache").rglob(".*.tmp"))
+
+    def test_io_error_site_fails_reads_and_degrades_writes(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("kindA", "key", [1])
+        configure_faults("io_error:1.0,seed:1")
+        with pytest.warns(RuntimeWarning, match="cache stats"):
+            assert store.get("kindA", "key") is None
+        assert store.stats.read_errors == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            store.put("kindA", "other", [2])
+        assert store.stats.write_errors == 1
+        assert store.read_only()        # write faults raise ENOSPC
+        configure_faults(None)
+        # A read fault is not corruption: the artifact itself is intact.
+        assert store.get("kindA", "key") == [1]
+
+    def test_enospc_degrades_immediately_then_reprobes(
+            self, tmp_path, monkeypatch):
+        import time
+
+        store = ArtifactStore(tmp_path / "cache")
+        monkeypatch.setattr(store, "DEGRADE_BACKOFF", 0.05)
+        real_replace = os.replace
+        disk_full = {"on": True}
+
+        def replace(src, dst):
+            if disk_full["on"]:
+                raise OSError(errno.ENOSPC, "No space left on device")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", replace)
+        with pytest.warns(RuntimeWarning, match="cache stats"):
+            store.put("kindA", "k1", [1])
+        assert store.stats.write_errors == 1
+        assert store.stats.io_retries == 0      # ENOSPC is never retried
+        assert store.read_only()
+        store.put("kindA", "k2", [2])           # inside the backoff window
+        assert store.stats.skipped_writes == 1
+        # The disk frees up; after the backoff the next write re-probes
+        # and restores cached operation instead of staying degraded for
+        # the process lifetime.
+        disk_full["on"] = False
+        time.sleep(0.06)
+        store.put("kindA", "k3", [3])
+        assert store.stats.reprobes == 1
+        assert store.stats.recoveries == 1
+        assert store.stats.stores == 1
+        assert not store.read_only()
+        assert store.get("kindA", "k3") == [3]
+        # Degrading again warns again: recovery re-armed the warning.
+        disk_full["on"] = True
+        with pytest.warns(RuntimeWarning, match="cache stats"):
+            store.put("kindA", "k4", [4])
 
 
 class TestDigestFraming:
