@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Experiment service: many clients, one simulation.
+
+Starts the experiment server in-process (the same
+:class:`~repro.service.server.ExperimentServer` behind
+``repro-clgp serve``), then plays a small crowd against it: several
+clients concurrently submit the *same* :class:`~repro.api.ExperimentSpec`
+while one submits a different one.  The duplicates collapse onto a
+single simulation -- every subscriber streams the same live progress
+over SSE and receives byte-identical result JSON -- while the disjoint
+spec runs separately.  The closing stats show the dedup economics the
+service exists for.
+
+Run:
+    python examples/experiment_service.py [clients] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+
+from repro.api import ExperimentSpec, Session
+from repro.service import ServerThread, ServiceClient
+
+
+def main() -> int:
+    crowd = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 5_000
+
+    shared = ExperimentSpec("CLGP+L0", "gcc", max_instructions=instructions,
+                            name="crowd-favourite")
+    solo = ExperimentSpec("FDP+L0", "mcf", max_instructions=instructions,
+                          name="loner")
+    bodies: dict = {}
+    progress: dict = {}
+
+    def run_client(name: str, spec: ExperimentSpec, port: int) -> None:
+        client = ServiceClient(port=port, client_id=name)
+        job = client.submit(spec, wait_on_quota=True)
+        kinds = []
+        for event in client.events(job["job"],
+                                   subscriber=job["subscriber"]):
+            kinds.append(event["kind"])
+        progress[name] = (job["dedup"], kinds)
+        bodies[name] = client.result_bytes(job["job"])
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with Session(jobs=1, cache_dir=cache_dir) as session:
+            with ServerThread(session, parallel=2) as server:
+                print(f"service on 127.0.0.1:{server.port}: "
+                      f"{crowd} clients want the same experiment, "
+                      "1 wants another\n")
+                names = [f"dupe-{index}" for index in range(crowd)]
+                threads = [threading.Thread(target=run_client,
+                                            args=(name, shared, server.port))
+                           for name in names]
+                threads.append(threading.Thread(
+                    target=run_client, args=("loner", solo, server.port)))
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                stats = ServiceClient(port=server.port).stats()["service"]
+
+    for name in sorted(progress):
+        dedup, kinds = progress[name]
+        tasks = sum(1 for kind in kinds if kind == "task")
+        print(f"  {name:>8s}: dedup={dedup:<6s} "
+              f"streamed {len(kinds)} events ({tasks} tasks) "
+              f"-> {len(bodies[name])} result bytes")
+
+    dupe_bodies = {bodies[name] for name in names}
+    print(f"\n  duplicate bodies identical : {len(dupe_bodies) == 1}")
+    print(f"  submissions                : {stats['submitted']}")
+    print(f"  deduplicated (joined)      : {stats['deduplicated']}")
+    print(f"  simulations actually run   : {stats['runs_started']}")
+    assert len(dupe_bodies) == 1, "duplicate submissions must match"
+    assert stats["runs_started"] == 2, "expected exactly two simulations"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,6 +80,7 @@ from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES, profile_for
 from .experiments import DEFAULT_SWEEP_SIZES
 from .session import (
     RUN_STATUSES,
+    Progress,
     ProgressEvent,
     RunCancelled,
     RunHandle,
@@ -98,6 +99,7 @@ __all__ = [
     "RunHandle",
     "RunResult",
     "RunCancelled",
+    "Progress",
     "ProgressEvent",
     "RUN_STATUSES",
     "default_session",

@@ -23,9 +23,9 @@ Submissions execute on a background thread over the one task executor
 (:func:`repro.simulator.runner.iter_task_results`); handles stream
 per-task progress events (count, benchmark, wall-clock seconds, artifact
 cache hits), block on :meth:`RunHandle.result`, and can be cancelled.
-One session serializes its submissions (the shared pool and the workers'
-in-memory caches are reused across them, exactly like consecutive
-``ExperimentPlan.run`` calls).
+Submissions whose effective cache/fault policy is identical run
+concurrently (the shared pool and the workers' in-memory caches are
+reused across them); conflicting policy scopes take turns.
 """
 
 from __future__ import annotations
@@ -56,11 +56,98 @@ from .spec import DEFAULT_OPTIONS, ExecutionOptions, ExperimentSpec
 #: Handle states; ``done``/``failed``/``cancelled`` are terminal.
 RUN_STATUSES = ("queued", "running", "done", "failed", "cancelled")
 
-#: One execution at a time per process: the shared worker pool and the
-#: artifact-cache configuration are process-level state, so executions
-#: from *all* sessions serialize on this lock (a cancelled run tearing
-#: its pool down can therefore never strand another session's sweep).
-_EXECUTION_LOCK = threading.Lock()
+
+class _ExecutionGate:
+    """Admission control for executions sharing process-global policy.
+
+    The artifact-store / result-cache / fault configuration behind every
+    execution is process-level state, so executions whose *effective*
+    policy differs must not overlap -- but executions with an identical
+    policy scope (the same cache dir/enable, result-cache and fault
+    overrides) can run concurrently: the configuration they would apply
+    is the same.  This gate therefore admits any number of executions of
+    one policy scope at a time and serializes across scopes, which is
+    what lets many :class:`Session` submissions (and the experiment
+    service built on them) keep >=2 runs in flight.
+
+    The scope's configuration is applied exactly once -- when the first
+    execution of a scope enters -- and the pre-scope state is restored
+    when the last one leaves, so a finishing execution can never revert
+    the store out from under a still-running sibling.
+
+    The gate also speaks the lock protocol (``with gate:`` /
+    ``acquire``/``release``): an exclusive hold keeps *all* executions
+    out, which :meth:`Session.close` uses to wait for in-flight runs and
+    tests use to hold submissions queued.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active = 0
+        self._scope: Optional[tuple] = None
+        self._restore: Optional[Callable[[], None]] = None
+        self._exclusive = 0
+
+    # -- lock protocol (exclusive: no execution may be inside) ---------
+    def acquire(self) -> bool:
+        with self._cond:
+            while self._active or self._exclusive:
+                self._cond.wait()
+            self._exclusive += 1
+        return True
+
+    def release(self) -> None:
+        with self._cond:
+            self._exclusive -= 1
+            self._cond.notify_all()
+
+    def __enter__(self) -> "_ExecutionGate":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    # -- shared, policy-scoped entry -----------------------------------
+    def enter_scope(self, scope: tuple,
+                    apply: Callable[[], Optional[Callable[[], None]]]) -> None:
+        """Join ``scope``, waiting out exclusive holders and executions
+        of any *other* scope.  ``apply`` runs (under the gate) only for
+        the first execution of the scope and returns the restore
+        callback invoked when the last execution leaves."""
+        with self._cond:
+            while self._exclusive or (self._active
+                                      and self._scope != scope):
+                self._cond.wait()
+            if self._active == 0:
+                self._scope = scope
+                try:
+                    self._restore = apply()
+                except BaseException:
+                    self._scope = None
+                    self._cond.notify_all()
+                    raise
+            self._active += 1
+
+    def leave_scope(self) -> None:
+        with self._cond:
+            self._active -= 1
+            if self._active == 0:
+                restore, self._restore = self._restore, None
+                self._scope = None
+                if restore is not None:
+                    restore()
+                self._cond.notify_all()
+
+    def idle(self) -> bool:
+        """Whether no execution is currently inside the gate."""
+        with self._cond:
+            return self._active == 0
+
+
+#: The process-wide gate every execution passes through: identical
+#: cache-policy scopes overlap, conflicting scopes serialize.
+_EXECUTION_GATE = _ExecutionGate()
 
 
 class RunCancelled(RuntimeError):
@@ -85,6 +172,11 @@ class ProgressEvent:
     consumers can tell "warm artifacts" from "did not simulate".
     ``retries`` is how many times the task had to be re-dispatched
     (worker loss, in-task error) before this completion.
+    ``tasks_per_second``/``eta_seconds`` are the run-rate estimate and
+    remaining-time projection derived from completed-task timings
+    (``None`` until the first task finishes); the experiment service
+    streams them over SSE so clients can render progress bars without
+    their own bookkeeping.
     """
 
     kind: str
@@ -97,6 +189,34 @@ class ProgressEvent:
     result_cache_hits: Optional[int] = None
     retries: Optional[int] = None
     error: Optional[str] = None
+    tasks_per_second: Optional[float] = None
+    eta_seconds: Optional[float] = None
+
+
+class Progress(tuple):
+    """``(completed, total)`` plus run-rate estimates.
+
+    Unpacks and compares exactly like the plain 2-tuple
+    :meth:`RunHandle.progress` has always returned;
+    :attr:`tasks_per_second` and :attr:`eta_seconds` ride along as
+    attributes (``None`` until the first task completes).
+    """
+
+    def __new__(cls, completed: int, total: int,
+                tasks_per_second: Optional[float] = None,
+                eta_seconds: Optional[float] = None) -> "Progress":
+        self = tuple.__new__(cls, (completed, total))
+        self.tasks_per_second = tasks_per_second
+        self.eta_seconds = eta_seconds
+        return self
+
+    @property
+    def completed(self) -> int:
+        return self[0]
+
+    @property
+    def total(self) -> int:
+        return self[1]
 
 
 @dataclass
@@ -141,6 +261,8 @@ class RunHandle:
         self._status = "queued"
         self._completed = 0
         self._total = len(plan)
+        self._tasks_per_second: Optional[float] = None
+        self._eta_seconds: Optional[float] = None
         self._result: Optional[RunResult] = None
         self._error: Optional[BaseException] = None
         # Reentrant: listeners run under the lock (so late attachers can
@@ -163,9 +285,11 @@ class RunHandle:
         """One of :data:`RUN_STATUSES`."""
         return self._status
 
-    def progress(self) -> Tuple[int, int]:
-        """``(tasks completed, tasks total)``."""
-        return self._completed, self._total
+    def progress(self) -> "Progress":
+        """``(tasks completed, tasks total)``, as a :class:`Progress`
+        carrying ``tasks_per_second``/``eta_seconds`` estimates."""
+        return Progress(self._completed, self._total,
+                        self._tasks_per_second, self._eta_seconds)
 
     def add_listener(self, listener: Callable[[ProgressEvent], None]) -> None:
         """Invoke ``listener(event)`` for every event of the run.
@@ -262,11 +386,14 @@ class Session:
         self._jobs = jobs
         self._closed = False
         self._used_pool = False
-        # Executions are serialized process-wide (not per session): the
-        # shared pool and the artifact-cache configuration behind them
-        # are process-level resources, so overlapping sessions take
-        # turns rather than trampling each other's pool/cache state.
-        self._exec_lock = _EXECUTION_LOCK
+        # Executions pass through the process-wide gate: submissions
+        # whose effective cache/result-cache/fault policy is identical
+        # run concurrently (the server's scheduler needs >=2 in-flight
+        # runs); only *conflicting* policy scopes serialize, so one
+        # session can never redirect another's store mid-run.  An
+        # exclusive hold of the gate (``with session._exec_lock:``)
+        # still keeps every execution out.
+        self._exec_lock = _EXECUTION_GATE
         self._cache_dir = cache_dir
         self._cache = cache
         self._cache_snapshot = None
@@ -296,12 +423,16 @@ class Session:
 
     def close(self) -> None:
         """Finish outstanding submissions, shut the shared pool down (if
-        this session fanned out), and restore the cache configuration."""
+        this session fanned out and no other session is mid-run), and
+        restore the cache configuration."""
         if self._closed:
             return
-        with self._exec_lock:   # wait for the running submission
+        with self._exec_lock:   # exclusive: wait for running executions
             self._closed = True
-        if self._used_pool:
+        if self._used_pool and self._exec_lock.idle():
+            # Another session's concurrent run may still be fanned out
+            # over the shared pool; leave it alive for them (atexit
+            # reaps it) instead of tearing their sweep down.
             shutdown_pool()
         if self._cache_snapshot is not None:
             restore_configuration(self._cache_snapshot)
@@ -361,8 +492,9 @@ class Session:
         """Submit a spec (or a hand-built plan) for execution.
 
         Returns immediately with a :class:`RunHandle`; execution happens
-        on a background thread, serialized with the session's other
-        submissions.
+        on a background thread, concurrently with other submissions that
+        share the same cache/fault policy (conflicting policies take
+        turns through the process-wide execution gate).
         """
         if self._closed:
             raise RuntimeError("session is closed")
@@ -439,7 +571,43 @@ class Session:
     def _execute(self, handle: RunHandle) -> None:
         import time
 
-        with self._exec_lock:
+        options = handle._options
+        # The policy scope is everything this execution would apply to
+        # the process-global configuration: session cache settings,
+        # per-call overrides, result-replay policy and chaos plan.
+        # Identical scopes share the gate (and hence run concurrently);
+        # conflicting scopes take turns.
+        scope = (self._cache_dir, self._cache, options.cache_dir,
+                 options.cache, options.result_cache, options.faults)
+
+        def apply() -> Optional[Callable[[], None]]:
+            # Runs once, for the first execution of the scope; the
+            # returned restore hook runs when the last one leaves, so a
+            # finishing sibling can never revert the store mid-run.
+            if all(value is None for value in scope):
+                return None
+            cache_snapshot = snapshot_configuration()
+            result_snapshot = snapshot_result_configuration()
+            faults_snapshot = snapshot_faults()
+            if self._cache_dir is not None or self._cache is not None:
+                configure(cache_dir=self._cache_dir, enabled=self._cache)
+            if options.cache_dir is not None or options.cache is not None:
+                configure(cache_dir=options.cache_dir,
+                          enabled=options.cache)
+            if options.result_cache is not None:
+                configure_result_cache(options.result_cache)
+            if options.faults is not None:
+                configure_faults(options.faults)
+
+            def restore() -> None:
+                restore_faults(faults_snapshot)
+                restore_result_configuration(result_snapshot)
+                restore_configuration(cache_snapshot)
+
+            return restore
+
+        self._exec_lock.enter_scope(scope, apply)
+        try:
             if handle._cancel.is_set():
                 handle._finish("cancelled")
                 return
@@ -448,33 +616,6 @@ class Session:
                     "session closed before the run started")
                 handle._finish("failed")
                 return
-            options = handle._options
-            cache_snapshot = None
-            result_snapshot = None
-            faults_applied = False
-            faults_snapshot = None
-            # Scope the cache policy to this execution: session settings
-            # first, per-call options layered on top, previous state
-            # restored afterwards -- so concurrent sessions each run
-            # against their own store even though the configuration
-            # itself is process-global.
-            layers = (self._cache_dir, self._cache,
-                      options.cache_dir, options.cache)
-            if any(value is not None for value in layers):
-                cache_snapshot = snapshot_configuration()
-                if self._cache_dir is not None or self._cache is not None:
-                    configure(cache_dir=self._cache_dir, enabled=self._cache)
-                if options.cache_dir is not None or options.cache is not None:
-                    configure(cache_dir=options.cache_dir,
-                              enabled=options.cache)
-            if options.result_cache is not None:
-                result_snapshot = snapshot_result_configuration()
-                configure_result_cache(options.result_cache)
-            if options.faults is not None:
-                # Chaos scoping mirrors the cache: this submission only.
-                faults_snapshot = snapshot_faults()
-                faults_applied = True
-                configure_faults(options.faults)
             handle._status = "running"
             handle._emit("started")
             tasks = handle._plan.tasks
@@ -493,6 +634,12 @@ class Session:
                     result_hits += completion.result_cache_hits
                     retries += completion.retries
                     handle._completed += 1
+                    elapsed = time.perf_counter() - start
+                    if elapsed > 0:
+                        rate = handle._completed / elapsed
+                        handle._tasks_per_second = rate
+                        handle._eta_seconds = \
+                            (handle._total - handle._completed) / rate
                     task = tasks[completion.index]
                     if completion.failed:
                         failure = completion.result
@@ -502,6 +649,8 @@ class Session:
                             key=failure.key,
                             retries=completion.retries,
                             error=f"{failure.kind}: {failure.message}",
+                            tasks_per_second=handle._tasks_per_second,
+                            eta_seconds=handle._eta_seconds,
                         )
                         continue
                     handle._emit(
@@ -513,10 +662,13 @@ class Session:
                         cache_hits=completion.cache_hits,
                         result_cache_hits=completion.result_cache_hits,
                         retries=completion.retries,
+                        tasks_per_second=handle._tasks_per_second,
+                        eta_seconds=handle._eta_seconds,
                     )
                 if handle._cancel.is_set():
                     handle._finish("cancelled")
                     return
+                handle._eta_seconds = 0.0
                 handle._result = RunResult(
                     tasks=list(tasks),
                     results=results,
@@ -529,13 +681,8 @@ class Session:
             except BaseException as exc:   # surfaced via handle.result()
                 handle._error = exc
                 handle._finish("failed")
-            finally:
-                if faults_applied:
-                    restore_faults(faults_snapshot)
-                if options.result_cache is not None:
-                    restore_result_configuration(result_snapshot)
-                if cache_snapshot is not None:
-                    restore_configuration(cache_snapshot)
+        finally:
+            self._exec_lock.leave_scope()
 
 
 # ----------------------------------------------------------------------

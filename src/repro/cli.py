@@ -523,6 +523,55 @@ def _cmd_sample(session: Session, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(session: Session, args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from .cache.results import configure_result_cache
+    from .faults import configure_faults
+    from .service.server import ExperimentServer
+
+    if args.faults:
+        try:
+            # Process-wide for the server's lifetime: serve is the one
+            # command where chaos must also cover the HTTP boundary
+            # (the request_drop site fires before any Session exists).
+            configure_faults(args.faults)
+        except ValueError as exc:
+            raise _CliError(str(exc)) from exc
+    if args.no_result_cache:
+        configure_result_cache(False)
+
+    async def run() -> int:
+        server = ExperimentServer(
+            session, host=args.host, port=args.port,
+            parallel=args.parallel, quota=args.quota,
+            max_queue_depth=args.max_queue)
+        await server.start()
+        # Parseable by wrappers (CI smoke, tests): port 0 binds an
+        # ephemeral port and this line is where it is announced.
+        print(f"listening on http://{args.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, stop.set)
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        serving.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serving
+        await server.stop()
+        print("service stopped", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:   # signal handlers unavailable (rare)
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-clgp",
@@ -587,6 +636,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "(suffixes K/M/G allowed)")
     _add_cache_args(p_cache)
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the experiment service (HTTP + SSE front end: "
+             "concurrent clients, request dedup, fair scheduling)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8177,
+                         help="listen port (0 = ephemeral; the bound "
+                              "port is announced on stdout)")
+    p_serve.add_argument("--parallel", type=int, default=2,
+                         help="experiment runs in flight at once")
+    p_serve.add_argument("--quota", type=int, default=8,
+                         help="max jobs queued or running per client")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="global queue depth before 429 backpressure")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="worker processes per experiment run "
+                              "(0 = all cores)")
+    p_serve.add_argument("--faults", default=None, metavar="SPEC",
+                         help="deterministic chaos for the whole service, "
+                              "e.g. 'worker_kill:0.2,request_drop:0.2,"
+                              "seed:7' (env: REPRO_FAULTS)")
+    _add_cache_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

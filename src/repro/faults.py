@@ -15,7 +15,11 @@ executor (:mod:`repro.simulator.runner`) and the artifact store
   the atomic ``os.replace``, stranding a ``.tmp`` file exactly as a
   ``kill -9`` mid-publish would (``cache gc``/``fsck`` must reap it),
 * ``io_delay`` -- every store read/write is delayed by a fixed amount,
-  modelling slow or contended storage.
+  modelling slow or contended storage,
+* ``request_drop`` -- the experiment service (:mod:`repro.service`)
+  drops an incoming HTTP request without a response, exactly as a
+  flaky network or a dying front end would; clients must retry, and
+  request dedup must keep the retried submission idempotent.
 
 Decisions are **pure functions of the fault seed and the injection
 site's identity** (task index + dispatch attempt for kills, artifact
@@ -54,7 +58,7 @@ WORKER_KILL_EXIT = 117
 
 #: Fault names accepted by :meth:`FaultPlan.parse`.
 _PROBABILITY_FAULTS = ("worker_kill", "artifact_corrupt", "io_error",
-                       "write_crash")
+                       "write_crash", "request_drop")
 
 
 def _parse_probability(name: str, token: str) -> float:
@@ -98,6 +102,7 @@ class FaultPlan:
     artifact_corrupt: float = 0.0   #: P(corrupt payload) per artifact write
     io_error: float = 0.0           #: P(OSError) per store read/write
     write_crash: float = 0.0        #: P(die between write and rename)
+    request_drop: float = 0.0       #: P(drop a service request) per attempt
     io_delay: float = 0.0           #: seconds added to every store I/O
     seed: int = 0                   #: decision seed (reproducibility knob)
 
@@ -139,7 +144,7 @@ class FaultPlan:
         """Whether this plan injects anything at all."""
         return bool(self.worker_kill or self.artifact_corrupt
                     or self.io_error or self.write_crash
-                    or self.io_delay)
+                    or self.request_drop or self.io_delay)
 
     def describe(self) -> str:
         """Canonical spec string (``FaultPlan.parse`` round-trips it)."""
@@ -152,6 +157,8 @@ class FaultPlan:
             parts.append(f"io_error:{self.io_error}")
         if self.write_crash:
             parts.append(f"write_crash:{self.write_crash}")
+        if self.request_drop:
+            parts.append(f"request_drop:{self.request_drop}")
         if self.io_delay:
             parts.append(f"io_delay:{self.io_delay}s")
         if self.seed:
@@ -305,6 +312,22 @@ def maybe_write_crash(kind: str, key: str) -> bool:
     if not plan.write_crash:
         return False
     return _decision(plan.seed, "write_crash", kind, key) < plan.write_crash
+
+
+def maybe_drop_request(*identity) -> bool:
+    """Whether the experiment server should drop this request attempt.
+
+    ``identity`` should include a per-request attempt counter (the
+    server keys one on the request's method/path/body identity), so a
+    retried request draws a fresh decision and -- with any probability
+    below 1.0 -- eventually gets through, exactly like killed-chunk
+    retries.  Dedup makes the retry idempotent on the server side.
+    """
+    plan = active_plan()
+    if not plan.request_drop:
+        return False
+    return _decision(plan.seed, "request_drop", *identity) \
+        < plan.request_drop
 
 
 def io_pause() -> None:

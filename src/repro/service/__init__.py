@@ -1,0 +1,32 @@
+"""The experiment service: a multi-tenant HTTP front end for
+:mod:`repro.api`.
+
+Many clients submit :class:`~repro.api.spec.ExperimentSpec`s
+concurrently; identical requests deduplicate onto one simulation (or a
+warm result-cache replay), admission is fair round-robin with per-client
+quotas and queue backpressure, and progress streams back over SSE.
+Start it with ``repro-clgp serve`` or embed it via
+:class:`~repro.service.server.ExperimentServer` /
+:class:`~repro.service.server.ServerThread`; talk to it with
+:class:`~repro.service.client.ServiceClient`.
+"""
+
+from .client import RetryLater, ServiceClient, ServiceError
+from .codec import CodecError, canonical_json, request_key
+from .scheduler import FairScheduler, QueueFull, QuotaExceeded, RejectedRequest
+from .server import ExperimentServer, ServerThread
+
+__all__ = [
+    "CodecError",
+    "ExperimentServer",
+    "FairScheduler",
+    "QueueFull",
+    "QuotaExceeded",
+    "RejectedRequest",
+    "RetryLater",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "canonical_json",
+    "request_key",
+]

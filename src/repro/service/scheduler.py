@@ -1,0 +1,145 @@
+"""Fair round-robin admission control for the experiment service.
+
+Single-threaded on purpose: the server drives it from the event loop,
+tests drive it directly.  It owns three policies and nothing else:
+
+* **fairness** -- ready jobs are admitted round-robin across client
+  identities, so one chatty client queueing 50 specs cannot starve a
+  client who queued 1 (arrival order only breaks ties *within* one
+  client's queue);
+* **quotas** -- each client may have at most ``quota`` jobs queued or
+  running; the excess submission is rejected, not silently queued;
+* **backpressure** -- a global queue-depth cap bounds server memory and
+  turns overload into an explicit 429 with a data-driven ``Retry-After``
+  (an exponential moving average of recent job durations, so clients
+  back off in units of actual service time, not a magic constant).
+
+Deduplicated joins bypass the scheduler entirely -- subscribing to an
+in-flight job consumes no quota and no queue slot, which is exactly the
+economics the dedup layer exists to provide.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+#: Seed for the Retry-After duration estimate before any job finished.
+INITIAL_JOB_SECONDS = 2.0
+#: Bounds for the advertised Retry-After, seconds.
+RETRY_AFTER_MIN = 1
+RETRY_AFTER_MAX = 120
+#: EMA smoothing for observed job durations.
+_EMA_ALPHA = 0.3
+
+
+class RejectedRequest(Exception):
+    """A submission the scheduler refused; maps to HTTP 429."""
+
+    def __init__(self, message: str, retry_after: int) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QuotaExceeded(RejectedRequest):
+    """The client already has ``quota`` jobs queued or running."""
+
+
+class QueueFull(RejectedRequest):
+    """The global queue depth cap was hit (server-wide backpressure)."""
+
+
+class FairScheduler:
+    """Round-robin job admission across client identities."""
+
+    def __init__(self, quota: int = 8, max_queue_depth: int = 64) -> None:
+        if quota < 1:
+            raise ValueError("quota must be >= 1")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.quota = quota
+        self.max_queue_depth = max_queue_depth
+        self._queues: Dict[str, Deque[object]] = {}
+        #: Round-robin rotation: clients in first-seen order; the head
+        #: of the list is the next client eligible for admission.
+        self._rotation: List[str] = []
+        #: Jobs queued + running per client (quota accounting).
+        self._charged: Dict[str, int] = {}
+        self._queued = 0
+        self._avg_seconds = INITIAL_JOB_SECONDS
+
+    # -- admission --------------------------------------------------------
+    def submit(self, client: str, job: object) -> None:
+        """Queue ``job`` for ``client`` or raise :class:`RejectedRequest`."""
+        if self._charged.get(client, 0) >= self.quota:
+            raise QuotaExceeded(
+                f"client {client!r} already has {self.quota} job(s) "
+                "queued or running", self.retry_after())
+        if self._queued >= self.max_queue_depth:
+            raise QueueFull(
+                f"job queue is full ({self.max_queue_depth} deep)",
+                self.retry_after())
+        if client not in self._queues:
+            self._queues[client] = deque()
+            self._rotation.append(client)
+        self._queues[client].append(job)
+        self._charged[client] = self._charged.get(client, 0) + 1
+        self._queued += 1
+
+    def next_ready(self) -> Optional[object]:
+        """Pop the next job to start, round-robin across clients.
+
+        Returns ``None`` when nothing is queued.  The serving client
+        rotates to the back so every client with queued work gets one
+        start per sweep.
+        """
+        for _ in range(len(self._rotation)):
+            client = self._rotation.pop(0)
+            queue = self._queues[client]
+            if not queue:
+                self._rotation.append(client)
+                continue
+            job = queue.popleft()
+            self._queued -= 1
+            self._rotation.append(client)
+            return job
+        return None
+
+    def finish(self, client: str, seconds: Optional[float] = None) -> None:
+        """Release ``client``'s quota charge for one finished job."""
+        charged = self._charged.get(client, 0)
+        if charged <= 1:
+            self._charged.pop(client, None)
+        else:
+            self._charged[client] = charged - 1
+        if seconds is not None and seconds > 0:
+            self.observe_duration(seconds)
+
+    def discard(self, client: str, job: object) -> bool:
+        """Remove a still-queued job (client cancelled before start)."""
+        queue = self._queues.get(client)
+        if queue is None or job not in queue:
+            return False
+        queue.remove(job)
+        self._queued -= 1
+        self.finish(client)
+        return True
+
+    # -- observability ----------------------------------------------------
+    def observe_duration(self, seconds: float) -> None:
+        """Feed one completed-job duration into the Retry-After EMA."""
+        self._avg_seconds = (_EMA_ALPHA * seconds
+                             + (1.0 - _EMA_ALPHA) * self._avg_seconds)
+
+    def retry_after(self) -> int:
+        """Suggested client back-off: roughly one queue drain, clamped."""
+        pending = max(1, self._queued)
+        estimate = self._avg_seconds * pending
+        return int(min(RETRY_AFTER_MAX, max(RETRY_AFTER_MIN, estimate)))
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    def charged(self, client: str) -> int:
+        return self._charged.get(client, 0)

@@ -51,6 +51,7 @@ import itertools
 import os
 import queue
 import signal
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -252,6 +253,22 @@ _POOL_CACHE_STATE: Optional[tuple] = None
 _POOL_EVENTS = None
 #: Worker-side handle of the same queue, installed by ``_worker_init``.
 _WORKER_EVENTS = None
+#: Serializes pool build/teardown and the user count below; reentrant
+#: because ``_shared_pool`` may call ``shutdown_pool`` while holding it.
+_POOL_GUARD = threading.RLock()
+#: Supervisors currently fanned out over the shared pool.  A cancelled
+#: run only tears the pool down when it is the sole user -- with the
+#: execution gate admitting same-policy sessions concurrently, another
+#: supervisor's sweep may still be in flight on the same workers.
+_POOL_USERS = 0
+
+#: chunk_id -> the dispatching supervisor's in-flight entry.  Worker
+#: pickup sentinels arrive on one queue shared by every concurrent
+#: supervisor; this registry routes each event to the supervisor that
+#: owns the chunk instead of letting whichever supervisor drains the
+#: queue first silently drop its siblings' attributions.
+_PICKUP_LOCK = threading.Lock()
+_PICKUP_ENTRIES: Dict[int, dict] = {}
 
 
 def _worker_init(cache_dir: str, cache_on: bool, result_cache_on: bool,
@@ -282,21 +299,22 @@ def _shared_pool(processes: int) -> multiprocessing.pool.Pool:
     from ..cache.store import cache_enabled, resolved_cache_dir
 
     global _POOL, _POOL_PROCESSES, _POOL_CACHE_STATE, _POOL_EVENTS
-    cache_state = (resolved_cache_dir(), cache_enabled(),
-                   result_cache_enabled(), faults.active_plan())
-    if _POOL is not None and (_POOL_PROCESSES != processes
-                              or _POOL_CACHE_STATE != cache_state):
-        shutdown_pool()
-    if _POOL is None:
-        _POOL_EVENTS = multiprocessing.SimpleQueue()
-        _POOL = multiprocessing.Pool(
-            processes=processes,
-            initializer=_worker_init,
-            initargs=cache_state + (_POOL_EVENTS,),
-        )
-        _POOL_PROCESSES = processes
-        _POOL_CACHE_STATE = cache_state
-    return _POOL
+    with _POOL_GUARD:
+        cache_state = (resolved_cache_dir(), cache_enabled(),
+                       result_cache_enabled(), faults.active_plan())
+        if _POOL is not None and (_POOL_PROCESSES != processes
+                                  or _POOL_CACHE_STATE != cache_state):
+            shutdown_pool()
+        if _POOL is None:
+            _POOL_EVENTS = multiprocessing.SimpleQueue()
+            _POOL = multiprocessing.Pool(
+                processes=processes,
+                initializer=_worker_init,
+                initargs=cache_state + (_POOL_EVENTS,),
+            )
+            _POOL_PROCESSES = processes
+            _POOL_CACHE_STATE = cache_state
+        return _POOL
 
 
 def shutdown_pool() -> None:
@@ -309,15 +327,16 @@ def shutdown_pool() -> None:
     provide via its ``__exit__``).
     """
     global _POOL, _POOL_PROCESSES, _POOL_CACHE_STATE, _POOL_EVENTS
-    if _POOL is not None:
-        _POOL.terminate()
-        _POOL.join()
-        _POOL = None
-        _POOL_PROCESSES = 0
-        _POOL_CACHE_STATE = None
-    if _POOL_EVENTS is not None:
-        _POOL_EVENTS.close()
-        _POOL_EVENTS = None
+    with _POOL_GUARD:
+        if _POOL is not None:
+            _POOL.terminate()
+            _POOL.join()
+            _POOL = None
+            _POOL_PROCESSES = 0
+            _POOL_CACHE_STATE = None
+        if _POOL_EVENTS is not None:
+            _POOL_EVENTS.close()
+            _POOL_EVENTS = None
 
 
 atexit.register(shutdown_pool)
@@ -673,8 +692,11 @@ def _run_supervised(tasks, jobs, cancel, task_timeout,
                   for pair in chunk]
     else:
         chunks = _affine_chunks(tasks, jobs)
+    global _POOL_USERS
     processes = min(jobs, len(chunks))
-    pool = _shared_pool(processes)
+    with _POOL_GUARD:
+        pool = _shared_pool(processes)
+        _POOL_USERS += 1
     completions: queue.Queue = queue.Queue()
     attempts = {index: 0 for index in range(len(tasks))}
     inflight: Dict[int, dict] = {}   # chunk_id -> {items, pid, started}
@@ -709,14 +731,18 @@ def _run_supervised(tasks, jobs, cancel, task_timeout,
                 if resubmission:
                     raise
                 respawn_pool()
-        inflight[chunk_id] = {"items": list(items), "pid": None,
-                              "started": None}
+        entry = {"items": list(items), "pid": None, "started": None}
+        inflight[chunk_id] = entry
+        with _PICKUP_LOCK:
+            _PICKUP_ENTRIES[chunk_id] = entry
 
     def resolve_chunk(chunk_id: int, kind: str, message: str,
                       retry: bool = True) -> None:
         """Retire a lost/expired chunk: unfinished tasks go back to the
         deferred queue if budget (and ``retry``) allow, else fail."""
         entry = inflight.pop(chunk_id, None)
+        with _PICKUP_LOCK:
+            _PICKUP_ENTRIES.pop(chunk_id, None)
         if entry is None:
             return
         retry_items = []
@@ -746,15 +772,20 @@ def _run_supervised(tasks, jobs, cancel, task_timeout,
         events = _POOL_EVENTS
         if events is None:
             return
-        while not events.empty():
-            try:
+        try:
+            while not events.empty():
                 chunk_id, pid = events.get()
-            except (EOFError, OSError):
-                return
-            entry = inflight.get(chunk_id)
-            if entry is not None:
-                entry["pid"] = pid
-                entry["started"] = time.monotonic()
+                # Route through the shared registry: this supervisor may
+                # drain a pickup that belongs to a concurrent sibling's
+                # chunk, and the attribution must land on *their* entry.
+                with _PICKUP_LOCK:
+                    entry = _PICKUP_ENTRIES.get(chunk_id)
+                if entry is not None:
+                    entry["pid"] = pid
+                    entry["started"] = time.monotonic()
+        except (EOFError, OSError):
+            # A sibling tore the pool (and its queue) down mid-drain.
+            return
 
     def enforce_deadlines() -> None:
         if task_timeout is None:
@@ -810,11 +841,37 @@ def _run_supervised(tasks, jobs, cancel, task_timeout,
             resolve_chunk(chunk_id, "worker-lost",
                           "worker process died mid-chunk")
 
+    try:
+        yield from _supervise(tasks, chunks, cancel, task_timeout,
+                              max_retries, dispatch, resolve_chunk,
+                              drain_pickup_events, enforce_deadlines,
+                              scan_for_dead_workers, completions,
+                              inflight, deferred, done, attempts)
+    finally:
+        with _POOL_GUARD:
+            _POOL_USERS -= 1
+        with _PICKUP_LOCK:
+            for chunk_id in list(inflight):
+                _PICKUP_ENTRIES.pop(chunk_id, None)
+
+
+def _supervise(tasks, chunks, cancel, task_timeout, max_retries,
+               dispatch, resolve_chunk, drain_pickup_events,
+               enforce_deadlines, scan_for_dead_workers, completions,
+               inflight, deferred, done, attempts) -> Iterator[TaskCompletion]:
+    """The supervision loop of :func:`_run_supervised` (split out so the
+    caller can bracket it with pool-user bookkeeping in a ``finally``)."""
     for chunk in chunks:
         dispatch(chunk)
     while len(done) < len(tasks):
         if cancel is not None and cancel.is_set():
-            shutdown_pool()
+            with _POOL_GUARD:
+                if _POOL_USERS == 1:
+                    # Sole user: kill outstanding chunks with the pool.
+                    # With concurrent same-policy supervisors the pool
+                    # stays up for the others; this run's chunks finish
+                    # as no-ops (completions are simply not consumed).
+                    shutdown_pool()
             return
         now = time.monotonic()
         ready = [items for eligible_at, items in deferred
@@ -838,6 +895,8 @@ def _run_supervised(tasks, jobs, cancel, task_timeout,
             if message[0] == "done":
                 chunk_id, outcomes = message[1]
                 inflight.pop(chunk_id, None)
+                with _PICKUP_LOCK:
+                    _PICKUP_ENTRIES.pop(chunk_id, None)
                 for outcome in outcomes:
                     if outcome[0] == "ok":
                         index, result, seconds, hits, result_hits = \
