@@ -87,13 +87,24 @@ class _ExecutionGate:
         self._scope: Optional[tuple] = None
         self._restore: Optional[Callable[[], None]] = None
         self._exclusive = 0
+        #: Exclusive acquirers currently blocked in :meth:`acquire`.
+        #: ``enter_scope`` waits on this too (writer preference): a
+        #: steady stream of same-scope submissions -- exactly the
+        #: experiment-service workload -- must not starve ``close()``
+        #: or a cross-scope execution waiting its turn.
+        self._exclusive_waiting = 0
 
     # -- lock protocol (exclusive: no execution may be inside) ---------
     def acquire(self) -> bool:
         with self._cond:
-            while self._active or self._exclusive:
-                self._cond.wait()
-            self._exclusive += 1
+            self._exclusive_waiting += 1
+            try:
+                while self._active or self._exclusive:
+                    self._cond.wait()
+                self._exclusive += 1
+            finally:
+                self._exclusive_waiting -= 1
+                self._cond.notify_all()
         return True
 
     def release(self) -> None:
@@ -116,8 +127,8 @@ class _ExecutionGate:
         the first execution of the scope and returns the restore
         callback invoked when the last execution leaves."""
         with self._cond:
-            while self._exclusive or (self._active
-                                      and self._scope != scope):
+            while self._exclusive or self._exclusive_waiting \
+                    or (self._active and self._scope != scope):
                 self._cond.wait()
             if self._active == 0:
                 self._scope = scope

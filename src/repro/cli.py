@@ -547,7 +547,7 @@ def _cmd_serve(session: Session, args: argparse.Namespace) -> int:
         server = ExperimentServer(
             session, host=args.host, port=args.port,
             parallel=args.parallel, quota=args.quota,
-            max_queue_depth=args.max_queue)
+            max_queue_depth=args.max_queue, max_jobs=args.max_jobs)
         await server.start()
         # Parseable by wrappers (CI smoke, tests): port 0 binds an
         # ephemeral port and this line is where it is announced.
@@ -651,6 +651,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max jobs queued or running per client")
     p_serve.add_argument("--max-queue", type=int, default=64,
                          help="global queue depth before 429 backpressure")
+    p_serve.add_argument("--max-jobs", type=int, default=512,
+                         help="retained jobs before the oldest terminal "
+                              "unwatched ones are evicted (re-submits "
+                              "replay from the result cache)")
     p_serve.add_argument("--jobs", type=int, default=1,
                          help="worker processes per experiment run "
                               "(0 = all cores)")

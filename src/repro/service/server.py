@@ -45,7 +45,8 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
-from typing import Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from .. import faults
@@ -59,6 +60,11 @@ from .scheduler import FairScheduler, QueueFull, QuotaExceeded, RejectedRequest
 MAX_REQUEST_LINE = 8192
 MAX_HEADERS = 100
 MAX_BODY_BYTES = 1 << 20
+
+#: Distinct ``request_drop`` chaos sites tracked before the attempt
+#: counters reset (bounds per-client/path bookkeeping in long-running
+#: multi-tenant deployments).
+MAX_DROP_SITES = 4096
 
 #: Event kinds that terminate a job's stream.
 TERMINAL_KINDS = ("done", "failed", "cancelled")
@@ -128,13 +134,16 @@ class ExperimentServer:
 
     def __init__(self, session: Session, host: str = "127.0.0.1",
                  port: int = 0, parallel: int = 2, quota: int = 8,
-                 max_queue_depth: int = 64) -> None:
+                 max_queue_depth: int = 64, max_jobs: int = 512) -> None:
         if parallel < 1:
             raise ValueError("parallel must be >= 1")
+        if max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
         self.session = session
         self.host = host
         self.port = port
         self.parallel = parallel
+        self.max_jobs = max_jobs
         self.scheduler = FairScheduler(quota=quota,
                                        max_queue_depth=max_queue_depth)
         self.stats: Dict[str, int] = {
@@ -145,6 +154,8 @@ class ExperimentServer:
         }
         self._jobs: Dict[str, Job] = {}
         self._by_key: Dict[str, Job] = {}
+        #: Terminal job ids, oldest first -- the eviction order.
+        self._terminal_order: Deque[str] = deque()
         self._running = 0
         self._seq = itertools.count(1)
         self._tokens = itertools.count(1)
@@ -256,7 +267,33 @@ class ExperimentServer:
         job.done.set()
         for queue in list(job.watchers):
             queue.put_nowait(None)
+        self._terminal_order.append(job.id)
+        self._evict_terminal()
         self._wake.set()
+
+    def _evict_terminal(self) -> None:
+        """Bound the in-memory job registry to ``max_jobs``.
+
+        Oldest-terminal-first, skipping jobs with a live SSE replay in
+        progress.  Eviction loses nothing durable: a re-submitted key
+        becomes a fresh job whose tasks replay from the content-
+        addressed result cache, so the response is still byte-identical
+        and simulation-free.
+        """
+        skipped = []
+        while len(self._jobs) > self.max_jobs and self._terminal_order:
+            job_id = self._terminal_order.popleft()
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            if job.watchers:
+                skipped.append(job_id)
+                continue
+            del self._jobs[job_id]
+            if self._by_key.get(job.key) is job:
+                del self._by_key[job.key]
+            job.events.clear()
+        self._terminal_order.extendleft(reversed(skipped))
 
     def _maybe_cancel_abandoned(self, job: Job) -> None:
         """The refcounted cancel-on-disconnect rule: every subscriber
@@ -309,6 +346,11 @@ class ExperimentServer:
         return f"{peer[0]}" if peer else "unknown"
 
     def _should_drop(self, client: str, method: str, path: str) -> bool:
+        if len(self._drop_attempts) >= MAX_DROP_SITES:
+            # Resetting the attempt counters only perturbs chaos
+            # determinism past 4096 distinct sites; unbounded growth
+            # would leak per-client/path state forever.
+            self._drop_attempts.clear()
         site = (client, method, path)
         attempt = self._drop_attempts.get(site, 0) + 1
         self._drop_attempts[site] = attempt
@@ -329,7 +371,12 @@ class ExperimentServer:
         method, target = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
         for _ in range(MAX_HEADERS + 1):
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # A header line overflowing the StreamReader's limit
+                # raises ValueError, same as the request line above.
+                raise _HttpError(400, "header line too long")
             if line in (b"\r\n", b"\n", b""):
                 break
             if len(headers) >= MAX_HEADERS:

@@ -302,8 +302,17 @@ def _shared_pool(processes: int) -> multiprocessing.pool.Pool:
     with _POOL_GUARD:
         cache_state = (resolved_cache_dir(), cache_enabled(),
                        result_cache_enabled(), faults.active_plan())
-        if _POOL is not None and (_POOL_PROCESSES != processes
-                                  or _POOL_CACHE_STATE != cache_state):
+        if _POOL is not None and (_POOL_CACHE_STATE != cache_state
+                                  or (_POOL_PROCESSES != processes
+                                      and _POOL_USERS == 0)):
+            # A stale cache state always rebuilds (the execution gate
+            # serializes conflicting policy scopes, so the pool is idle
+            # then).  A size mismatch alone only rebuilds an *idle*
+            # pool: ``processes`` is just an upper bound
+            # (min(jobs, len(chunks)) differs per run), and tearing the
+            # pool down while a sibling is fanned out would kill its
+            # chunks mid-sweep -- its respawn would then kill ours in
+            # turn, ping-ponging until retry budgets burn out.
             shutdown_pool()
         if _POOL is None:
             _POOL_EVENTS = multiprocessing.SimpleQueue()
@@ -773,16 +782,23 @@ def _run_supervised(tasks, jobs, cancel, task_timeout,
         if events is None:
             return
         try:
-            while not events.empty():
-                chunk_id, pid = events.get()
-                # Route through the shared registry: this supervisor may
-                # drain a pickup that belongs to a concurrent sibling's
-                # chunk, and the attribution must land on *their* entry.
-                with _PICKUP_LOCK:
+            # The lock makes the empty()/get() pair atomic across
+            # concurrent supervisors: SimpleQueue.get() has no timeout,
+            # so two drainers both observing a single queued event
+            # would leave the loser blocked forever once the winner
+            # consumes it (and with it that run's completion handling
+            # and deadline enforcement).
+            with _PICKUP_LOCK:
+                while not events.empty():
+                    chunk_id, pid = events.get()
+                    # Route through the shared registry: this
+                    # supervisor may drain a pickup that belongs to a
+                    # concurrent sibling's chunk, and the attribution
+                    # must land on *their* entry.
                     entry = _PICKUP_ENTRIES.get(chunk_id)
-                if entry is not None:
-                    entry["pid"] = pid
-                    entry["started"] = time.monotonic()
+                    if entry is not None:
+                        entry["pid"] = pid
+                        entry["started"] = time.monotonic()
         except (EOFError, OSError):
             # A sibling tore the pool (and its queue) down mid-drain.
             return

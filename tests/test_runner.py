@@ -170,3 +170,26 @@ class TestParallelOrdering:
         results = run_tasks([(fast_config(), name, 500)
                              for name in ("mcf", "gzip", "eon")], jobs=2)
         assert [r.workload for r in results] == ["mcf", "gzip", "eon"]
+
+
+class TestSharedPoolReuse:
+    def test_busy_pool_is_not_resized_by_a_differently_sized_run(self):
+        """A concurrent same-policy run asking for a different worker
+        count must share the live pool (``processes`` is only an upper
+        bound), not tear it down under the sibling's sweep."""
+        from repro.simulator import runner
+
+        runner.shutdown_pool()
+        try:
+            first = runner._shared_pool(1)
+            runner._POOL_USERS += 1   # a sibling is fanned out
+            try:
+                assert runner._shared_pool(2) is first
+                assert runner._POOL_PROCESSES == 1
+            finally:
+                runner._POOL_USERS -= 1
+            # Idle again: a size mismatch may now rebuild.
+            assert runner._shared_pool(2) is not first
+            assert runner._POOL_PROCESSES == 2
+        finally:
+            runner.shutdown_pool()

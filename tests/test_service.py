@@ -209,6 +209,39 @@ class TestExecutionGate:
         assert entered.wait(5)
         thread.join(5)
 
+    def test_waiting_exclusive_blocks_new_scope_entrants(self):
+        """Writer preference: a blocked exclusive acquirer (``close()``)
+        must not be starved by a steady stream of same-scope entrants --
+        they queue behind it instead of slipping in ahead."""
+        gate = _ExecutionGate()
+        gate.enter_scope(("a",), lambda: None)
+        acquired = threading.Event()
+        entered = threading.Event()
+
+        def exclusive():
+            with gate:
+                acquired.set()
+
+        closer = threading.Thread(target=exclusive)
+        closer.start()
+        deadline = time.time() + 5   # wait until it is blocked in acquire
+        while not gate._exclusive_waiting and time.time() < deadline:
+            time.sleep(0.01)
+        assert gate._exclusive_waiting == 1
+        entrant = threading.Thread(
+            target=lambda: (gate.enter_scope(("a",), lambda: None),
+                            entered.set(), gate.leave_scope()))
+        entrant.start()
+        assert not entered.wait(0.3), \
+            "same-scope entrant must queue behind a waiting exclusive"
+        assert not acquired.is_set()
+        gate.leave_scope()   # last active execution leaves
+        assert acquired.wait(5), "exclusive acquirer starved"
+        assert entered.wait(5), "entrant must proceed after the release"
+        closer.join(5)
+        entrant.join(5)
+        assert gate.idle()
+
     def test_apply_failure_releases_scope(self):
         gate = _ExecutionGate()
 
@@ -400,6 +433,31 @@ class TestServiceEndToEnd:
             assert again["status"] == "done"
             assert client.result_bytes(again["job"]) == body
             assert client.stats()["service"]["runs_started"] == 1
+
+    def test_terminal_jobs_evicted_beyond_max_jobs(self, tmp_path):
+        with service(tmp_path, max_jobs=2) as (thread, _session):
+            client = ServiceClient(port=thread.port, client_id="evict")
+            schemes = ("CLGP", "base+L0", "FDP+L0")
+            jobs = []
+            for index, scheme in enumerate(schemes):
+                submitted = client.submit(
+                    small_spec(scheme=scheme, name=f"ev-{index}"))
+                client.result_bytes(submitted["job"])
+                jobs.append(submitted["job"])
+            assert client.stats()["service"]["jobs"] <= 2
+            status, _, _ = client._request("GET",
+                                           f"/v1/experiments/{jobs[0]}")
+            assert status == 404, "oldest terminal job should be evicted"
+            # The evicted key re-submits as a fresh job whose result
+            # replays from the content-addressed cache: one more job,
+            # zero new simulations.
+            before = client.stats()["cache"]["result_cache"]["hits"]
+            again = client.submit(small_spec(scheme=schemes[0],
+                                             name="ev-0"))
+            assert again["dedup"] == "new"
+            client.result_bytes(again["job"])
+            after = client.stats()["cache"]["result_cache"]["hits"]
+            assert after > before
 
     def test_quota_exceeded_gets_429_with_retry_after(self, tmp_path):
         with service(tmp_path, parallel=1, quota=1) as (thread, _session):
