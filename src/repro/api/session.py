@@ -42,7 +42,7 @@ from ..cache.results import (
 )
 from ..cache.store import configure, restore_configuration, snapshot_configuration
 from ..faults import configure_faults, restore_faults, snapshot_faults
-from ..simulator.plan import ExperimentPlan, PlanResults, TaskFailure
+from ..simulator.plan import ExperimentPlan, PlanResults, SimTask, TaskFailure
 from ..simulator.runner import (
     get_workload,
     iter_task_results,
@@ -522,6 +522,7 @@ class Session:
                 f"not {type(spec).__name__}")
         jobs = resolve_jobs(self._jobs if options.jobs is None
                             else options.jobs)
+        plan = self._with_interval_jobs(plan, options, jobs)
         if jobs > 1 and len(plan) > 1:
             self._used_pool = True
         handle = RunHandle(self, plan, options, jobs)
@@ -532,6 +533,40 @@ class Session:
         )
         thread.start()
         return handle
+
+    def _with_interval_jobs(self, plan: ExperimentPlan,
+                            options: ExecutionOptions,
+                            jobs: int) -> ExperimentPlan:
+        """Stamp the effective intra-run worker count onto sampled tasks.
+
+        ``options.interval_jobs`` wins when set (``0`` = all cores);
+        ``None`` inherits the submission's effective ``jobs`` for
+        single-task plans -- the one shape where outer task parallelism
+        cannot use the workers, so a sampled run's segments fan out
+        instead (this is how one service request scales with the
+        server's ``--parallel``).  Multi-task plans stay serial inside
+        each task by default: their parallelism is across tasks.
+        """
+        import dataclasses
+
+        interval_jobs = options.interval_jobs
+        if interval_jobs is None:
+            if len(plan.tasks) != 1:
+                return plan
+            interval_jobs = jobs
+        else:
+            interval_jobs = resolve_jobs(interval_jobs)
+        if interval_jobs <= 1 or not any(
+                isinstance(task, SimTask) and task.sampled
+                and task.interval_jobs is None for task in plan.tasks):
+            return plan
+        self._used_pool = True
+        return ExperimentPlan(plan.name, [
+            dataclasses.replace(task, interval_jobs=interval_jobs)
+            if isinstance(task, SimTask) and task.sampled
+            and task.interval_jobs is None else task
+            for task in plan.tasks
+        ])
 
     def run(
         self,

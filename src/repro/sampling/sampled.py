@@ -29,8 +29,10 @@ of re-simulating -- bit-identical by construction, and guarded by
 
 from __future__ import annotations
 
+import math
+import threading
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..cache.keys import content_key, stable_repr
 from ..cache.traces import ensure_compiled_trace
@@ -249,12 +251,208 @@ def _measure_intervals(
     return interval_results, weights
 
 
+def _segments(intervals) -> List[Tuple[int, ...]]:
+    """Partition a sorted interval selection into maximal contiguous runs.
+
+    Two intervals belong to the same segment exactly when the serial walk
+    in :func:`_measure_intervals` would take its *adjacent* branch for the
+    second one (``start == previous start + previous length``): within a
+    segment one timed stretch covers every interval, across segments the
+    walk restores a checkpoint and functionally skips.  Segments are
+    therefore the independent units of a sampled run -- each element is a
+    tuple of indices into ``intervals``.
+    """
+    segments: List[Tuple[int, ...]] = []
+    current = [0]
+    for i in range(1, len(intervals)):
+        previous = intervals[i - 1]
+        if (intervals[i].start_instruction
+                == previous.start_instruction + previous.length):
+            current.append(i)
+        else:
+            segments.append(tuple(current))
+            current = [i]
+    if intervals:
+        segments.append(tuple(current))
+    return segments
+
+
+def _measure_segment(
+    config: SimulationConfig,
+    workload: Workload,
+    selection,
+    spec: SamplingSpec,
+    indices: Sequence[int],
+    store: CheckpointStore,
+) -> List[SimulationResult]:
+    """Measure one contiguous segment of selected intervals.
+
+    Mirrors the per-branch logic of :func:`_measure_intervals` exactly:
+    the first interval either starts at instruction 0 (plain warm-up,
+    like a full run) or is a jump (restore the deepest usable prefix --
+    a positioned checkpoint published through the artifact store, else
+    the warm jump base -- then functionally skip the remaining delta and
+    refill the pipeline with a timed-but-discarded warm stretch); every
+    subsequent interval continues the one timed run.  Functional skips
+    are split-invariant and restore/warm-up states are bit-identical by
+    construction, so the returned deltas equal the corresponding slice
+    of the serial walk bit for bit, whichever process measures them.
+    """
+    intervals = selection.intervals
+    first = intervals[indices[0]]
+    simulator = Simulator(config, workload)
+    if first.start_instruction == 0:
+        simulator.warm_up()
+        before: Optional[SimulationResult] = None
+        segment_target = 0
+    else:
+        warm_len = min(spec.detail_warmup, first.start_instruction)
+        skip_target = first.start_instruction - warm_len
+        cursor_offset = 0
+        positioned = store.positioned_checkpoint(config, workload,
+                                                 skip_target)
+        if positioned is not None:
+            cursor_offset, cursor = positioned
+            simulator.restore(cursor)
+        else:
+            cursor = store.jump_base_checkpoint(config, workload)
+            if cursor is not None:
+                simulator.restore(cursor)
+            else:
+                simulator.warm_up()
+        simulator.skip_to(skip_target)
+        if store.artifact_store() is not None \
+                and cursor_offset != skip_target and skip_target > 0:
+            # Publish the post-skip state so sibling segments (and later
+            # runs) resume from this prefix instead of skipping from 0.
+            store.publish_positioned(config, workload, skip_target,
+                                     simulator.snapshot())
+        before = simulator.run(warm_len) if warm_len else None
+        segment_target = warm_len
+    results: List[SimulationResult] = []
+    for index in indices:
+        segment_target += intervals[index].length
+        after = simulator.run(segment_target)
+        results.append(result_delta(after, before))
+        before = after
+    return results
+
+
+def _execute_segment(task) -> Tuple[SimulationResult, ...]:
+    """Run one :class:`~repro.simulator.plan.SegmentTask` (pool worker
+    entry point, dispatched by ``repro.simulator.runner._run_task``).
+
+    The worker rebuilds the deterministic workload from the task's
+    profile, recomputes the (cached) interval selection, and measures
+    just its segment; per-interval results return positionally aligned
+    with ``task.indices``.
+    """
+    spec = task.sampling if task.sampling is not None else DEFAULT_SPEC
+    from ..simulator.runner import get_workload_for_profile
+
+    workload = get_workload_for_profile(task.profile)
+    total = task.total_instructions
+    ensure_compiled_trace(
+        workload, max(total, task.config.resolved_warmup_instructions())
+    )
+    store = DEFAULT_STORE
+    selection = get_selection(workload, total, spec, store=store,
+                              config=task.config)
+    if not task.indices or max(task.indices) >= len(selection.intervals):
+        raise RuntimeError(
+            f"interval selection holds {len(selection.intervals)} "
+            f"interval(s) but segment references {task.indices!r}; "
+            "selection diverged across processes")
+    return tuple(_measure_segment(task.config, workload, selection, spec,
+                                  task.indices, store))
+
+
+def _measure_intervals_parallel(
+    config: SimulationConfig,
+    workload: Workload,
+    selection,
+    spec: SamplingSpec,
+    store: CheckpointStore,
+    total: int,
+    interval_jobs: int,
+):
+    """Fan the selection's contiguous segments across the shared pool.
+
+    Returns ``(interval results, weights)`` bit-identical to
+    :func:`_measure_intervals`, or ``None`` when intra-run parallelism
+    is unavailable -- fewer than two segments, already inside a pool
+    worker (daemonic workers cannot nest pools), no persistent artifact
+    store (workers need it to share warm/positioned checkpoints), or any
+    segment failed terminally -- in which case the caller falls back to
+    the serial walk.
+    """
+    from .. import faults
+
+    if interval_jobs < 2 or selection.k < 2:
+        return None
+    if faults.in_worker():
+        return None
+    if store.artifact_store() is None:
+        return None
+    segments = _segments(selection.intervals)
+    if len(segments) < 2:
+        return None
+    # Imported lazily: the runner imports this module for dispatch.
+    from ..simulator.plan import SegmentTask
+    from ..simulator.runner import iter_task_results
+
+    # Publish the warm checkpoint once so every worker restores it
+    # instead of re-running the warm-up per process.
+    store.warm_checkpoint(config, workload)
+    tasks = []
+    for indices in segments:
+        first = selection.intervals[indices[0]]
+        timed = sum(selection.intervals[i].length for i in indices)
+        if first.start_instruction:
+            timed += min(spec.detail_warmup, first.start_instruction)
+        # Functional skips are far cheaper per instruction than the
+        # timed loop; a flat discount keeps long-prefix segments from
+        # being scheduled as if they were all timed work.
+        weight = timed + first.start_instruction // 4
+        tasks.append(SegmentTask(
+            config=config, profile=workload.profile,
+            total_instructions=total, indices=indices, sampling=spec,
+            weight=weight,
+        ))
+    cancel = threading.Event()
+    slots: List[Optional[Tuple[SimulationResult, ...]]] = [None] * len(tasks)
+    failed = False
+    for completion in iter_task_results(
+            tasks, jobs=min(interval_jobs, len(tasks)), cancel=cancel):
+        if completion.failed:
+            # One segment exhausted its retry budget: stop dispatching
+            # and let the serial walk (which has its own fallback
+            # states) produce the run instead of a partial estimate.
+            failed = True
+            cancel.set()
+            continue
+        slots[completion.index] = completion.result
+    if failed or any(slot is None for slot in slots):
+        return None
+    interval_results: List[Optional[SimulationResult]] = [None] * selection.k
+    for indices, results in zip(segments, slots):
+        if len(results) != len(indices):
+            return None
+        for index, result in zip(indices, results):
+            interval_results[index] = result
+    if any(result is None for result in interval_results):
+        return None
+    weights = [interval.weight for interval in selection.intervals]
+    return interval_results, weights
+
+
 def _execute_sampled(
     config: SimulationConfig,
     workload: Union[Workload, str],
     max_instructions: Optional[int] = None,
     spec: Optional[SamplingSpec] = None,
     store: CheckpointStore = DEFAULT_STORE,
+    interval_jobs: Optional[int] = None,
 ) -> SimulationResult:
     """Sampled run of one configuration on one benchmark (the executor
     primitive behind ``SimTask(sampled=True)``; the public entry point is
@@ -284,7 +482,15 @@ def _execute_sampled(
     # they are themselves artifacts: any previous invocation's timed
     # intervals replay from disk, leaving only selection + aggregation.
     # The selection fingerprint guards against stale payloads (e.g. an
-    # algorithm change that kept the key but moved the intervals).
+    # algorithm change that kept the key but moved the intervals), and a
+    # payload whose interval results *or* weights disagree with the
+    # selection -- a short weights list would silently truncate the
+    # ``zip`` in ``weighted_aggregate`` -- is recomputed, not trusted.
+    # ``result_cache=False`` (the CLI's ``--no-result-cache``) skips the
+    # replay just as it does for full-run results: "force resimulation"
+    # means the timed loop actually runs.
+    from ..cache.results import result_cache_enabled
+
     disk = store.artifact_store()
     measured = None
     measurement_key = None
@@ -294,19 +500,35 @@ def _execute_sampled(
             "sampled-measurements", stable_repr(config),
             workload.name, workload.profile.seed, total, stable_repr(spec),
         )
+    if measurement_key is not None and result_cache_enabled():
         payload = disk.get("measurement", measurement_key)
-        if (isinstance(payload, dict)
-                and payload.get("selection") == selection_fingerprint
-                and len(payload.get("interval_results", ())) == selection.k):
-            measured = payload
+        if isinstance(payload, dict) \
+                and payload.get("selection") == selection_fingerprint:
+            payload_weights = payload.get("weights", ())
+            if (len(payload.get("interval_results", ())) == selection.k
+                    and len(payload_weights) == selection.k
+                    and all(isinstance(w, (int, float))
+                            and not isinstance(w, bool)
+                            and math.isfinite(w)
+                            for w in payload_weights)):
+                measured = payload
     if measured is not None:
         interval_results = list(measured["interval_results"])
         weights = list(measured["weights"])
     else:
-        interval_results, weights = _measure_intervals(
-            config, workload, selection, spec, store
-        )
-        if disk is not None:
+        measured_parallel = None
+        if interval_jobs is not None and interval_jobs > 1:
+            measured_parallel = _measure_intervals_parallel(
+                config, workload, selection, spec, store, total,
+                interval_jobs,
+            )
+        if measured_parallel is not None:
+            interval_results, weights = measured_parallel
+        else:
+            interval_results, weights = _measure_intervals(
+                config, workload, selection, spec, store
+            )
+        if measurement_key is not None:
             disk.put("measurement", measurement_key, {
                 "selection": selection_fingerprint,
                 "interval_results": interval_results,

@@ -124,9 +124,18 @@ class ServiceClient:
 
     def submit(self, spec: ExperimentSpec,
                options: Optional[ExecutionOptions] = None,
-               wait_on_quota: bool = False) -> Dict[str, Any]:
+               wait_on_quota: bool = False,
+               max_backoff: Optional[float] = None) -> Dict[str, Any]:
         """Submit a spec; returns the job snapshot (``dedup`` says
-        whether this created the run or joined an existing one)."""
+        whether this created the run or joined an existing one).
+
+        With ``wait_on_quota`` a 429 is retried after the server's
+        advertised ``Retry-After`` -- honored in full, because that value
+        is the server's data-driven backpressure estimate and a herd of
+        clients re-polling on a shorter private schedule defeats it.
+        ``max_backoff`` optionally caps the sleep for callers with their
+        own deadline.
+        """
         body = codec.canonical_json({
             "spec": codec.encode_spec(spec),
             "options": (codec.encode_options(options)
@@ -139,7 +148,10 @@ class ServiceClient:
             except RetryLater as exc:
                 if not wait_on_quota:
                     raise
-                time.sleep(min(5, exc.retry_after))
+                delay = float(exc.retry_after)
+                if max_backoff is not None:
+                    delay = min(max_backoff, delay)
+                time.sleep(max(0.0, delay))
 
     def status(self, job: str) -> Dict[str, Any]:
         return self._checked(*self._request("GET", f"/v1/experiments/{job}"))

@@ -97,7 +97,15 @@ class FairScheduler:
             client = self._rotation.pop(0)
             queue = self._queues[client]
             if not queue:
-                self._rotation.append(client)
+                # Nothing queued: keep the client rotating only while it
+                # still holds quota (running jobs whose finish() must
+                # find it); an idle client is forgotten entirely, so the
+                # sweep stays O(clients with work), not O(clients ever
+                # seen), and memory is bounded under churning identities.
+                if self._charged.get(client, 0):
+                    self._rotation.append(client)
+                else:
+                    del self._queues[client]
                 continue
             job = queue.popleft()
             self._queued -= 1
@@ -112,8 +120,23 @@ class FairScheduler:
             self._charged.pop(client, None)
         else:
             self._charged[client] = charged - 1
+        self._forget_if_idle(client)
         if seconds is not None and seconds > 0:
             self.observe_duration(seconds)
+
+    def _forget_if_idle(self, client: str) -> None:
+        """Drop a client from rotation/queues once it has no queued jobs
+        and no quota charge -- the fix for the unbounded first-seen
+        rotation: every distinct identity ever submitting would stay in
+        ``next_ready``'s sweep (and in memory) forever."""
+        queue = self._queues.get(client)
+        if queue is not None and not queue \
+                and not self._charged.get(client, 0):
+            del self._queues[client]
+            try:
+                self._rotation.remove(client)
+            except ValueError:
+                pass
 
     def discard(self, client: str, job: object) -> bool:
         """Remove a still-queued job (client cancelled before start)."""

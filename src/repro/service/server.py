@@ -43,6 +43,7 @@ peer address); it drives fair scheduling, quotas, and the deterministic
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import itertools
 import threading
 from collections import deque
@@ -216,8 +217,18 @@ class ExperimentServer:
         self.stats["runs_started"] += 1
         self._running += 1
         loop = self._loop
+        options = job.options
+        if options is not None and options.sampled \
+                and options.interval_jobs is None and self.parallel > 1:
+            # Server policy: a sampled run's intervals may fan out over
+            # as many workers as the server would run whole jobs -- so a
+            # single queued request's latency scales with ``--parallel``
+            # instead of pinning one core (the results are bit-identical
+            # to the serial walk, so dedup is unaffected).
+            options = dataclasses.replace(options,
+                                          interval_jobs=self.parallel)
         try:
-            job.handle = self.session.submit(job.spec, job.options)
+            job.handle = self.session.submit(job.spec, options)
         except Exception as exc:
             self._finalize(job, "failed", f"{type(exc).__name__}: {exc}")
             return

@@ -61,7 +61,7 @@ from ..cache.traces import ensure_compiled_trace
 from ..workloads.spec2000 import DEFAULT_MIX, SPECINT2000_NAMES, profile_for
 from ..workloads.trace import Workload, build_workload
 from .config import SimulationConfig
-from .plan import SimTask, TaskFailure, TaskFailureError, TaskOutcome
+from .plan import SegmentTask, SimTask, TaskFailure, TaskFailureError, TaskOutcome
 from .simulator import _DEFAULT_MAX_CPI, Simulator
 from .stats import SimulationResult
 
@@ -71,7 +71,17 @@ _WORKLOAD_CACHE: Dict[tuple, Workload] = {}
 
 def get_workload(name: str) -> Workload:
     """Build (or fetch from cache) the synthetic workload for a benchmark."""
-    profile = profile_for(name)
+    return get_workload_for_profile(profile_for(name))
+
+
+def get_workload_for_profile(profile) -> Workload:
+    """Build (or fetch from cache) the workload for a profile.
+
+    Keyed like :func:`get_workload` so a profile that *is* a registered
+    benchmark shares its cache slot; segment tasks ship profiles rather
+    than names so sampled runs over unregistered workloads (tests, ad-hoc
+    profiles) can still fan their intervals out.
+    """
     key = (profile.name, profile.seed)
     if key not in _WORKLOAD_CACHE:
         _WORKLOAD_CACHE[key] = build_workload(profile)
@@ -216,6 +226,12 @@ def _run_task(task: Union[SimTask, tuple]) -> SimulationResult:
     :mod:`repro.sampling`, whose per-process checkpoint/selection caches
     play the same role for the warm-up and profiling passes.
     """
+    if isinstance(task, SegmentTask):
+        # One contiguous stretch of a sampled run's intervals (the
+        # intra-run parallel path; see repro.sampling.sampled).
+        from ..sampling.sampled import _execute_segment
+
+        return _execute_segment(task)
     if isinstance(task, SimTask):
         if task.sampled:
             # Imported lazily: repro.sampling imports this module.
@@ -225,6 +241,7 @@ def _run_task(task: Union[SimTask, tuple]) -> SimulationResult:
                 task.config, task.benchmark,
                 max_instructions=task.max_instructions,
                 spec=task.sampling,
+                interval_jobs=task.interval_jobs,
             )
         return _execute_single(task.config, task.benchmark,
                                task.max_instructions)
@@ -352,7 +369,9 @@ atexit.register(shutdown_pool)
 
 
 def _task_benchmark(task: Union[SimTask, tuple]) -> str:
-    return task.benchmark if isinstance(task, SimTask) else task[1]
+    if isinstance(task, (SimTask, SegmentTask)):
+        return task.benchmark
+    return task[1]
 
 
 def _task_weight(task: Union[SimTask, tuple]) -> int:
@@ -362,7 +381,11 @@ def _task_weight(task: Union[SimTask, tuple]) -> int:
     by task count (a 100k-instruction run is ~100x a 1k one); sampled
     tasks still carry the full budget -- their fixed profile/warm-up cost
     tracks the budget too, so the budget stays the best available proxy.
+    Segment tasks carry the parent's per-segment estimate (timed
+    instructions plus a discounted skip cost) instead.
     """
+    if isinstance(task, SegmentTask):
+        return max(1, int(task.weight or 1))
     if isinstance(task, SimTask):
         budget = task.max_instructions or task.config.max_instructions
     else:
